@@ -1,0 +1,43 @@
+//! Criterion bench for the closed-form equations (Eq. 3–6) and the Thompson
+//! wire-length helpers — the cheap analytic path of the framework.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use fabric_power_fabric::analytic;
+use fabric_power_fabric::FabricEnergyModel;
+use fabric_power_thompson::layouts::CrossbarLayout;
+
+fn bench_equations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analytic_bit_energy");
+    for ports in [4_usize, 16, 64] {
+        let model = FabricEnergyModel::paper(ports).expect("model");
+        group.bench_function(BenchmarkId::from_parameter(ports), |b| {
+            b.iter(|| {
+                let crossbar = analytic::crossbar_bit_energy(&model);
+                let fully = analytic::fully_connected_bit_energy(&model);
+                let banyan = analytic::banyan_bit_energy(&model, 1);
+                let batcher = analytic::batcher_banyan_bit_energy(&model);
+                (crossbar + fully + banyan + batcher).as_joules()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_crossbar_embedding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thompson_crossbar_embedding");
+    group.sample_size(10);
+    for ports in [4_usize, 16] {
+        group.bench_function(BenchmarkId::from_parameter(ports), |b| {
+            b.iter(|| {
+                let layout = CrossbarLayout::new(ports);
+                layout.embedding().validate().expect("legal");
+                layout.embedding().total_wire_length()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_equations, bench_crossbar_embedding);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion bench behind **Table 2**: the structural SRAM access-energy
+//! model across the paper's shared-buffer sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use fabric_power_memory::buffers::BufferConfig;
+use fabric_power_memory::Table2;
+use fabric_power_tech::constants::PAPER_PORT_COUNTS;
+
+fn bench_buffer_energy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2_buffer_energy");
+    for ports in PAPER_PORT_COUNTS {
+        group.bench_function(BenchmarkId::from_parameter(ports), |b| {
+            b.iter(|| {
+                BufferConfig::paper_default(ports)
+                    .memory_model()
+                    .expect("memory model")
+                    .buffer_bit_energy()
+            });
+        });
+    }
+    group.finish();
+
+    c.bench_function("table2_full_table", |b| {
+        b.iter(|| Table2::compute(&PAPER_PORT_COUNTS).expect("table"));
+    });
+}
+
+criterion_group!(benches, bench_buffer_energy);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion bench behind **Figure 10**: simulation cost as the fabric size
+//! grows at the paper's fixed 50 % offered load.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use fabric_power_fabric::{Architecture, FabricEnergyModel};
+use fabric_power_router::config::SimulationConfig;
+use fabric_power_router::sim::RouterSimulator;
+use fabric_power_tech::constants::FIGURE10_THROUGHPUT;
+
+fn bench_port_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure10_banyan_port_scaling");
+    group.sample_size(10);
+    for ports in [4_usize, 8, 16] {
+        let model = FabricEnergyModel::paper(ports).expect("model");
+        group.bench_function(BenchmarkId::from_parameter(ports), |b| {
+            b.iter(|| {
+                let config =
+                    SimulationConfig::quick(Architecture::Banyan, ports, FIGURE10_THROUGHPUT);
+                RouterSimulator::new(config, model.clone())
+                    .expect("simulator")
+                    .run()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure10_route_computation");
+    for ports in [8_usize, 32] {
+        let topology =
+            fabric_power_fabric::FabricTopology::new(Architecture::BatcherBanyan, ports)
+                .expect("topology");
+        group.bench_function(BenchmarkId::from_parameter(ports), |b| {
+            b.iter(|| {
+                let mut grids = 0_u64;
+                for input in 0..ports {
+                    for output in 0..ports {
+                        grids += topology.route(input, output).total_wire_grids();
+                    }
+                }
+                grids
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_port_scaling, bench_routing);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion bench behind **Figure 9**: one bit-level simulation per
+//! architecture at a representative size and load (the full figure is
+//! produced by the `figure9` binary; this bench tracks simulator cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use fabric_power_fabric::{Architecture, FabricEnergyModel};
+use fabric_power_router::config::SimulationConfig;
+use fabric_power_router::sim::RouterSimulator;
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure9_simulation_8x8_30pct");
+    group.sample_size(10);
+    let model = FabricEnergyModel::paper(8).expect("model");
+    for architecture in Architecture::ALL {
+        group.bench_function(BenchmarkId::from_parameter(architecture.slug()), |b| {
+            b.iter(|| {
+                let config = SimulationConfig::quick(architecture, 8, 0.3);
+                RouterSimulator::new(config, model.clone())
+                    .expect("simulator")
+                    .run()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_load_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure9_banyan_load_sweep");
+    group.sample_size(10);
+    let model = FabricEnergyModel::paper(8).expect("model");
+    for load in [0.1_f64, 0.3, 0.5] {
+        group.bench_function(BenchmarkId::from_parameter(format!("{:.0}pct", load * 100.0)), |b| {
+            b.iter(|| {
+                let config = SimulationConfig::quick(Architecture::Banyan, 8, load);
+                RouterSimulator::new(config, model.clone())
+                    .expect("simulator")
+                    .run()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation, bench_load_sweep);
+criterion_main!(benches);

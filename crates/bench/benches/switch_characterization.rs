@@ -1,0 +1,43 @@
+//! Criterion bench behind **Table 1**: gate-level characterization of each
+//! node-switch circuit, plus the cost of a LUT lookup.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use fabric_power_netlist::characterize::{characterize_class, CharacterizationConfig};
+use fabric_power_netlist::library::CellLibrary;
+use fabric_power_netlist::lut::SwitchEnergyLut;
+use fabric_power_netlist::SwitchClass;
+
+fn bench_characterization(c: &mut Criterion) {
+    let library = CellLibrary::calibrated_018um();
+    let config = CharacterizationConfig::quick();
+    let mut group = c.benchmark_group("table1_characterization");
+    group.sample_size(10);
+    for (name, class) in [
+        ("crosspoint", SwitchClass::CrossbarCrosspoint),
+        ("banyan_binary", SwitchClass::BanyanBinary),
+        ("batcher_sorting", SwitchClass::BatcherSorting),
+        ("mux8", SwitchClass::Mux { inputs: 8 }),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| characterize_class(class, 16, 4, &library, &config).expect("characterize"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_lut_lookup(c: &mut Criterion) {
+    let lut = SwitchEnergyLut::paper_banyan_binary();
+    c.bench_function("table1_lut_lookup", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for active in 0..=2 {
+                total += lut.energy_for_active_count(active).as_femtojoules();
+            }
+            total
+        });
+    });
+}
+
+criterion_group!(benches, bench_characterization, bench_lut_lookup);
+criterion_main!(benches);

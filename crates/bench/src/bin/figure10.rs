@@ -1,0 +1,39 @@
+//! Regenerates **Figure 10** — switch-fabric power consumption versus the
+//! number of ingress/egress ports at 50 % offered load — together with the
+//! fully-connected vs. Batcher-Banyan gap the paper quotes (37 % at 4×4
+//! narrowing to 20 % at 32×32).
+//!
+//! Run with `cargo run --release -p fabric-power-bench --bin figure10`.
+//! Pass `--quick` for a reduced grid.
+
+use fabric_power_bench::export_json;
+use fabric_power_core::experiment::{ExperimentConfig, PortSweep};
+use fabric_power_core::report::format_figure10;
+use fabric_power_tech::constants::FIGURE10_THROUGHPUT;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let config = if quick {
+        ExperimentConfig::quick()
+    } else {
+        ExperimentConfig::paper()
+    };
+
+    let sweep = PortSweep::run(&config, FIGURE10_THROUGHPUT)?;
+    println!("{}", format_figure10(&sweep, &config.port_counts));
+
+    let smallest = *config.port_counts.first().unwrap();
+    let largest = *config.port_counts.last().unwrap();
+    if let (Some(small), Some(large)) = (
+        sweep.fully_connected_vs_batcher_gap(smallest),
+        sweep.fully_connected_vs_batcher_gap(largest),
+    ) {
+        println!(
+            "FC vs Batcher-Banyan gap: {:.0}% at {smallest}x{smallest} -> {:.0}% at {largest}x{largest} (paper: 37% -> 20%)",
+            small * 100.0,
+            large * 100.0,
+        );
+    }
+    export_json("figure10", &sweep);
+    Ok(())
+}

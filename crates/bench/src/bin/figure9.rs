@@ -1,0 +1,46 @@
+//! Regenerates **Figure 9** — switch-fabric power consumption under traffic
+//! throughput from 10 % to 50 %, for the four architectures at 4×4, 8×8,
+//! 16×16 and 32×32 ports.
+//!
+//! Run with `cargo run --release -p fabric-power-bench --bin figure9`.
+//! Pass `--quick` for a reduced grid that finishes in a couple of seconds.
+
+use fabric_power_bench::export_json;
+use fabric_power_core::experiment::{ExperimentConfig, ThroughputSweep};
+use fabric_power_core::report::format_figure9_panel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let config = if quick {
+        ExperimentConfig::quick()
+    } else {
+        ExperimentConfig::paper()
+    };
+
+    eprintln!(
+        "running {} simulations ({} sizes x {} architectures x {} loads)...",
+        config.port_counts.len() * config.architectures.len() * config.offered_loads.len(),
+        config.port_counts.len(),
+        config.architectures.len(),
+        config.offered_loads.len()
+    );
+    let sweep = ThroughputSweep::run(&config)?;
+
+    for &ports in &config.port_counts {
+        println!("{}", format_figure9_panel(&sweep, ports));
+    }
+    println!("Shape checks (paper section 6):");
+    for &ports in &config.port_counts {
+        let lowest_low = sweep.cheapest(ports, config.offered_loads[0]);
+        let lowest_high = sweep.cheapest(ports, *config.offered_loads.last().unwrap());
+        println!(
+            "  {ports}x{ports}: cheapest at {:.0}% load = {}, at {:.0}% load = {}",
+            config.offered_loads[0] * 100.0,
+            lowest_low.map_or("-".into(), |a| a.to_string()),
+            config.offered_loads.last().unwrap() * 100.0,
+            lowest_high.map_or("-".into(), |a| a.to_string()),
+        );
+    }
+    export_json("figure9", &sweep);
+    Ok(())
+}

@@ -1,0 +1,25 @@
+//! Regenerates **Table 1** — node-switch bit energy under different input
+//! vectors — by characterizing the generated gate-level circuits and printing
+//! them next to the paper's published values.
+//!
+//! Run with `cargo run --release -p fabric-power-bench --bin table1`.
+
+use fabric_power_bench::export_json;
+use fabric_power_core::report::format_table1;
+use fabric_power_netlist::characterize::CharacterizationConfig;
+use fabric_power_netlist::library::CellLibrary;
+use fabric_power_netlist::Table1;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let library = CellLibrary::calibrated_018um();
+    let config = CharacterizationConfig::default();
+    // The paper characterizes 32-bit-wide data paths on 0.18 um cells; the
+    // sorting switch compares 5-bit addresses (32-port fabrics).
+    let ours = Table1::characterize(32, 5, &library, &config)?;
+    let paper = Table1::paper();
+
+    println!("{}", format_table1(&ours, &paper));
+    println!("(ratio = characterized / paper; the qualitative ordering is the result that matters)");
+    export_json("table1", &ours);
+    Ok(())
+}

@@ -1,0 +1,46 @@
+//! Regenerates the §5.1 wire-energy derivation: the Thompson-grid length and
+//! the `E_T_bit ≈ 87 fJ` interconnect bit energy, plus the per-architecture
+//! worst-case wire lengths used by Eq. 3–6.
+//!
+//! Run with `cargo run --release -p fabric-power-bench --bin wire_energy`.
+
+use fabric_power_tech::constants::PAPER_GRID_BIT_ENERGY_FJ;
+use fabric_power_tech::{Technology, WireModel};
+use fabric_power_thompson::wirelength;
+
+fn main() {
+    let technology = Technology::tsmc180();
+    let wires = WireModel::new(technology.clone());
+
+    println!("Interconnect wire energy (paper section 5.1)");
+    println!(
+        "  bus width            : {} bits at {} um pitch",
+        technology.bus_width_bits(),
+        technology.wire_pitch().as_micrometers()
+    );
+    println!(
+        "  Thompson grid length : {:.1} um",
+        technology.thompson_grid_length().as_micrometers()
+    );
+    println!(
+        "  E_T_bit              : {:.2} fJ (paper: {} fJ)",
+        wires.grid_bit_energy().as_femtojoules(),
+        PAPER_GRID_BIT_ENERGY_FJ
+    );
+
+    println!("\nWorst-case wire lengths per bit, in Thompson grids:");
+    println!(
+        "{:>6} {:>10} {:>17} {:>10} {:>16}",
+        "N", "crossbar", "fully connected", "banyan", "batcher-banyan"
+    );
+    for ports in [4_usize, 8, 16, 32] {
+        println!(
+            "{:>6} {:>10} {:>17} {:>10} {:>16}",
+            ports,
+            wirelength::crossbar_bit_wire_grids(ports),
+            wirelength::fully_connected_bit_wire_grids(ports),
+            wirelength::banyan_bit_wire_grids(ports),
+            wirelength::batcher_banyan_bit_wire_grids(ports)
+        );
+    }
+}

@@ -1,0 +1,54 @@
+//! # fabric-power-bench
+//!
+//! Experiment harness for the `fabric-power` workspace: the binaries in
+//! `src/bin/` regenerate every table and figure of the DAC 2002 paper, and
+//! the Criterion benches in `benches/` measure the cost of the underlying
+//! kernels (characterization, memory model, simulation sweeps, analytic
+//! equations).
+//!
+//! | target | reproduces |
+//! |---|---|
+//! | `table1` | Table 1 — node-switch bit energy vs. input vector |
+//! | `table2` | Table 2 — Banyan shared-buffer bit energy |
+//! | `wire_energy` | §5.1 — the 87 fJ Thompson-grid wire energy |
+//! | `figure9` | Figure 9 — power vs. traffic throughput |
+//! | `figure10` | Figure 10 — power vs. number of ports |
+//! | `analytic_model` | Eq. 3–6 — worst-case bit energy |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::Serialize;
+
+/// Writes any serializable result as pretty JSON next to the textual output,
+/// so downstream tooling (plotting scripts, CI diffs) can consume the data.
+///
+/// The file is written into `target/experiments/<name>.json` relative to the
+/// workspace root; failures are reported but not fatal (the textual output on
+/// stdout is the primary artifact).
+pub fn export_json<T: Serialize>(name: &str, value: &T) {
+    let dir = std::path::Path::new("target").join("experiments");
+    if let Err(error) = std::fs::create_dir_all(&dir) {
+        eprintln!("warning: could not create {}: {error}", dir.display());
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            if let Err(error) = std::fs::write(&path, json) {
+                eprintln!("warning: could not write {}: {error}", path.display());
+            } else {
+                eprintln!("wrote {}", path.display());
+            }
+        }
+        Err(error) => eprintln!("warning: could not serialize {name}: {error}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn export_json_smoke() {
+        super::export_json("bench_selftest", &vec![1, 2, 3]);
+    }
+}

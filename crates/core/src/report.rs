@@ -1,0 +1,246 @@
+//! Plain-text rendering of the reproduced tables and figures.
+//!
+//! The experiment harness binaries print their results through these helpers
+//! so every table/figure has one canonical textual form (and a JSON form via
+//! `serde`), mirroring the rows/series the paper reports.
+
+use std::fmt::Write as _;
+
+use fabric_power_fabric::{AnalyticRow, Architecture};
+use fabric_power_memory::Table2;
+use fabric_power_netlist::Table1;
+
+use crate::experiment::{PortSweep, ThroughputSweep};
+
+/// Renders Table 1 (node-switch bit energy per input vector) side by side
+/// with the paper's published values.
+#[must_use]
+pub fn format_table1(ours: &Table1, paper: &Table1) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table 1 — node-switch bit energy (fJ per bit slot), characterized vs. paper"
+    );
+    let _ = writeln!(
+        out,
+        "{:<28} {:>10} {:>14} {:>12}",
+        "switch / input vector", "ours (fJ)", "paper (fJ)", "ratio"
+    );
+    let mut row = |label: &str, ours_fj: f64, paper_fj: f64| {
+        let ratio = if paper_fj > 0.0 { ours_fj / paper_fj } else { f64::NAN };
+        let _ = writeln!(
+            out,
+            "{label:<28} {ours_fj:>10.0} {paper_fj:>14.0} {ratio:>12.2}"
+        );
+    };
+    row(
+        "crosspoint [1]",
+        ours.crosspoint.single_active().as_femtojoules(),
+        paper.crosspoint.single_active().as_femtojoules(),
+    );
+    row(
+        "banyan 2x2 [0,1]",
+        ours.banyan_binary.single_active().as_femtojoules(),
+        paper.banyan_binary.single_active().as_femtojoules(),
+    );
+    row(
+        "banyan 2x2 [1,1]",
+        ours.banyan_binary.energy_for_active_count(2).as_femtojoules(),
+        paper.banyan_binary.energy_for_active_count(2).as_femtojoules(),
+    );
+    row(
+        "batcher 2x2 [0,1]",
+        ours.batcher_sorting.single_active().as_femtojoules(),
+        paper.batcher_sorting.single_active().as_femtojoules(),
+    );
+    row(
+        "batcher 2x2 [1,1]",
+        ours.batcher_sorting.energy_for_active_count(2).as_femtojoules(),
+        paper.batcher_sorting.energy_for_active_count(2).as_femtojoules(),
+    );
+    for (ours_mux, paper_mux) in ours.muxes.iter().zip(&paper.muxes) {
+        let inputs = ours_mux.ports();
+        row(
+            &format!("{inputs}-input MUX"),
+            ours_mux.energy_for_active_count(inputs).as_femtojoules(),
+            paper_mux.single_active().as_femtojoules(),
+        );
+    }
+    out
+}
+
+/// Renders Table 2 (Banyan shared-buffer bit energy) computed vs. paper.
+#[must_use]
+pub fn format_table2(computed: &Table2, paper: &Table2) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Table 2 — Banyan shared-buffer bit energy, computed vs. paper");
+    let _ = writeln!(
+        out,
+        "{:>6} {:>10} {:>12} {:>14} {:>14} {:>8}",
+        "N", "switches", "SRAM (Kbit)", "ours (pJ)", "paper (pJ)", "ratio"
+    );
+    for (ours, theirs) in computed.rows.iter().zip(&paper.rows) {
+        let ratio = ours.bit_energy / theirs.bit_energy;
+        let _ = writeln!(
+            out,
+            "{:>6} {:>10} {:>12} {:>14.0} {:>14.0} {:>8.2}",
+            ours.ports,
+            ours.switches,
+            ours.shared_sram_bits / 1024,
+            ours.bit_energy.as_picojoules(),
+            theirs.bit_energy.as_picojoules(),
+            ratio
+        );
+    }
+    out
+}
+
+/// Renders one Figure 9 panel (one fabric size): power vs. offered load for
+/// every architecture.
+#[must_use]
+pub fn format_figure9_panel(sweep: &ThroughputSweep, ports: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Figure 9 panel — {ports}x{ports}, power (mW) vs. offered load");
+    let loads: Vec<f64> = {
+        let mut loads: Vec<f64> = sweep
+            .points
+            .iter()
+            .filter(|p| p.ports == ports)
+            .map(|p| p.offered_load)
+            .collect();
+        loads.sort_by(f64::total_cmp);
+        loads.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+        loads
+    };
+    let _ = write!(out, "{:<18}", "architecture");
+    for load in &loads {
+        let _ = write!(out, "{:>9.0}%", load * 100.0);
+    }
+    let _ = writeln!(out);
+    for architecture in Architecture::ALL {
+        let _ = write!(out, "{:<18}", architecture.to_string());
+        for &load in &loads {
+            match sweep.power(architecture, ports, load) {
+                Some(power) => {
+                    let _ = write!(out, "{:>10.2}", power.as_milliwatts());
+                }
+                None => {
+                    let _ = write!(out, "{:>10}", "-");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Renders Figure 10: power vs. number of ports at one load, plus the
+/// fully-connected vs. Batcher-Banyan gap the paper quotes.
+#[must_use]
+pub fn format_figure10(sweep: &PortSweep, port_counts: &[usize]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Figure 10 — power (mW) vs. number of ports at {:.0}% offered load",
+        sweep.offered_load * 100.0
+    );
+    let _ = write!(out, "{:<18}", "architecture");
+    for ports in port_counts {
+        let _ = write!(out, "{:>9}x{}", ports, ports);
+    }
+    let _ = writeln!(out);
+    for architecture in Architecture::ALL {
+        let _ = write!(out, "{:<18}", architecture.to_string());
+        for &ports in port_counts {
+            match sweep.power(architecture, ports) {
+                Some(power) => {
+                    let _ = write!(out, "{:>10.2}", power.as_milliwatts());
+                }
+                None => {
+                    let _ = write!(out, "{:>10}", "-");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    let _ = write!(out, "{:<18}", "FC vs Batcher gap");
+    for &ports in port_counts {
+        match sweep.fully_connected_vs_batcher_gap(ports) {
+            Some(gap) => {
+                let _ = write!(out, "{:>9.0}%", gap * 100.0);
+            }
+            None => {
+                let _ = write!(out, "{:>10}", "-");
+            }
+        }
+    }
+    let _ = writeln!(out);
+    out
+}
+
+/// Renders the analytic worst-case bit-energy comparison (Eq. 3–6).
+#[must_use]
+pub fn format_analytic_table(rows: &[AnalyticRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Worst-case bit energy per architecture (Eq. 3-6), in pJ/bit");
+    let _ = writeln!(
+        out,
+        "{:>6} {:>12} {:>16} {:>18} {:>22} {:>16}",
+        "N", "crossbar", "fully connected", "banyan (q=0)", "banyan (all q=1)", "batcher-banyan"
+    );
+    for row in rows {
+        let _ = writeln!(
+            out,
+            "{:>6} {:>12.2} {:>16.2} {:>18.2} {:>22.2} {:>16.2}",
+            row.ports,
+            row.crossbar.as_picojoules(),
+            row.fully_connected.as_picojoules(),
+            row.banyan_uncontended.as_picojoules(),
+            row.banyan_fully_contended.as_picojoules(),
+            row.batcher_banyan.as_picojoules()
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::{ExperimentConfig, PortSweep, ThroughputSweep};
+    use fabric_power_fabric::analytic::analytic_table;
+
+    #[test]
+    fn table_renderers_include_headline_values() {
+        let paper = Table1::paper();
+        let table1 = format_table1(&paper, &paper);
+        assert!(table1.contains("1080"));
+        assert!(table1.contains("32-input MUX"));
+
+        let table2 = format_table2(&Table2::paper(), &Table2::paper());
+        assert!(table2.contains("222"));
+        assert!(table2.contains("320"));
+    }
+
+    #[test]
+    fn figure_renderers_cover_all_architectures() {
+        let config = ExperimentConfig::quick();
+        let sweep = ThroughputSweep::run(&config).unwrap();
+        let panel = format_figure9_panel(&sweep, 8);
+        for architecture in Architecture::ALL {
+            assert!(panel.contains(&architecture.to_string()));
+        }
+
+        let ports = PortSweep::run(&config, 0.5).unwrap();
+        let figure10 = format_figure10(&ports, &config.port_counts);
+        assert!(figure10.contains("FC vs Batcher gap"));
+        assert!(figure10.contains('%'));
+    }
+
+    #[test]
+    fn analytic_table_renders_every_size() {
+        let rows = analytic_table(&[4, 8, 16, 32]).unwrap();
+        let text = format_analytic_table(&rows);
+        assert!(text.contains("32"));
+        assert!(text.contains("batcher-banyan"));
+    }
+}

@@ -1,0 +1,230 @@
+//! Shared-buffer sizing for Banyan fabrics and the paper's Table 2.
+//!
+//! The Banyan network needs a buffer at every internal node switch to absorb
+//! interconnect contention (internal blocking).  The paper provisions 4 Kbit
+//! per node switch and implements the buffers as one shared SRAM per fabric,
+//! so the shared memory size — and therefore the per-bit access energy —
+//! grows with the fabric size (Table 2: 16 K → 320 K bits, 140 → 222 pJ/bit).
+
+use serde::{Deserialize, Serialize};
+
+use fabric_power_tech::constants::BANYAN_NODE_BUFFER_BITS;
+use fabric_power_tech::units::Energy;
+
+use crate::sram::{MemoryModel, MemoryModelError};
+
+/// Number of 2×2 node switches in an `N × N` Banyan network:
+/// `(N/2) · log2(N)` (paper §4.3).
+///
+/// # Panics
+///
+/// Panics if `ports` is not a power of two or is smaller than 2.
+#[must_use]
+pub fn banyan_switch_count(ports: usize) -> usize {
+    assert!(
+        ports >= 2 && ports.is_power_of_two(),
+        "a Banyan network needs a power-of-two port count >= 2, got {ports}"
+    );
+    ports / 2 * ports.trailing_zeros() as usize
+}
+
+/// Configuration of the shared internal buffer of one Banyan fabric.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BufferConfig {
+    /// Number of ingress/egress ports of the fabric.
+    pub ports: usize,
+    /// Buffer capacity provisioned per node switch, in bits.
+    pub bits_per_switch: u64,
+}
+
+impl BufferConfig {
+    /// The paper's configuration: 4 Kbit per node switch.
+    #[must_use]
+    pub fn paper_default(ports: usize) -> Self {
+        Self {
+            ports,
+            bits_per_switch: BANYAN_NODE_BUFFER_BITS,
+        }
+    }
+
+    /// Total shared-SRAM capacity for this fabric.
+    #[must_use]
+    pub fn shared_capacity_bits(&self) -> u64 {
+        banyan_switch_count(self.ports) as u64 * self.bits_per_switch
+    }
+
+    /// Builds the memory model of the shared buffer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MemoryModelError`] if the resulting capacity is invalid
+    /// (e.g. `bits_per_switch` not a multiple of the word width).
+    pub fn memory_model(&self) -> Result<MemoryModel, MemoryModelError> {
+        MemoryModel::shared_buffer(self.shared_capacity_bits())
+    }
+}
+
+/// One row of Table 2: the shared-buffer energy of an `N × N` Banyan fabric.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BufferEnergyRow {
+    /// Fabric port count (`N` of `N × N`).
+    pub ports: usize,
+    /// Number of internal node switches.
+    pub switches: usize,
+    /// Shared SRAM capacity in bits.
+    pub shared_sram_bits: u64,
+    /// Per-bit buffer energy `E_B_bit`.
+    pub bit_energy: Energy,
+}
+
+/// The full Table 2: buffer bit energy for the paper's four fabric sizes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table2 {
+    /// One row per fabric size, smallest first.
+    pub rows: Vec<BufferEnergyRow>,
+}
+
+impl Table2 {
+    /// Computes Table 2 from the structural SRAM model for the given port
+    /// counts (use [`fabric_power_tech::constants::PAPER_PORT_COUNTS`] for the
+    /// paper's set).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MemoryModelError`] from the memory model construction.
+    pub fn compute(port_counts: &[usize]) -> Result<Self, MemoryModelError> {
+        let mut rows = Vec::with_capacity(port_counts.len());
+        for &ports in port_counts {
+            let config = BufferConfig::paper_default(ports);
+            let memory = config.memory_model()?;
+            rows.push(BufferEnergyRow {
+                ports,
+                switches: banyan_switch_count(ports),
+                shared_sram_bits: config.shared_capacity_bits(),
+                bit_energy: memory.buffer_bit_energy(),
+            });
+        }
+        Ok(Self { rows })
+    }
+
+    /// The paper's published Table 2 values.
+    #[must_use]
+    pub fn paper() -> Self {
+        let published = [
+            (4_usize, 4_usize, 16_u64, 140.0),
+            (8, 12, 48, 140.0),
+            (16, 32, 128, 154.0),
+            (32, 80, 320, 222.0),
+        ];
+        Self {
+            rows: published
+                .into_iter()
+                .map(|(ports, switches, kbits, pj)| BufferEnergyRow {
+                    ports,
+                    switches,
+                    shared_sram_bits: kbits * 1024,
+                    bit_energy: Energy::from_picojoules(pj),
+                })
+                .collect(),
+        }
+    }
+
+    /// Looks up the row for a given port count.
+    #[must_use]
+    pub fn row(&self, ports: usize) -> Option<&BufferEnergyRow> {
+        self.rows.iter().find(|r| r.ports == ports)
+    }
+
+    /// The buffer bit energy for a port count, if present.
+    #[must_use]
+    pub fn bit_energy(&self, ports: usize) -> Option<Energy> {
+        self.row(ports).map(|r| r.bit_energy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabric_power_tech::constants::PAPER_PORT_COUNTS;
+
+    #[test]
+    fn banyan_switch_counts_match_the_formula() {
+        assert_eq!(banyan_switch_count(2), 1);
+        assert_eq!(banyan_switch_count(4), 4);
+        assert_eq!(banyan_switch_count(8), 12);
+        assert_eq!(banyan_switch_count(16), 32);
+        assert_eq!(banyan_switch_count(32), 80);
+        assert_eq!(banyan_switch_count(64), 192);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn non_power_of_two_port_count_panics() {
+        let _ = banyan_switch_count(6);
+    }
+
+    #[test]
+    fn shared_capacities_match_paper_table2() {
+        assert_eq!(
+            BufferConfig::paper_default(4).shared_capacity_bits(),
+            16 * 1024
+        );
+        assert_eq!(
+            BufferConfig::paper_default(8).shared_capacity_bits(),
+            48 * 1024
+        );
+        assert_eq!(
+            BufferConfig::paper_default(16).shared_capacity_bits(),
+            128 * 1024
+        );
+        assert_eq!(
+            BufferConfig::paper_default(32).shared_capacity_bits(),
+            320 * 1024
+        );
+    }
+
+    #[test]
+    fn computed_table2_tracks_paper_shape() {
+        let computed = Table2::compute(&PAPER_PORT_COUNTS).unwrap();
+        let paper = Table2::paper();
+        assert_eq!(computed.rows.len(), paper.rows.len());
+        // Monotonically non-decreasing bit energy with fabric size.
+        for pair in computed.rows.windows(2) {
+            assert!(pair[1].bit_energy >= pair[0].bit_energy);
+        }
+        // Each computed value within 2x of the published one.
+        for (ours, theirs) in computed.rows.iter().zip(&paper.rows) {
+            assert_eq!(ours.ports, theirs.ports);
+            assert_eq!(ours.shared_sram_bits, theirs.shared_sram_bits);
+            let ratio = ours.bit_energy / theirs.bit_energy;
+            assert!(
+                (0.5..=2.0).contains(&ratio),
+                "N={}: ours {} vs paper {} (ratio {ratio:.2})",
+                ours.ports,
+                ours.bit_energy,
+                theirs.bit_energy
+            );
+        }
+    }
+
+    #[test]
+    fn paper_table2_lookup() {
+        let table = Table2::paper();
+        assert!((table.bit_energy(32).unwrap().as_picojoules() - 222.0).abs() < 1e-9);
+        assert!(table.bit_energy(64).is_none());
+        assert_eq!(table.row(16).unwrap().switches, 32);
+    }
+
+    #[test]
+    fn bigger_fabric_has_costlier_buffer_bit() {
+        let small = BufferConfig::paper_default(4)
+            .memory_model()
+            .unwrap()
+            .buffer_bit_energy();
+        let large = BufferConfig::paper_default(32)
+            .memory_model()
+            .unwrap()
+            .buffer_bit_energy();
+        assert!(large > small);
+    }
+}

@@ -1,0 +1,52 @@
+//! # fabric-power-memory
+//!
+//! Internal-buffer energy models for switch fabrics: the `E_B_bit =
+//! E_access + E_ref` component of the bit-energy model (paper §3.2, Eq. 1)
+//! and the shared-SRAM sizing that produces the paper's Table 2.
+//!
+//! * [`sram`] — a structural SRAM/DRAM access-energy model calibrated to the
+//!   off-the-shelf 0.18 µm 3.3 V part the paper reads its numbers from;
+//! * [`buffers`] — 4 Kbit-per-switch shared-buffer sizing for Banyan fabrics
+//!   and the [`buffers::Table2`] dataset (computed and as published).
+//!
+//! # Examples
+//!
+//! ```
+//! use fabric_power_memory::buffers::{BufferConfig, Table2};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // The shared buffer of a 16x16 Banyan fabric: 32 switches x 4 Kbit.
+//! let config = BufferConfig::paper_default(16);
+//! assert_eq!(config.shared_capacity_bits(), 128 * 1024);
+//!
+//! let memory = config.memory_model()?;
+//! let paper = Table2::paper().bit_energy(16).expect("published value");
+//! // Our structural model lands in the same order of magnitude as the paper.
+//! let ratio = memory.buffer_bit_energy() / paper;
+//! assert!(ratio > 0.5 && ratio < 2.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod buffers;
+pub mod sram;
+
+pub use buffers::{banyan_switch_count, BufferConfig, BufferEnergyRow, Table2};
+pub use sram::{MemoryModel, MemoryModelError, MemoryTechnology};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MemoryModel>();
+        assert_send_sync::<Table2>();
+        assert_send_sync::<BufferConfig>();
+    }
+}

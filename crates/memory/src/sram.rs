@@ -1,0 +1,397 @@
+//! SRAM / DRAM access-energy models for switch-fabric internal buffers
+//! (paper §3.2 and §5.1).
+//!
+//! The paper models the buffer bit energy as `E_B_bit = E_access + E_ref`
+//! (Eq. 1): the average per-bit cost of one READ or WRITE access plus, for
+//! DRAM, the amortized refresh cost.  It takes `E_access` from an
+//! off-the-shelf 0.18 µm 3.3 V SRAM datasheet at 133 MHz; we rebuild the same
+//! quantity from a small structural model (decoder + word line + bit lines +
+//! sense amplifiers) calibrated to land in the paper's 140–222 pJ/bit range,
+//! and also ship the paper's exact Table 2 values as a reference dataset
+//! (see [`crate::buffers`]).
+
+use serde::{Deserialize, Serialize};
+
+use fabric_power_tech::units::{Capacitance, Energy, Frequency};
+use fabric_power_tech::Technology;
+
+/// Errors produced when describing a memory array.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MemoryModelError {
+    /// Capacity must be a positive multiple of the word width.
+    InvalidCapacity {
+        /// Requested capacity in bits.
+        capacity_bits: u64,
+        /// Word width in bits.
+        word_bits: u32,
+    },
+    /// Word width must be positive.
+    ZeroWordWidth,
+}
+
+impl std::fmt::Display for MemoryModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::InvalidCapacity {
+                capacity_bits,
+                word_bits,
+            } => write!(
+                f,
+                "capacity of {capacity_bits} bits is not a positive multiple of the {word_bits}-bit word"
+            ),
+            Self::ZeroWordWidth => write!(f, "memory word width must be at least one bit"),
+        }
+    }
+}
+
+impl std::error::Error for MemoryModelError {}
+
+/// The storage technology of the internal buffers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum MemoryTechnology {
+    /// Static RAM: no refresh energy.
+    Sram,
+    /// Dynamic RAM: cells must be refreshed; `refresh_interval` is the period
+    /// over which every cell is refreshed once.
+    Dram {
+        /// Refresh period (typical parts: 64 ms).
+        refresh_interval_s: f64,
+    },
+}
+
+impl MemoryTechnology {
+    /// A typical embedded DRAM configuration (64 ms refresh).
+    #[must_use]
+    pub fn typical_dram() -> Self {
+        Self::Dram {
+            refresh_interval_s: 64e-3,
+        }
+    }
+}
+
+/// A structural access-energy model of one shared buffer memory.
+///
+/// # Examples
+///
+/// ```
+/// use fabric_power_memory::sram::MemoryModel;
+///
+/// // The 16 Kbit shared buffer of a 4x4 Banyan fabric (paper Table 2).
+/// let sram = MemoryModel::shared_buffer(16 * 1024)?;
+/// let per_bit = sram.access_energy_per_bit();
+/// // The paper's value is 140 pJ; the structural model lands in that band.
+/// assert!(per_bit.as_picojoules() > 70.0 && per_bit.as_picojoules() < 300.0);
+/// # Ok::<(), fabric_power_memory::sram::MemoryModelError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemoryModel {
+    capacity_bits: u64,
+    word_bits: u32,
+    technology: Technology,
+    memory_technology: MemoryTechnology,
+    clock: Frequency,
+}
+
+impl MemoryModel {
+    /// Creates a model of a shared buffer SRAM with the paper's defaults:
+    /// 32-bit words, 0.18 µm 3.3 V technology, 133 MHz operation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryModelError`] if `capacity_bits` is not a positive
+    /// multiple of 32.
+    pub fn shared_buffer(capacity_bits: u64) -> Result<Self, MemoryModelError> {
+        Self::new(
+            capacity_bits,
+            32,
+            Technology::tsmc180(),
+            MemoryTechnology::Sram,
+            Frequency::from_megahertz(133.0),
+        )
+    }
+
+    /// Creates a fully-specified memory model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemoryModelError`] if the word width is zero or the capacity
+    /// is not a positive multiple of the word width.
+    pub fn new(
+        capacity_bits: u64,
+        word_bits: u32,
+        technology: Technology,
+        memory_technology: MemoryTechnology,
+        clock: Frequency,
+    ) -> Result<Self, MemoryModelError> {
+        if word_bits == 0 {
+            return Err(MemoryModelError::ZeroWordWidth);
+        }
+        if capacity_bits == 0 || capacity_bits % u64::from(word_bits) != 0 {
+            return Err(MemoryModelError::InvalidCapacity {
+                capacity_bits,
+                word_bits,
+            });
+        }
+        Ok(Self {
+            capacity_bits,
+            word_bits,
+            technology,
+            memory_technology,
+            clock,
+        })
+    }
+
+    /// Total capacity in bits.
+    #[must_use]
+    pub fn capacity_bits(&self) -> u64 {
+        self.capacity_bits
+    }
+
+    /// Word width in bits (accesses happen a word at a time).
+    #[must_use]
+    pub fn word_bits(&self) -> u32 {
+        self.word_bits
+    }
+
+    /// Number of words stored.
+    #[must_use]
+    pub fn words(&self) -> u64 {
+        self.capacity_bits / u64::from(self.word_bits)
+    }
+
+    /// The storage technology (SRAM or DRAM).
+    #[must_use]
+    pub fn memory_technology(&self) -> MemoryTechnology {
+        self.memory_technology
+    }
+
+    /// Number of rows of the (square-ish) cell array: the model folds the
+    /// array so the row count is roughly the square root of the word count.
+    #[must_use]
+    pub fn rows(&self) -> u64 {
+        let words = self.words() as f64;
+        (words.sqrt().ceil() as u64).max(1)
+    }
+
+    /// Number of columns (cells per row).
+    #[must_use]
+    pub fn columns(&self) -> u64 {
+        (self.capacity_bits).div_ceil(self.rows())
+    }
+
+    /// Energy of one word-wide access (READ or WRITE).
+    ///
+    /// The structural decomposition follows the classic CACTI-style split the
+    /// paper's references [8][9] use:
+    ///
+    /// * row decoder: proportional to `log2(rows)`;
+    /// * word line: proportional to the number of columns;
+    /// * bit lines: proportional to the number of rows (every cell on the
+    ///   accessed columns loads its bit line) times the word width;
+    /// * sense amplifiers and I/O: proportional to the word width.
+    #[must_use]
+    pub fn access_energy_per_word(&self) -> Energy {
+        let vdd = self.technology.supply_voltage();
+        // Per-unit effective capacitances, calibrated so the shared-buffer
+        // sizes of Table 2 land near the paper's 140-222 pJ/bit figures. The
+        // paper reads its numbers off an *off-the-shelf* 3.3 V SRAM datasheet,
+        // so the dominant term is the chip-level sense/IO path (pad-scale
+        // capacitance per data bit), with the array terms providing the growth
+        // with capacity.
+        let decoder_cap_per_level = Capacitance::from_femtofarads(60.0);
+        let wordline_cap_per_cell = Capacitance::from_femtofarads(1.8);
+        let bitline_cap_per_row = Capacitance::from_femtofarads(150.0);
+        let sense_cap_per_bit = Capacitance::from_picofarads(22.0);
+
+        let rows = self.rows() as f64;
+        let columns = self.columns() as f64;
+        let word = f64::from(self.word_bits);
+        let address_levels = rows.log2().max(1.0);
+
+        let decoder = (decoder_cap_per_level * address_levels).switching_energy(vdd);
+        let wordline = (wordline_cap_per_cell * columns).switching_energy(vdd);
+        let bitlines = (bitline_cap_per_row * rows * word).switching_energy(vdd);
+        let sense = (sense_cap_per_bit * word).switching_energy(vdd);
+        decoder + wordline + bitlines + sense
+    }
+
+    /// Average energy per bit of one access: `E_access` of Eq. 1.
+    ///
+    /// Memory is accessed a word at a time, so the per-bit figure is the word
+    /// access energy divided by the word width — exactly how the paper
+    /// defines it ("the `E_access` is actually the average energy consumed
+    /// for one bit").
+    #[must_use]
+    pub fn access_energy_per_bit(&self) -> Energy {
+        self.access_energy_per_word() / f64::from(self.word_bits)
+    }
+
+    /// Amortized refresh energy per bit and per clock cycle: `E_ref` of Eq. 1.
+    ///
+    /// Zero for SRAM. For DRAM every cell is rewritten once per refresh
+    /// interval; the cost is spread over the cycles in that interval.
+    #[must_use]
+    pub fn refresh_energy_per_bit(&self) -> Energy {
+        match self.memory_technology {
+            MemoryTechnology::Sram => Energy::ZERO,
+            MemoryTechnology::Dram {
+                refresh_interval_s,
+            } => {
+                let refresh_cycles = refresh_interval_s * self.clock.as_hertz();
+                if refresh_cycles <= 0.0 {
+                    return Energy::ZERO;
+                }
+                self.access_energy_per_bit() / refresh_cycles * self.words() as f64
+            }
+        }
+    }
+
+    /// Total buffer bit energy `E_B_bit = E_access + E_ref` (paper Eq. 1).
+    #[must_use]
+    pub fn buffer_bit_energy(&self) -> Energy {
+        self.access_energy_per_bit() + self.refresh_energy_per_bit()
+    }
+
+    /// Energy to write and later read back one whole packet of
+    /// `packet_bits` bits (the cost a buffered packet pays: one WRITE plus
+    /// one READ per bit).
+    #[must_use]
+    pub fn store_and_forward_energy(&self, packet_bits: u64) -> Energy {
+        self.buffer_bit_energy() * (2.0 * packet_bits as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invalid_configurations_are_rejected() {
+        assert!(matches!(
+            MemoryModel::shared_buffer(0),
+            Err(MemoryModelError::InvalidCapacity { .. })
+        ));
+        assert!(matches!(
+            MemoryModel::shared_buffer(33),
+            Err(MemoryModelError::InvalidCapacity { .. })
+        ));
+        assert_eq!(
+            MemoryModel::new(
+                1024,
+                0,
+                Technology::tsmc180(),
+                MemoryTechnology::Sram,
+                Frequency::from_megahertz(133.0)
+            )
+            .unwrap_err(),
+            MemoryModelError::ZeroWordWidth
+        );
+        let msg = MemoryModelError::InvalidCapacity {
+            capacity_bits: 33,
+            word_bits: 32,
+        }
+        .to_string();
+        assert!(msg.contains("33"));
+    }
+
+    #[test]
+    fn geometry_is_consistent() {
+        let sram = MemoryModel::shared_buffer(128 * 1024).unwrap();
+        assert_eq!(sram.capacity_bits(), 128 * 1024);
+        assert_eq!(sram.words(), 4096);
+        assert_eq!(sram.rows(), 64);
+        assert!(sram.rows() * sram.columns() >= sram.capacity_bits());
+    }
+
+    #[test]
+    fn access_energy_grows_with_capacity() {
+        let sizes = [16_u64, 48, 128, 320];
+        let mut previous = Energy::ZERO;
+        for kbits in sizes {
+            let sram = MemoryModel::shared_buffer(kbits * 1024).unwrap();
+            let e = sram.access_energy_per_bit();
+            assert!(
+                e >= previous,
+                "access energy must not decrease with capacity ({kbits} Kbit)"
+            );
+            previous = e;
+        }
+    }
+
+    #[test]
+    fn paper_table2_sizes_land_in_the_published_band() {
+        // Paper Table 2: 140, 140, 154, 222 pJ for 16K, 48K, 128K, 320K.
+        let expectations = [
+            (16_u64, 140.0),
+            (48, 140.0),
+            (128, 154.0),
+            (320, 222.0),
+        ];
+        for (kbits, paper_pj) in expectations {
+            let sram = MemoryModel::shared_buffer(kbits * 1024).unwrap();
+            let ours = sram.access_energy_per_bit().as_picojoules();
+            let ratio = ours / paper_pj;
+            assert!(
+                (0.5..=2.0).contains(&ratio),
+                "{kbits} Kbit: ours {ours:.1} pJ vs paper {paper_pj} pJ (ratio {ratio:.2})"
+            );
+        }
+    }
+
+    #[test]
+    fn buffer_energy_dwarfs_wire_energy() {
+        // The "buffer penalty": storing a bit costs orders of magnitude more
+        // than moving it across one Thompson grid (87 fJ).
+        let sram = MemoryModel::shared_buffer(16 * 1024).unwrap();
+        let wire = fabric_power_tech::WireModel::default().grid_bit_energy();
+        assert!(sram.buffer_bit_energy() > wire * 100.0);
+    }
+
+    #[test]
+    fn sram_has_no_refresh_energy() {
+        let sram = MemoryModel::shared_buffer(64 * 1024).unwrap();
+        assert_eq!(sram.refresh_energy_per_bit(), Energy::ZERO);
+        assert_eq!(sram.buffer_bit_energy(), sram.access_energy_per_bit());
+    }
+
+    #[test]
+    fn dram_adds_refresh_energy() {
+        let dram = MemoryModel::new(
+            64 * 1024,
+            32,
+            Technology::tsmc180(),
+            MemoryTechnology::typical_dram(),
+            Frequency::from_megahertz(133.0),
+        )
+        .unwrap();
+        assert!(dram.refresh_energy_per_bit() > Energy::ZERO);
+        assert!(dram.buffer_bit_energy() > dram.access_energy_per_bit());
+        // Refresh is amortized over many cycles, so it stays a small fraction
+        // of the access energy.
+        assert!(dram.refresh_energy_per_bit() < dram.access_energy_per_bit());
+    }
+
+    #[test]
+    fn store_and_forward_charges_write_plus_read() {
+        let sram = MemoryModel::shared_buffer(16 * 1024).unwrap();
+        let one_bit = sram.buffer_bit_energy();
+        let packet = sram.store_and_forward_energy(512);
+        assert!((packet.as_joules() - one_bit.as_joules() * 1024.0).abs() < 1e-18);
+    }
+
+    #[test]
+    fn word_energy_is_word_width_times_bit_energy() {
+        let sram = MemoryModel::shared_buffer(32 * 1024).unwrap();
+        let word = sram.access_energy_per_word();
+        let bit = sram.access_energy_per_bit();
+        assert!((word.as_joules() - bit.as_joules() * 32.0).abs() < 1e-18);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let sram = MemoryModel::shared_buffer(16 * 1024).unwrap();
+        let json = serde_json::to_string(&sram).expect("serialize");
+        let back: MemoryModel = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(sram, back);
+    }
+}

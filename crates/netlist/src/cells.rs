@@ -1,0 +1,281 @@
+//! Standard-cell primitives.
+//!
+//! The paper characterizes its node switches with Synopsys Power Compiler on
+//! a 0.18 µm standard-cell library.  We replace that flow with an explicit,
+//! minimal standard-cell set: enough combinational gates to build crosspoint
+//! switches, 2×2 binary/sorting switches and N-input MUX trees, plus a D
+//! flip-flop for the registered data paths.
+//!
+//! A cell is purely a *kind*; its electrical properties (input capacitance,
+//! internal switching energy, clock-pin energy) live in
+//! [`crate::library::CellLibrary`] so alternative calibrations can be swapped
+//! in without touching netlists.
+
+use serde::{Deserialize, Serialize};
+
+/// The set of standard cells available to circuit generators.
+///
+/// Every kind drives exactly one output net. Sequential behaviour exists only
+/// in [`CellKind::Dff`], which samples its `D` input on the (implicit) rising
+/// clock edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum CellKind {
+    /// Inverter: `Y = !A`.
+    Inv,
+    /// Non-inverting buffer: `Y = A`.
+    Buf,
+    /// 2-input NAND: `Y = !(A & B)`.
+    Nand2,
+    /// 2-input NOR: `Y = !(A | B)`.
+    Nor2,
+    /// 2-input AND: `Y = A & B`.
+    And2,
+    /// 2-input OR: `Y = A | B`.
+    Or2,
+    /// 3-input AND: `Y = A & B & C`.
+    And3,
+    /// 3-input OR: `Y = A | B | C`.
+    Or3,
+    /// 2-input XOR: `Y = A ^ B`.
+    Xor2,
+    /// 2-input XNOR: `Y = !(A ^ B)`.
+    Xnor2,
+    /// 2:1 multiplexer: `Y = S ? B : A` (inputs ordered `[A, B, S]`).
+    Mux2,
+    /// Tri-state buffer: `Y = EN ? A : Y_prev` (inputs ordered `[A, EN]`).
+    ///
+    /// When disabled the output holds its previous value, modelling the
+    /// charge-retaining behaviour of a bus crosspoint.
+    TriBuf,
+    /// CMOS pass gate: electrically identical behaviour to [`CellKind::TriBuf`]
+    /// in this logic-level model, but with the smaller capacitance/energy of a
+    /// transmission gate (inputs ordered `[A, EN]`).
+    PassGate,
+    /// Rising-edge D flip-flop: `Q <= D` (input ordered `[D]`).
+    Dff,
+    /// Level-sensitive latch used for slowly-changing configuration bits
+    /// (allocation state); modelled as a holding element (input ordered `[D]`).
+    Latch,
+}
+
+impl CellKind {
+    /// All cell kinds, useful for exhaustive library definitions and tests.
+    pub const ALL: [CellKind; 15] = [
+        CellKind::Inv,
+        CellKind::Buf,
+        CellKind::Nand2,
+        CellKind::Nor2,
+        CellKind::And2,
+        CellKind::Or2,
+        CellKind::And3,
+        CellKind::Or3,
+        CellKind::Xor2,
+        CellKind::Xnor2,
+        CellKind::Mux2,
+        CellKind::TriBuf,
+        CellKind::PassGate,
+        CellKind::Dff,
+        CellKind::Latch,
+    ];
+
+    /// Number of input pins the cell expects (excluding the implicit clock).
+    #[must_use]
+    pub fn input_count(self) -> usize {
+        match self {
+            CellKind::Inv | CellKind::Buf | CellKind::Dff | CellKind::Latch => 1,
+            CellKind::Nand2
+            | CellKind::Nor2
+            | CellKind::And2
+            | CellKind::Or2
+            | CellKind::Xor2
+            | CellKind::Xnor2
+            | CellKind::TriBuf
+            | CellKind::PassGate => 2,
+            CellKind::And3 | CellKind::Or3 | CellKind::Mux2 => 3,
+        }
+    }
+
+    /// Whether the cell holds state across clock cycles.
+    #[must_use]
+    pub fn is_sequential(self) -> bool {
+        matches!(self, CellKind::Dff | CellKind::Latch)
+    }
+
+    /// Whether the cell may keep its previous output when not driven
+    /// (tri-state / pass-gate behaviour).
+    #[must_use]
+    pub fn holds_output_when_disabled(self) -> bool {
+        matches!(self, CellKind::TriBuf | CellKind::PassGate)
+    }
+
+    /// Evaluates the cell's combinational function.
+    ///
+    /// `previous_output` supplies the retained value for tri-state cells and
+    /// the stored state for sequential cells (which are *not* updated here —
+    /// the simulator commits flip-flop state at clock edges).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from [`CellKind::input_count`].
+    #[must_use]
+    pub fn evaluate(self, inputs: &[bool], previous_output: bool) -> bool {
+        assert_eq!(
+            inputs.len(),
+            self.input_count(),
+            "cell {self:?} expects {} inputs, got {}",
+            self.input_count(),
+            inputs.len()
+        );
+        match self {
+            CellKind::Inv => !inputs[0],
+            CellKind::Buf => inputs[0],
+            CellKind::Nand2 => !(inputs[0] & inputs[1]),
+            CellKind::Nor2 => !(inputs[0] | inputs[1]),
+            CellKind::And2 => inputs[0] & inputs[1],
+            CellKind::Or2 => inputs[0] | inputs[1],
+            CellKind::And3 => inputs[0] & inputs[1] & inputs[2],
+            CellKind::Or3 => inputs[0] | inputs[1] | inputs[2],
+            CellKind::Xor2 => inputs[0] ^ inputs[1],
+            CellKind::Xnor2 => !(inputs[0] ^ inputs[1]),
+            CellKind::Mux2 => {
+                if inputs[2] {
+                    inputs[1]
+                } else {
+                    inputs[0]
+                }
+            }
+            CellKind::TriBuf | CellKind::PassGate => {
+                if inputs[1] {
+                    inputs[0]
+                } else {
+                    previous_output
+                }
+            }
+            // Combinational view of the sequential cells: the simulator
+            // overrides this at clock edges; between edges they hold.
+            CellKind::Dff => previous_output,
+            CellKind::Latch => {
+                // Transparent latch modelled as holding (the generators only
+                // use it for configuration bits that change rarely).
+                previous_output
+            }
+        }
+    }
+
+    /// A short library-style cell name (e.g. `"NAND2"`).
+    #[must_use]
+    pub fn short_name(self) -> &'static str {
+        match self {
+            CellKind::Inv => "INV",
+            CellKind::Buf => "BUF",
+            CellKind::Nand2 => "NAND2",
+            CellKind::Nor2 => "NOR2",
+            CellKind::And2 => "AND2",
+            CellKind::Or2 => "OR2",
+            CellKind::And3 => "AND3",
+            CellKind::Or3 => "OR3",
+            CellKind::Xor2 => "XOR2",
+            CellKind::Xnor2 => "XNOR2",
+            CellKind::Mux2 => "MUX2",
+            CellKind::TriBuf => "TRIBUF",
+            CellKind::PassGate => "PASSGATE",
+            CellKind::Dff => "DFF",
+            CellKind::Latch => "LATCH",
+        }
+    }
+}
+
+impl std::fmt::Display for CellKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn input_counts_match_evaluation_arity() {
+        for kind in CellKind::ALL {
+            let inputs = vec![false; kind.input_count()];
+            // Must not panic.
+            let _ = kind.evaluate(&inputs, false);
+        }
+    }
+
+    #[test]
+    fn combinational_truth_tables() {
+        use CellKind::*;
+        assert!(Inv.evaluate(&[false], false));
+        assert!(!Inv.evaluate(&[true], false));
+        assert!(Buf.evaluate(&[true], false));
+        assert!(Nand2.evaluate(&[true, false], false));
+        assert!(!Nand2.evaluate(&[true, true], false));
+        assert!(Nor2.evaluate(&[false, false], false));
+        assert!(!Nor2.evaluate(&[true, false], false));
+        assert!(And2.evaluate(&[true, true], false));
+        assert!(!And2.evaluate(&[true, false], false));
+        assert!(Or2.evaluate(&[false, true], false));
+        assert!(And3.evaluate(&[true, true, true], false));
+        assert!(!And3.evaluate(&[true, true, false], false));
+        assert!(Or3.evaluate(&[false, false, true], false));
+        assert!(!Or3.evaluate(&[false, false, false], false));
+        assert!(Xor2.evaluate(&[true, false], false));
+        assert!(!Xor2.evaluate(&[true, true], false));
+        assert!(Xnor2.evaluate(&[true, true], false));
+        assert!(!Xnor2.evaluate(&[true, false], false));
+    }
+
+    #[test]
+    fn mux2_selects_between_inputs() {
+        // inputs = [A, B, S]
+        assert!(!CellKind::Mux2.evaluate(&[false, true, false], false));
+        assert!(CellKind::Mux2.evaluate(&[false, true, true], false));
+        assert!(CellKind::Mux2.evaluate(&[true, false, false], false));
+        assert!(!CellKind::Mux2.evaluate(&[true, false, true], false));
+    }
+
+    #[test]
+    fn tristate_holds_previous_value_when_disabled() {
+        // inputs = [A, EN]
+        assert!(CellKind::TriBuf.evaluate(&[true, true], false));
+        assert!(!CellKind::TriBuf.evaluate(&[false, true], true));
+        // Disabled: keeps previous output.
+        assert!(CellKind::TriBuf.evaluate(&[false, false], true));
+        assert!(!CellKind::PassGate.evaluate(&[true, false], false));
+    }
+
+    #[test]
+    fn sequential_cells_hold_between_edges() {
+        assert!(CellKind::Dff.evaluate(&[false], true));
+        assert!(!CellKind::Dff.evaluate(&[true], false));
+        assert!(CellKind::Latch.evaluate(&[false], true));
+    }
+
+    #[test]
+    fn sequential_flags() {
+        assert!(CellKind::Dff.is_sequential());
+        assert!(CellKind::Latch.is_sequential());
+        assert!(!CellKind::Mux2.is_sequential());
+        assert!(CellKind::TriBuf.holds_output_when_disabled());
+        assert!(!CellKind::And2.holds_output_when_disabled());
+    }
+
+    #[test]
+    #[should_panic(expected = "expects 2 inputs")]
+    fn wrong_arity_panics() {
+        let _ = CellKind::Nand2.evaluate(&[true], false);
+    }
+
+    #[test]
+    fn display_uses_short_names() {
+        assert_eq!(CellKind::Nand2.to_string(), "NAND2");
+        assert_eq!(CellKind::Dff.to_string(), "DFF");
+        // Every name is unique.
+        let mut names: Vec<_> = CellKind::ALL.iter().map(|k| k.short_name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), CellKind::ALL.len());
+    }
+}

@@ -1,0 +1,381 @@
+//! Input-vector power characterization of node-switch circuits.
+//!
+//! This is the programmatic replacement for the paper's Synopsys Power
+//! Compiler flow (§5.1): each generated switch circuit is simulated at the
+//! gate level under every packet-occupancy state, with random payload words
+//! driven into the active ports, and the average energy per bit slot is
+//! recorded into a [`SwitchEnergyLut`].
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use fabric_power_tech::units::Energy;
+
+use crate::circuits::{
+    banyan_binary_switch, batcher_sorting_switch, crossbar_crosspoint, n_input_mux,
+    SwitchCircuit, SwitchClass,
+};
+use crate::library::CellLibrary;
+use crate::lut::{LutSource, SwitchEnergyLut};
+use crate::netlist::NetlistError;
+use crate::sim::Simulator;
+
+/// Parameters of a characterization run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CharacterizationConfig {
+    /// Cycles simulated (and discarded) before measurement starts, so the
+    /// result is not skewed by the all-zero reset state.
+    pub warmup_cycles: u64,
+    /// Cycles over which energy is averaged.
+    pub measure_cycles: u64,
+    /// Seed of the payload random number generator (reproducible runs).
+    pub seed: u64,
+}
+
+impl Default for CharacterizationConfig {
+    fn default() -> Self {
+        Self {
+            warmup_cycles: 16,
+            measure_cycles: 512,
+            seed: 0xDAC_2002,
+        }
+    }
+}
+
+impl CharacterizationConfig {
+    /// A faster, coarser configuration for unit tests and examples.
+    #[must_use]
+    pub fn quick() -> Self {
+        Self {
+            warmup_cycles: 4,
+            measure_cycles: 64,
+            seed: 0xDAC_2002,
+        }
+    }
+}
+
+/// Characterizes one already-built switch circuit into a [`SwitchEnergyLut`].
+///
+/// For each active-port count `k` the first `k` ports are driven with fresh
+/// random payload words every cycle (the routing control is set up so that
+/// the packets do not collide inside the switch); the remaining ports are held
+/// idle.  The LUT entry is the measured energy divided by
+/// `measure_cycles × bus_width`, i.e. the energy per bit slot.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] if the generated circuit fails validation.
+pub fn characterize_switch(
+    circuit: &SwitchCircuit,
+    library: &CellLibrary,
+    config: &CharacterizationConfig,
+) -> Result<SwitchEnergyLut, NetlistError> {
+    let mut by_active_count = Vec::with_capacity(circuit.ports + 1);
+    for active in 0..=circuit.ports {
+        by_active_count.push(measure_occupancy(circuit, library, config, active)?);
+    }
+    Ok(SwitchEnergyLut::from_active_counts(
+        circuit.class,
+        circuit.ports,
+        by_active_count,
+        LutSource::Characterized,
+    ))
+}
+
+/// Builds and characterizes the standard circuit for a [`SwitchClass`].
+///
+/// `bus_width` is the payload bus width; `address_bits` is only used by the
+/// Batcher sorting switch (the paper compares 6-bit addresses for 32×32
+/// fabrics — pass `log2(N)` of the fabric you are modelling).
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] from circuit generation or validation.
+pub fn characterize_class(
+    class: SwitchClass,
+    bus_width: usize,
+    address_bits: usize,
+    library: &CellLibrary,
+    config: &CharacterizationConfig,
+) -> Result<SwitchEnergyLut, NetlistError> {
+    let circuit = match class {
+        SwitchClass::CrossbarCrosspoint => crossbar_crosspoint(bus_width)?,
+        SwitchClass::BanyanBinary => banyan_binary_switch(bus_width)?,
+        SwitchClass::BatcherSorting => batcher_sorting_switch(bus_width, address_bits.max(1))?,
+        SwitchClass::Mux { inputs } => n_input_mux(inputs, bus_width)?,
+    };
+    characterize_switch(&circuit, library, config)
+}
+
+fn measure_occupancy(
+    circuit: &SwitchCircuit,
+    library: &CellLibrary,
+    config: &CharacterizationConfig,
+    active_ports: usize,
+) -> Result<Energy, NetlistError> {
+    let mut sim = Simulator::new(&circuit.netlist, library)?;
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ active_ports as u64);
+
+    let drive = |sim: &mut Simulator<'_>, rng: &mut ChaCha8Rng| {
+        let mut vector = circuit.blank_input_vector();
+        // Presence flags for the first `active_ports` ports.
+        for port in 0..circuit.ports {
+            circuit.set_input(&mut vector, circuit.presence_inputs[port], port < active_ports);
+        }
+        // Routing control: a fresh non-conflicting header every cycle (the
+        // header data path of a switch is exercised once per packet; we use
+        // back-to-back minimum packets, the worst case).
+        set_routing_controls(circuit, &mut vector, rng, active_ports);
+        // Fresh random payload on every active port; idle ports stay at zero.
+        for port in 0..active_ports {
+            circuit.set_bus(&mut vector, port, rng.gen::<u64>());
+        }
+        sim.step(&vector);
+    };
+
+    for _ in 0..config.warmup_cycles {
+        drive(&mut sim, &mut rng);
+    }
+    sim.reset_counters();
+    for _ in 0..config.measure_cycles {
+        drive(&mut sim, &mut rng);
+    }
+
+    let report = sim.report();
+    let bit_slots = config.measure_cycles as f64 * circuit.bus_width as f64;
+    Ok(report.total_energy() / bit_slots)
+}
+
+/// Sets the routing-control inputs for one characterization cycle:
+///
+/// * crosspoint: the configuration bit is asserted;
+/// * binary switch: non-conflicting destination bits, alternated randomly
+///   between the straight and the crossed configuration (each packet carries a
+///   fresh header);
+/// * sorting switch: a fresh random destination address per port and cycle
+///   (the compare-exchange logic is exercised exactly once per packet);
+/// * MUX: input 0 is selected (the select lines change at packet rate in a
+///   real fabric; keeping them stable isolates the datapath cost, which the
+///   paper observes is nearly vector-independent).
+fn set_routing_controls(
+    circuit: &SwitchCircuit,
+    vector: &mut [bool],
+    rng: &mut ChaCha8Rng,
+    active_ports: usize,
+) {
+    match circuit.class {
+        SwitchClass::CrossbarCrosspoint => {
+            circuit.set_input(vector, circuit.control_inputs[0], true);
+        }
+        SwitchClass::BanyanBinary => {
+            // Straight (0→0, 1→1) or crossed (0→1, 1→0): never conflicting.
+            let crossed = rng.gen::<bool>();
+            circuit.set_input(vector, circuit.control_inputs[0], crossed);
+            circuit.set_input(vector, circuit.control_inputs[1], !crossed);
+        }
+        SwitchClass::BatcherSorting => {
+            let address_bits = circuit.control_inputs.len() / 2;
+            for port in 0..2 {
+                let address = if port < active_ports { rng.gen::<u64>() } else { 0 };
+                for bit in 0..address_bits {
+                    circuit.set_input(
+                        vector,
+                        circuit.control_inputs[port * address_bits + bit],
+                        (address >> bit) & 1 == 1,
+                    );
+                }
+            }
+        }
+        SwitchClass::Mux { .. } => {
+            for &net in &circuit.control_inputs {
+                circuit.set_input(vector, net, false);
+            }
+        }
+    }
+}
+
+/// The result of characterizing the full standard switch set at one bus width
+/// (the programmatic equivalent of the paper's Table 1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table1 {
+    /// Crossbar crosspoint LUT.
+    pub crosspoint: SwitchEnergyLut,
+    /// Banyan 2×2 binary switch LUT.
+    pub banyan_binary: SwitchEnergyLut,
+    /// Batcher 2×2 sorting switch LUT.
+    pub batcher_sorting: SwitchEnergyLut,
+    /// N-input MUX LUTs for N = 4, 8, 16, 32.
+    pub muxes: Vec<SwitchEnergyLut>,
+}
+
+impl Table1 {
+    /// Characterizes every switch of the paper's Table 1 with the generated
+    /// circuits and the given cell library.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NetlistError`] from circuit generation.
+    pub fn characterize(
+        bus_width: usize,
+        address_bits: usize,
+        library: &CellLibrary,
+        config: &CharacterizationConfig,
+    ) -> Result<Self, NetlistError> {
+        Ok(Self {
+            crosspoint: characterize_class(
+                SwitchClass::CrossbarCrosspoint,
+                bus_width,
+                address_bits,
+                library,
+                config,
+            )?,
+            banyan_binary: characterize_class(
+                SwitchClass::BanyanBinary,
+                bus_width,
+                address_bits,
+                library,
+                config,
+            )?,
+            batcher_sorting: characterize_class(
+                SwitchClass::BatcherSorting,
+                bus_width,
+                address_bits,
+                library,
+                config,
+            )?,
+            muxes: [4, 8, 16, 32]
+                .into_iter()
+                .map(|inputs| {
+                    characterize_class(
+                        SwitchClass::Mux { inputs },
+                        bus_width,
+                        address_bits,
+                        library,
+                        config,
+                    )
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+        })
+    }
+
+    /// The paper's published Table 1 packaged in the same structure.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self {
+            crosspoint: SwitchEnergyLut::paper_crossbar_crosspoint(),
+            banyan_binary: SwitchEnergyLut::paper_banyan_binary(),
+            batcher_sorting: SwitchEnergyLut::paper_batcher_sorting(),
+            muxes: vec![
+                SwitchEnergyLut::paper_mux(4),
+                SwitchEnergyLut::paper_mux(8),
+                SwitchEnergyLut::paper_mux(16),
+                SwitchEnergyLut::paper_mux(32),
+            ],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> CharacterizationConfig {
+        CharacterizationConfig::quick()
+    }
+
+    #[test]
+    fn crosspoint_characterization_orders_by_occupancy() {
+        let circuit = crossbar_crosspoint(16).unwrap();
+        let lib = CellLibrary::calibrated_018um();
+        let lut = characterize_switch(&circuit, &lib, &quick()).unwrap();
+        assert_eq!(lut.ports(), 1);
+        assert_eq!(lut.source(), LutSource::Characterized);
+        // An active crosspoint costs far more than an idle one.
+        assert!(lut.single_active() > lut.energy_for_active_count(0) * 5.0);
+    }
+
+    #[test]
+    fn binary_switch_shows_economy_of_scale() {
+        let circuit = banyan_binary_switch(16).unwrap();
+        let lib = CellLibrary::calibrated_018um();
+        let lut = characterize_switch(&circuit, &lib, &quick()).unwrap();
+        let one = lut.energy_for_active_count(1);
+        let two = lut.energy_for_active_count(2);
+        // Two packets cost more than one, but less than twice as much
+        // (the paper's observation about input-state dependence).
+        assert!(two > one);
+        assert!(two < one * 2.0);
+    }
+
+    #[test]
+    fn sorting_switch_costs_more_than_binary_switch_when_loaded() {
+        let lib = CellLibrary::calibrated_018um();
+        let binary =
+            characterize_class(SwitchClass::BanyanBinary, 16, 4, &lib, &quick()).unwrap();
+        let sorting =
+            characterize_class(SwitchClass::BatcherSorting, 16, 4, &lib, &quick()).unwrap();
+        // Table 1's [1,1] ordering (2025 fJ > 1821 fJ): with both inputs busy
+        // the compare-exchange and header-forwarding logic make the sorting
+        // switch strictly costlier.
+        assert!(
+            sorting.energy_for_active_count(2) > binary.energy_for_active_count(2),
+            "sorting {} !> binary {}",
+            sorting.energy_for_active_count(2),
+            binary.energy_for_active_count(2)
+        );
+        // With a single packet the two implementations are within the same
+        // band (the paper's 1253 fJ vs 1080 fJ gap is ~16 %); we only require
+        // that ours does not invert the relation by more than 25 %.
+        assert!(sorting.single_active() > binary.single_active() * 0.75);
+    }
+
+    #[test]
+    fn crosspoint_is_the_cheapest_switch() {
+        let lib = CellLibrary::calibrated_018um();
+        let crosspoint =
+            characterize_class(SwitchClass::CrossbarCrosspoint, 16, 4, &lib, &quick()).unwrap();
+        let binary =
+            characterize_class(SwitchClass::BanyanBinary, 16, 4, &lib, &quick()).unwrap();
+        assert!(crosspoint.single_active() < binary.single_active());
+    }
+
+    #[test]
+    fn mux_energy_grows_with_input_count() {
+        let lib = CellLibrary::calibrated_018um();
+        let m4 = characterize_class(SwitchClass::Mux { inputs: 4 }, 8, 2, &lib, &quick())
+            .unwrap()
+            .energy_for_active_count(4);
+        let m8 = characterize_class(SwitchClass::Mux { inputs: 8 }, 8, 3, &lib, &quick())
+            .unwrap()
+            .energy_for_active_count(8);
+        assert!(m8 > m4, "{m8} !> {m4}");
+    }
+
+    #[test]
+    fn characterization_is_deterministic_for_a_fixed_seed() {
+        let circuit = banyan_binary_switch(8).unwrap();
+        let lib = CellLibrary::calibrated_018um();
+        let a = characterize_switch(&circuit, &lib, &quick()).unwrap();
+        let b = characterize_switch(&circuit, &lib, &quick()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn characterized_energies_are_in_the_paper_order_of_magnitude() {
+        let lib = CellLibrary::calibrated_018um();
+        let lut =
+            characterize_class(SwitchClass::BanyanBinary, 32, 5, &lib, &quick()).unwrap();
+        let fj = lut.single_active().as_femtojoules();
+        // Paper: 1080 fJ. Accept a generous band — the point is the scale.
+        assert!(fj > 100.0, "binary switch energy {fj} fJ is implausibly low");
+        assert!(fj < 10_000.0, "binary switch energy {fj} fJ is implausibly high");
+    }
+
+    #[test]
+    fn paper_table1_structure_is_complete() {
+        let table = Table1::paper();
+        assert_eq!(table.muxes.len(), 4);
+        assert!(table.batcher_sorting.single_active() > table.banyan_binary.single_active());
+    }
+}

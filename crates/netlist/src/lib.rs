@@ -1,0 +1,78 @@
+//! # fabric-power-netlist
+//!
+//! A gate-level netlist substrate and power-characterization engine: the
+//! from-scratch replacement for the Synopsys Power Compiler flow the DAC 2002
+//! paper uses to pre-compute its node-switch bit-energy look-up tables
+//! (Table 1).
+//!
+//! The crate is organized bottom-up:
+//!
+//! * [`cells`] / [`library`] — a minimal 0.18 µm standard-cell set with
+//!   calibrated switching energies;
+//! * [`netlist`] — the netlist graph and structural validation;
+//! * [`sim`] — cycle-driven logic simulation with per-toggle energy
+//!   accounting;
+//! * [`circuits`] — generators for the four node-switch circuits the paper
+//!   characterizes (crossbar crosspoint, Banyan 2×2 binary switch, Batcher
+//!   2×2 sorting switch, N-input MUX);
+//! * [`characterize`] — drives random payload through the generated circuits
+//!   and produces [`lut::SwitchEnergyLut`] tables;
+//! * [`lut`] — the input-vector-indexed bit-energy tables, including the
+//!   paper's published Table 1 values as a reference dataset.
+//!
+//! # Examples
+//!
+//! Characterize the Banyan binary switch and compare it with the paper's
+//! published value:
+//!
+//! ```
+//! use fabric_power_netlist::characterize::{characterize_class, CharacterizationConfig};
+//! use fabric_power_netlist::circuits::SwitchClass;
+//! use fabric_power_netlist::library::CellLibrary;
+//! use fabric_power_netlist::lut::SwitchEnergyLut;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let library = CellLibrary::calibrated_018um();
+//! let config = CharacterizationConfig::quick();
+//! let ours = characterize_class(SwitchClass::BanyanBinary, 16, 4, &library, &config)?;
+//! let paper = SwitchEnergyLut::paper_banyan_binary();
+//! // Both agree that a busy switch costs more than an idle one.
+//! assert!(ours.single_active() > ours.energy_for_active_count(0));
+//! assert!(paper.single_active() > paper.energy_for_active_count(0));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cells;
+pub mod characterize;
+pub mod circuits;
+pub mod library;
+pub mod lut;
+pub mod netlist;
+pub mod sim;
+
+pub use cells::CellKind;
+pub use characterize::{characterize_class, characterize_switch, CharacterizationConfig, Table1};
+pub use circuits::{SwitchCircuit, SwitchClass};
+pub use library::{CellLibrary, CellParameters};
+pub use lut::{InputVector, LutSource, SwitchEnergyLut};
+pub use netlist::{CellId, NetId, Netlist, NetlistError};
+pub use sim::{ActivityReport, EnergyBreakdown, Simulator};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Netlist>();
+        assert_send_sync::<CellLibrary>();
+        assert_send_sync::<SwitchEnergyLut>();
+        assert_send_sync::<ActivityReport>();
+    }
+}

@@ -1,0 +1,617 @@
+//! Gate-level netlist graph.
+//!
+//! A [`Netlist`] is a directed graph of standard cells connected by nets.
+//! Circuit generators in [`crate::circuits`] build netlists programmatically;
+//! the [`crate::sim::Simulator`] evaluates them cycle by cycle and accumulates
+//! switching energy.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::cells::CellKind;
+
+/// Identifier of a net within one [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NetId(pub(crate) usize);
+
+impl NetId {
+    /// The raw index of the net (stable for the lifetime of the netlist).
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Identifier of a cell instance within one [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CellId(pub(crate) usize);
+
+impl CellId {
+    /// The raw index of the cell (stable for the lifetime of the netlist).
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// What drives a net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Driver {
+    /// The net is the `index`-th primary input.
+    PrimaryInput(usize),
+    /// The net is tied to a constant logic value.
+    Constant(bool),
+    /// The net is driven by the output of a cell.
+    Cell(CellId),
+}
+
+/// One net (wire) of the netlist.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Net {
+    name: String,
+    driver: Option<Driver>,
+    /// `(cell, input-pin index)` pairs loading this net.
+    loads: Vec<(CellId, usize)>,
+}
+
+impl Net {
+    /// Net name (unique only by convention, not enforced).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The driver of this net, if any has been connected yet.
+    #[must_use]
+    pub fn driver(&self) -> Option<Driver> {
+        self.driver
+    }
+
+    /// The `(cell, pin)` loads attached to this net.
+    #[must_use]
+    pub fn loads(&self) -> &[(CellId, usize)] {
+        &self.loads
+    }
+}
+
+/// One standard-cell instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cell {
+    name: String,
+    kind: CellKind,
+    inputs: Vec<NetId>,
+    output: NetId,
+}
+
+impl Cell {
+    /// Instance name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The standard-cell kind.
+    #[must_use]
+    pub fn kind(&self) -> CellKind {
+        self.kind
+    }
+
+    /// Input nets in pin order.
+    #[must_use]
+    pub fn inputs(&self) -> &[NetId] {
+        &self.inputs
+    }
+
+    /// Output net.
+    #[must_use]
+    pub fn output(&self) -> NetId {
+        self.output
+    }
+}
+
+/// Errors raised while constructing or validating a netlist.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NetlistError {
+    /// A cell was connected with the wrong number of input pins.
+    WrongInputCount {
+        /// Cell kind being instantiated.
+        kind: CellKind,
+        /// Number of inputs the kind expects.
+        expected: usize,
+        /// Number of inputs supplied.
+        found: usize,
+    },
+    /// Two drivers were connected to the same net.
+    MultipleDrivers {
+        /// The doubly-driven net.
+        net: NetId,
+    },
+    /// A net used as a cell input or primary output has no driver.
+    UndrivenNet {
+        /// The floating net.
+        net: NetId,
+    },
+    /// The combinational logic contains a cycle (not broken by a flip-flop).
+    CombinationalLoop {
+        /// One net on the cycle, for diagnostics.
+        net: NetId,
+    },
+    /// A referenced net does not belong to this netlist.
+    UnknownNet {
+        /// The out-of-range net id.
+        net: NetId,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::WrongInputCount {
+                kind,
+                expected,
+                found,
+            } => write!(
+                f,
+                "cell {kind} expects {expected} inputs but {found} were connected"
+            ),
+            Self::MultipleDrivers { net } => {
+                write!(f, "net #{} already has a driver", net.index())
+            }
+            Self::UndrivenNet { net } => write!(f, "net #{} has no driver", net.index()),
+            Self::CombinationalLoop { net } => {
+                write!(f, "combinational loop through net #{}", net.index())
+            }
+            Self::UnknownNet { net } => write!(f, "net #{} does not exist", net.index()),
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+/// A gate-level netlist.
+///
+/// # Examples
+///
+/// Build a tiny 2:1 mux circuit and inspect it:
+///
+/// ```
+/// use fabric_power_netlist::cells::CellKind;
+/// use fabric_power_netlist::netlist::Netlist;
+///
+/// # fn main() -> Result<(), fabric_power_netlist::netlist::NetlistError> {
+/// let mut n = Netlist::new("tiny");
+/// let a = n.add_input("a");
+/// let b = n.add_input("b");
+/// let sel = n.add_input("sel");
+/// let y = n.add_net("y");
+/// n.add_cell("u_mux", CellKind::Mux2, &[a, b, sel], y)?;
+/// n.mark_output(y)?;
+/// n.validate()?;
+/// assert_eq!(n.cell_count(), 1);
+/// assert_eq!(n.primary_inputs().len(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Netlist {
+    name: String,
+    nets: Vec<Net>,
+    cells: Vec<Cell>,
+    primary_inputs: Vec<NetId>,
+    primary_outputs: Vec<NetId>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            nets: Vec::new(),
+            cells: Vec::new(),
+            primary_inputs: Vec::new(),
+            primary_outputs: Vec::new(),
+        }
+    }
+
+    /// Netlist name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a primary-input net and returns its id.
+    pub fn add_input(&mut self, name: impl Into<String>) -> NetId {
+        let id = NetId(self.nets.len());
+        let index = self.primary_inputs.len();
+        self.nets.push(Net {
+            name: name.into(),
+            driver: Some(Driver::PrimaryInput(index)),
+            loads: Vec::new(),
+        });
+        self.primary_inputs.push(id);
+        id
+    }
+
+    /// Adds a net tied to a constant logic value and returns its id.
+    pub fn add_constant(&mut self, name: impl Into<String>, value: bool) -> NetId {
+        let id = NetId(self.nets.len());
+        self.nets.push(Net {
+            name: name.into(),
+            driver: Some(Driver::Constant(value)),
+            loads: Vec::new(),
+        });
+        id
+    }
+
+    /// Adds an internal net with no driver yet and returns its id.
+    pub fn add_net(&mut self, name: impl Into<String>) -> NetId {
+        let id = NetId(self.nets.len());
+        self.nets.push(Net {
+            name: name.into(),
+            driver: None,
+            loads: Vec::new(),
+        });
+        id
+    }
+
+    /// Instantiates a cell of `kind` driving `output` from `inputs`.
+    ///
+    /// # Errors
+    ///
+    /// * [`NetlistError::WrongInputCount`] if `inputs.len()` does not match the
+    ///   cell kind.
+    /// * [`NetlistError::UnknownNet`] if any referenced net does not exist.
+    /// * [`NetlistError::MultipleDrivers`] if `output` is already driven.
+    pub fn add_cell(
+        &mut self,
+        name: impl Into<String>,
+        kind: CellKind,
+        inputs: &[NetId],
+        output: NetId,
+    ) -> Result<CellId, NetlistError> {
+        if inputs.len() != kind.input_count() {
+            return Err(NetlistError::WrongInputCount {
+                kind,
+                expected: kind.input_count(),
+                found: inputs.len(),
+            });
+        }
+        for &net in inputs.iter().chain(std::iter::once(&output)) {
+            if net.index() >= self.nets.len() {
+                return Err(NetlistError::UnknownNet { net });
+            }
+        }
+        if self.nets[output.index()].driver.is_some() {
+            return Err(NetlistError::MultipleDrivers { net: output });
+        }
+        let id = CellId(self.cells.len());
+        for (pin, &net) in inputs.iter().enumerate() {
+            self.nets[net.index()].loads.push((id, pin));
+        }
+        self.nets[output.index()].driver = Some(Driver::Cell(id));
+        self.cells.push(Cell {
+            name: name.into(),
+            kind,
+            inputs: inputs.to_vec(),
+            output,
+        });
+        Ok(id)
+    }
+
+    /// Marks a net as a primary output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownNet`] if the net does not exist.
+    pub fn mark_output(&mut self, net: NetId) -> Result<(), NetlistError> {
+        if net.index() >= self.nets.len() {
+            return Err(NetlistError::UnknownNet { net });
+        }
+        self.primary_outputs.push(net);
+        Ok(())
+    }
+
+    /// All primary-input nets, in declaration order.
+    #[must_use]
+    pub fn primary_inputs(&self) -> &[NetId] {
+        &self.primary_inputs
+    }
+
+    /// Position of `net` in the primary-input vector expected by
+    /// [`crate::sim::Simulator::step`], if the net is a primary input.
+    #[must_use]
+    pub fn primary_input_position(&self, net: NetId) -> Option<usize> {
+        match self.nets.get(net.index())?.driver {
+            Some(Driver::PrimaryInput(position)) => Some(position),
+            _ => None,
+        }
+    }
+
+    /// All primary-output nets, in declaration order.
+    #[must_use]
+    pub fn primary_outputs(&self) -> &[NetId] {
+        &self.primary_outputs
+    }
+
+    /// Number of cell instances.
+    #[must_use]
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Number of nets (including primary inputs and constants).
+    #[must_use]
+    pub fn net_count(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// A cell by id.
+    #[must_use]
+    pub fn cell(&self, id: CellId) -> &Cell {
+        &self.cells[id.index()]
+    }
+
+    /// A net by id.
+    #[must_use]
+    pub fn net(&self, id: NetId) -> &Net {
+        &self.nets[id.index()]
+    }
+
+    /// Iterates over all cells with their ids.
+    pub fn cells(&self) -> impl Iterator<Item = (CellId, &Cell)> + '_ {
+        self.cells.iter().enumerate().map(|(i, c)| (CellId(i), c))
+    }
+
+    /// Iterates over all nets with their ids.
+    pub fn nets(&self) -> impl Iterator<Item = (NetId, &Net)> + '_ {
+        self.nets.iter().enumerate().map(|(i, n)| (NetId(i), n))
+    }
+
+    /// Histogram of cell kinds, useful for design reports and tests.
+    #[must_use]
+    pub fn cell_histogram(&self) -> BTreeMap<CellKind, usize> {
+        let mut histogram = BTreeMap::new();
+        for cell in &self.cells {
+            *histogram.entry(cell.kind).or_insert(0) += 1;
+        }
+        histogram
+    }
+
+    /// Checks structural legality: every used net is driven and the
+    /// combinational logic is acyclic. Returns the evaluation order of the
+    /// combinational cells on success (sequential cells are excluded; their
+    /// outputs act as sources).
+    ///
+    /// # Errors
+    ///
+    /// * [`NetlistError::UndrivenNet`] for floating nets used as inputs or outputs.
+    /// * [`NetlistError::CombinationalLoop`] if a cycle exists that is not
+    ///   broken by a flip-flop or latch.
+    pub fn validate(&self) -> Result<Vec<CellId>, NetlistError> {
+        // Every cell input and every primary output must be driven.
+        for cell in &self.cells {
+            for &net in &cell.inputs {
+                if self.nets[net.index()].driver.is_none() {
+                    return Err(NetlistError::UndrivenNet { net });
+                }
+            }
+        }
+        for &net in &self.primary_outputs {
+            if self.nets[net.index()].driver.is_none() {
+                return Err(NetlistError::UndrivenNet { net });
+            }
+        }
+        self.combinational_order()
+    }
+
+    /// Topologically sorts the combinational cells (Kahn's algorithm).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalLoop`] if the combinational logic
+    /// contains a cycle.
+    pub fn combinational_order(&self) -> Result<Vec<CellId>, NetlistError> {
+        // in-degree of each combinational cell = number of inputs driven by
+        // other combinational cells.
+        let mut indegree = vec![0_usize; self.cells.len()];
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); self.cells.len()];
+        for (idx, cell) in self.cells.iter().enumerate() {
+            if cell.kind.is_sequential() {
+                continue;
+            }
+            for &input in &cell.inputs {
+                if let Some(Driver::Cell(src)) = self.nets[input.index()].driver {
+                    if !self.cells[src.index()].kind.is_sequential() {
+                        indegree[idx] += 1;
+                        dependents[src.index()].push(idx);
+                    }
+                }
+            }
+        }
+        let mut ready: Vec<usize> = (0..self.cells.len())
+            .filter(|&i| !self.cells[i].kind.is_sequential() && indegree[i] == 0)
+            .collect();
+        let mut order = Vec::with_capacity(self.cells.len());
+        while let Some(idx) = ready.pop() {
+            order.push(CellId(idx));
+            for &dep in &dependents[idx] {
+                indegree[dep] -= 1;
+                if indegree[dep] == 0 {
+                    ready.push(dep);
+                }
+            }
+        }
+        let combinational_total = self
+            .cells
+            .iter()
+            .filter(|c| !c.kind.is_sequential())
+            .count();
+        if order.len() != combinational_total {
+            // Find a cell still blocked to report a net on the cycle.
+            let blocked = (0..self.cells.len())
+                .find(|&i| !self.cells[i].kind.is_sequential() && indegree[i] > 0)
+                .expect("some combinational cell must remain blocked");
+            return Err(NetlistError::CombinationalLoop {
+                net: self.cells[blocked].output,
+            });
+        }
+        Ok(order)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn and_or_netlist() -> (Netlist, NetId, NetId) {
+        let mut n = Netlist::new("test");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let c = n.add_input("c");
+        let ab = n.add_net("ab");
+        let y = n.add_net("y");
+        n.add_cell("u_and", CellKind::And2, &[a, b], ab).unwrap();
+        n.add_cell("u_or", CellKind::Or2, &[ab, c], y).unwrap();
+        n.mark_output(y).unwrap();
+        (n, ab, y)
+    }
+
+    #[test]
+    fn build_and_validate_simple_netlist() {
+        let (n, _, y) = and_or_netlist();
+        let order = n.validate().expect("valid netlist");
+        assert_eq!(order.len(), 2);
+        assert_eq!(n.cell_count(), 2);
+        assert_eq!(n.net_count(), 5);
+        assert_eq!(n.primary_outputs(), &[y]);
+        // AND must evaluate before OR.
+        let and_pos = order
+            .iter()
+            .position(|&c| n.cell(c).kind() == CellKind::And2)
+            .unwrap();
+        let or_pos = order
+            .iter()
+            .position(|&c| n.cell(c).kind() == CellKind::Or2)
+            .unwrap();
+        assert!(and_pos < or_pos);
+    }
+
+    #[test]
+    fn wrong_input_count_is_rejected() {
+        let mut n = Netlist::new("bad");
+        let a = n.add_input("a");
+        let y = n.add_net("y");
+        let err = n.add_cell("u", CellKind::Nand2, &[a], y).unwrap_err();
+        assert!(matches!(err, NetlistError::WrongInputCount { .. }));
+    }
+
+    #[test]
+    fn double_driver_is_rejected() {
+        let mut n = Netlist::new("bad");
+        let a = n.add_input("a");
+        let y = n.add_net("y");
+        n.add_cell("u1", CellKind::Inv, &[a], y).unwrap();
+        let err = n.add_cell("u2", CellKind::Buf, &[a], y).unwrap_err();
+        assert_eq!(err, NetlistError::MultipleDrivers { net: y });
+    }
+
+    #[test]
+    fn unknown_net_is_rejected() {
+        let mut n = Netlist::new("bad");
+        let a = n.add_input("a");
+        let bogus = NetId(42);
+        let y = n.add_net("y");
+        assert!(matches!(
+            n.add_cell("u", CellKind::Inv, &[bogus], y),
+            Err(NetlistError::UnknownNet { .. })
+        ));
+        assert!(matches!(
+            n.add_cell("u", CellKind::Inv, &[a], bogus),
+            Err(NetlistError::UnknownNet { .. })
+        ));
+        assert!(n.mark_output(bogus).is_err());
+    }
+
+    #[test]
+    fn undriven_net_fails_validation() {
+        let mut n = Netlist::new("bad");
+        let floating = n.add_net("floating");
+        let y = n.add_net("y");
+        n.add_cell("u", CellKind::Inv, &[floating], y).unwrap();
+        n.mark_output(y).unwrap();
+        assert_eq!(
+            n.validate().unwrap_err(),
+            NetlistError::UndrivenNet { net: floating }
+        );
+    }
+
+    #[test]
+    fn combinational_loop_is_detected() {
+        let mut n = Netlist::new("loop");
+        let a = n.add_input("a");
+        let x = n.add_net("x");
+        let y = n.add_net("y");
+        n.add_cell("u1", CellKind::And2, &[a, y], x).unwrap();
+        n.add_cell("u2", CellKind::Buf, &[x], y).unwrap();
+        assert!(matches!(
+            n.validate(),
+            Err(NetlistError::CombinationalLoop { .. })
+        ));
+    }
+
+    #[test]
+    fn flip_flop_breaks_cycles() {
+        let mut n = Netlist::new("counter-ish");
+        let q = n.add_net("q");
+        let d = n.add_net("d");
+        n.add_cell("u_inv", CellKind::Inv, &[q], d).unwrap();
+        n.add_cell("u_ff", CellKind::Dff, &[d], q).unwrap();
+        n.mark_output(q).unwrap();
+        let order = n.validate().expect("dff breaks the loop");
+        assert_eq!(order.len(), 1); // only the inverter is combinational
+    }
+
+    #[test]
+    fn constants_count_as_drivers() {
+        let mut n = Netlist::new("const");
+        let one = n.add_constant("tie1", true);
+        let y = n.add_net("y");
+        n.add_cell("u", CellKind::Inv, &[one], y).unwrap();
+        n.mark_output(y).unwrap();
+        assert!(n.validate().is_ok());
+        assert_eq!(n.net(one).driver(), Some(Driver::Constant(true)));
+    }
+
+    #[test]
+    fn histogram_counts_cell_kinds() {
+        let (n, _, _) = and_or_netlist();
+        let h = n.cell_histogram();
+        assert_eq!(h[&CellKind::And2], 1);
+        assert_eq!(h[&CellKind::Or2], 1);
+        assert_eq!(h.values().sum::<usize>(), 2);
+    }
+
+    #[test]
+    fn loads_record_pin_indices() {
+        let (n, ab, _) = and_or_netlist();
+        let loads = n.net(ab).loads();
+        assert_eq!(loads.len(), 1);
+        assert_eq!(loads[0].1, 0); // ab feeds pin 0 of the OR gate
+    }
+
+    #[test]
+    fn error_display_messages() {
+        let err = NetlistError::WrongInputCount {
+            kind: CellKind::Mux2,
+            expected: 3,
+            found: 2,
+        };
+        assert!(err.to_string().contains("MUX2"));
+        assert!(NetlistError::UndrivenNet { net: NetId(7) }
+            .to_string()
+            .contains("#7"));
+    }
+}

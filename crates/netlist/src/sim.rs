@@ -1,0 +1,470 @@
+//! Cycle-driven logic simulation with switching-energy accounting.
+//!
+//! This is the stand-in for the paper's Synopsys Power Compiler runs: the
+//! netlist is evaluated one clock cycle at a time, every net toggle is
+//! counted, and each toggle is charged with the driving cell's internal
+//! energy plus the energy to (dis)charge the input pins it fans out to.
+//! Sequential cells additionally burn clock-pin energy every cycle and every
+//! cell contributes its (tiny) leakage energy.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use fabric_power_tech::units::{Energy, Power, TimeSpan};
+
+use crate::cells::CellKind;
+use crate::library::CellLibrary;
+use crate::netlist::{CellId, Driver, Netlist, NetlistError};
+
+/// Breakdown of the energy consumed during a simulation run.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Energy dissipated inside cells when their outputs toggle.
+    pub internal: Energy,
+    /// Energy dissipated charging and discharging input-pin loads.
+    pub net_load: Energy,
+    /// Clock-tree energy of sequential cells (every cycle).
+    pub clock: Energy,
+    /// Leakage energy (every cycle, all cells).
+    pub leakage: Energy,
+}
+
+impl EnergyBreakdown {
+    /// Total energy across all categories.
+    #[must_use]
+    pub fn total(&self) -> Energy {
+        self.internal + self.net_load + self.clock + self.leakage
+    }
+}
+
+/// Result of simulating a netlist over a number of cycles.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ActivityReport {
+    /// Number of simulated clock cycles.
+    pub cycles: u64,
+    /// Total number of net toggles observed.
+    pub toggles: u64,
+    /// Energy broken down by mechanism.
+    pub energy: EnergyBreakdown,
+    /// Toggle counts per cell kind (driver of the toggling net).
+    pub toggles_by_kind: BTreeMap<CellKind, u64>,
+}
+
+impl ActivityReport {
+    /// Total energy of the run.
+    #[must_use]
+    pub fn total_energy(&self) -> Energy {
+        self.energy.total()
+    }
+
+    /// Average energy per cycle.
+    #[must_use]
+    pub fn energy_per_cycle(&self) -> Energy {
+        if self.cycles == 0 {
+            Energy::ZERO
+        } else {
+            self.total_energy() / self.cycles as f64
+        }
+    }
+
+    /// Average switching activity: toggles per cycle.
+    #[must_use]
+    pub fn toggles_per_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.toggles as f64 / self.cycles as f64
+        }
+    }
+
+    /// Average power when the run is clocked at the given period.
+    #[must_use]
+    pub fn average_power(&self, cycle_time: TimeSpan) -> Power {
+        self.total_energy()
+            .over(TimeSpan::from_seconds(cycle_time.as_seconds() * self.cycles as f64))
+    }
+}
+
+/// Cycle-driven simulator for one [`Netlist`].
+///
+/// # Examples
+///
+/// ```
+/// use fabric_power_netlist::cells::CellKind;
+/// use fabric_power_netlist::library::CellLibrary;
+/// use fabric_power_netlist::netlist::Netlist;
+/// use fabric_power_netlist::sim::Simulator;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut n = Netlist::new("inv");
+/// let a = n.add_input("a");
+/// let y = n.add_net("y");
+/// n.add_cell("u_inv", CellKind::Inv, &[a], y)?;
+/// n.mark_output(y)?;
+///
+/// let library = CellLibrary::calibrated_018um();
+/// let mut sim = Simulator::new(&n, &library)?;
+/// sim.step(&[false]);
+/// sim.step(&[true]);
+/// assert_eq!(sim.output_values(), vec![false]);
+/// assert!(sim.report().total_energy().as_joules() > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulator<'a> {
+    netlist: &'a Netlist,
+    library: &'a CellLibrary,
+    /// Combinational evaluation order.
+    order: Vec<CellId>,
+    /// Current logic value of every net.
+    net_values: Vec<bool>,
+    /// Stored state of sequential cells, indexed by cell id.
+    state: Vec<bool>,
+    /// Running counters.
+    cycles: u64,
+    toggles: u64,
+    energy: EnergyBreakdown,
+    toggles_by_kind: BTreeMap<CellKind, u64>,
+    /// Per-cycle constant energy (clock + leakage), precomputed.
+    per_cycle_clock: Energy,
+    per_cycle_leakage: Energy,
+}
+
+impl<'a> Simulator<'a> {
+    /// Creates a simulator, validating the netlist in the process.
+    ///
+    /// All nets start at logic `0`, all flip-flops start cleared.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`NetlistError`] from [`Netlist::validate`].
+    pub fn new(netlist: &'a Netlist, library: &'a CellLibrary) -> Result<Self, NetlistError> {
+        let order = netlist.validate()?;
+        let mut per_cycle_clock = Energy::ZERO;
+        let mut per_cycle_leakage = Energy::ZERO;
+        for (_, cell) in netlist.cells() {
+            let params = library.parameters(cell.kind());
+            per_cycle_clock += params.clock_energy;
+            per_cycle_leakage += params.leakage_energy_per_cycle;
+        }
+        Ok(Self {
+            netlist,
+            library,
+            order,
+            net_values: vec![false; netlist.net_count()],
+            state: vec![false; netlist.cell_count()],
+            cycles: 0,
+            toggles: 0,
+            energy: EnergyBreakdown::default(),
+            toggles_by_kind: BTreeMap::new(),
+            per_cycle_clock,
+            per_cycle_leakage,
+        })
+    }
+
+    /// Simulates one clock cycle with the given primary-input values.
+    ///
+    /// The order of `inputs` matches [`Netlist::primary_inputs`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the number of primary inputs.
+    pub fn step(&mut self, inputs: &[bool]) {
+        assert_eq!(
+            inputs.len(),
+            self.netlist.primary_inputs().len(),
+            "expected {} primary-input values, got {}",
+            self.netlist.primary_inputs().len(),
+            inputs.len()
+        );
+        self.cycles += 1;
+        self.energy.clock += self.per_cycle_clock;
+        self.energy.leakage += self.per_cycle_leakage;
+
+        // Copy the netlist reference out of `self` so the shared borrow of the
+        // netlist data does not conflict with `&mut self` calls below.
+        let netlist = self.netlist;
+
+        // 1. Drive primary inputs, constants and sequential outputs.
+        for (net_id, net) in netlist.nets() {
+            match net.driver() {
+                Some(Driver::PrimaryInput(pi)) => {
+                    self.update_net(net_id.index(), inputs[pi]);
+                }
+                Some(Driver::Constant(value)) => {
+                    self.update_net(net_id.index(), value);
+                }
+                Some(Driver::Cell(cell_id)) if netlist.cell(cell_id).kind().is_sequential() => {
+                    let q = self.state[cell_id.index()];
+                    self.update_net(net_id.index(), q);
+                }
+                _ => {}
+            }
+        }
+
+        // 2. Evaluate combinational logic in topological order.
+        let mut scratch_inputs = Vec::with_capacity(3);
+        for idx in 0..self.order.len() {
+            let cell_id = self.order[idx];
+            let cell = netlist.cell(cell_id);
+            scratch_inputs.clear();
+            scratch_inputs.extend(cell.inputs().iter().map(|n| self.net_values[n.index()]));
+            let previous = self.net_values[cell.output().index()];
+            let value = cell.kind().evaluate(&scratch_inputs, previous);
+            self.update_net(cell.output().index(), value);
+        }
+
+        // 3. Capture the next state of sequential cells (D sampled at the end
+        //    of the cycle, visible on Q at the start of the next cycle).
+        for (cell_id, cell) in netlist.cells() {
+            if cell.kind().is_sequential() {
+                self.state[cell_id.index()] = self.net_values[cell.inputs()[0].index()];
+            }
+        }
+    }
+
+    /// Simulates one cycle per entry of `vectors`.
+    pub fn run<I, V>(&mut self, vectors: I)
+    where
+        I: IntoIterator<Item = V>,
+        V: AsRef<[bool]>,
+    {
+        for vector in vectors {
+            self.step(vector.as_ref());
+        }
+    }
+
+    fn update_net(&mut self, net_index: usize, value: bool) {
+        if self.net_values[net_index] == value {
+            return;
+        }
+        self.net_values[net_index] = value;
+        self.toggles += 1;
+
+        let netlist = self.netlist;
+        let library = self.library;
+        let net = netlist.net(crate::netlist::NetId(net_index));
+        // Internal energy of the driving cell, if a cell drives this net.
+        if let Some(Driver::Cell(cell_id)) = net.driver() {
+            let kind = netlist.cell(cell_id).kind();
+            self.energy.internal += library.parameters(kind).internal_energy;
+            *self.toggles_by_kind.entry(kind).or_insert(0) += 1;
+        }
+        // Load energy of every input pin attached to this net.
+        for &(load_cell, _pin) in net.loads() {
+            let kind = netlist.cell(load_cell).kind();
+            self.energy.net_load += library.pin_load_energy(kind, 1);
+        }
+    }
+
+    /// Current logic values of the primary outputs, in declaration order.
+    #[must_use]
+    pub fn output_values(&self) -> Vec<bool> {
+        self.netlist
+            .primary_outputs()
+            .iter()
+            .map(|n| self.net_values[n.index()])
+            .collect()
+    }
+
+    /// Current logic value of an arbitrary net.
+    #[must_use]
+    pub fn net_value(&self, net: crate::netlist::NetId) -> bool {
+        self.net_values[net.index()]
+    }
+
+    /// Snapshot of the accumulated activity and energy.
+    #[must_use]
+    pub fn report(&self) -> ActivityReport {
+        ActivityReport {
+            cycles: self.cycles,
+            toggles: self.toggles,
+            energy: self.energy.clone(),
+            toggles_by_kind: self.toggles_by_kind.clone(),
+        }
+    }
+
+    /// Resets activity counters (but keeps the current logic state), so a
+    /// warm-up phase can be excluded from measurements.
+    pub fn reset_counters(&mut self) {
+        self.cycles = 0;
+        self.toggles = 0;
+        self.energy = EnergyBreakdown::default();
+        self.toggles_by_kind.clear();
+    }
+}
+
+/// Convenience: simulate `vectors` on a fresh simulator and return the report.
+///
+/// # Errors
+///
+/// Propagates netlist validation errors.
+pub fn simulate<V: AsRef<[bool]>>(
+    netlist: &Netlist,
+    library: &CellLibrary,
+    vectors: impl IntoIterator<Item = V>,
+) -> Result<ActivityReport, NetlistError> {
+    let mut sim = Simulator::new(netlist, library)?;
+    sim.run(vectors);
+    Ok(sim.report())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cells::CellKind;
+
+    fn xor_netlist() -> Netlist {
+        let mut n = Netlist::new("xor");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let y = n.add_net("y");
+        n.add_cell("u_xor", CellKind::Xor2, &[a, b], y).unwrap();
+        n.mark_output(y).unwrap();
+        n
+    }
+
+    #[test]
+    fn xor_evaluates_correctly_over_cycles() {
+        let n = xor_netlist();
+        let lib = CellLibrary::default();
+        let mut sim = Simulator::new(&n, &lib).unwrap();
+        sim.step(&[false, false]);
+        assert_eq!(sim.output_values(), vec![false]);
+        sim.step(&[true, false]);
+        assert_eq!(sim.output_values(), vec![true]);
+        sim.step(&[true, true]);
+        assert_eq!(sim.output_values(), vec![false]);
+    }
+
+    #[test]
+    fn constant_inputs_consume_only_clock_and_leakage() {
+        let n = xor_netlist();
+        let lib = CellLibrary::default();
+        let mut sim = Simulator::new(&n, &lib).unwrap();
+        // Same vector repeatedly: after the first cycle nothing toggles.
+        sim.run(std::iter::repeat([false, false]).take(10));
+        let report = sim.report();
+        assert_eq!(report.toggles, 0);
+        assert_eq!(report.energy.internal, Energy::ZERO);
+        assert_eq!(report.energy.net_load, Energy::ZERO);
+        assert!(report.energy.leakage > Energy::ZERO);
+        assert_eq!(report.cycles, 10);
+    }
+
+    #[test]
+    fn toggling_inputs_accumulate_energy() {
+        let n = xor_netlist();
+        let lib = CellLibrary::default();
+        let mut sim = Simulator::new(&n, &lib).unwrap();
+        for i in 0..100_u32 {
+            sim.step(&[i % 2 == 0, false]);
+        }
+        let report = sim.report();
+        assert!(report.energy.internal > Energy::ZERO);
+        assert!(report.energy.net_load > Energy::ZERO);
+        assert!(report.toggles >= 100);
+        assert!(report.toggles_by_kind[&CellKind::Xor2] > 0);
+        assert!(report.energy_per_cycle() > Energy::ZERO);
+        assert!(report.toggles_per_cycle() >= 1.0);
+    }
+
+    #[test]
+    fn dff_delays_data_by_one_cycle() {
+        let mut n = Netlist::new("pipe");
+        let d = n.add_input("d");
+        let q = n.add_net("q");
+        n.add_cell("u_ff", CellKind::Dff, &[d], q).unwrap();
+        n.mark_output(q).unwrap();
+        let lib = CellLibrary::default();
+        let mut sim = Simulator::new(&n, &lib).unwrap();
+        sim.step(&[true]);
+        // Q still shows the reset value during the first cycle.
+        assert_eq!(sim.output_values(), vec![false]);
+        sim.step(&[false]);
+        // Now Q shows the value captured at the end of cycle 1.
+        assert_eq!(sim.output_values(), vec![true]);
+        sim.step(&[false]);
+        assert_eq!(sim.output_values(), vec![false]);
+    }
+
+    #[test]
+    fn sequential_cells_burn_clock_energy_every_cycle() {
+        let mut n = Netlist::new("ff");
+        let d = n.add_input("d");
+        let q = n.add_net("q");
+        n.add_cell("u_ff", CellKind::Dff, &[d], q).unwrap();
+        n.mark_output(q).unwrap();
+        let lib = CellLibrary::default();
+        let report = simulate(&n, &lib, std::iter::repeat([false]).take(50)).unwrap();
+        let expected = lib.parameters(CellKind::Dff).clock_energy * 50.0;
+        assert!((report.energy.clock.as_joules() - expected.as_joules()).abs() < 1e-24);
+    }
+
+    #[test]
+    fn tri_state_bus_holds_value() {
+        let mut n = Netlist::new("bus");
+        let a = n.add_input("a");
+        let en = n.add_input("en");
+        let y = n.add_net("y");
+        n.add_cell("u_tri", CellKind::TriBuf, &[a, en], y).unwrap();
+        n.mark_output(y).unwrap();
+        let lib = CellLibrary::default();
+        let mut sim = Simulator::new(&n, &lib).unwrap();
+        sim.step(&[true, true]);
+        assert_eq!(sim.output_values(), vec![true]);
+        // Disable: output holds even though A falls.
+        sim.step(&[false, false]);
+        assert_eq!(sim.output_values(), vec![true]);
+    }
+
+    #[test]
+    fn reset_counters_keeps_state() {
+        let n = xor_netlist();
+        let lib = CellLibrary::default();
+        let mut sim = Simulator::new(&n, &lib).unwrap();
+        sim.step(&[true, false]);
+        sim.reset_counters();
+        assert_eq!(sim.report().cycles, 0);
+        assert_eq!(sim.report().total_energy(), Energy::ZERO);
+        // State preserved: stepping with the same vector causes no toggles.
+        sim.step(&[true, false]);
+        assert_eq!(sim.report().toggles, 0);
+    }
+
+    #[test]
+    fn average_power_uses_cycle_time() {
+        let n = xor_netlist();
+        let lib = CellLibrary::default();
+        let mut sim = Simulator::new(&n, &lib).unwrap();
+        for i in 0..10_u32 {
+            sim.step(&[i % 2 == 0, i % 3 == 0]);
+        }
+        let report = sim.report();
+        let power = report.average_power(TimeSpan::from_nanoseconds(7.5));
+        assert!(power.as_watts() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "primary-input values")]
+    fn wrong_input_vector_length_panics() {
+        let n = xor_netlist();
+        let lib = CellLibrary::default();
+        let mut sim = Simulator::new(&n, &lib).unwrap();
+        sim.step(&[true]);
+    }
+
+    #[test]
+    fn empty_report_is_zero() {
+        let report = ActivityReport {
+            cycles: 0,
+            toggles: 0,
+            energy: EnergyBreakdown::default(),
+            toggles_by_kind: BTreeMap::new(),
+        };
+        assert_eq!(report.energy_per_cycle(), Energy::ZERO);
+        assert_eq!(report.toggles_per_cycle(), 0.0);
+    }
+}

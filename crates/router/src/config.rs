@@ -1,0 +1,240 @@
+//! Simulation configuration and result reporting.
+
+use serde::{Deserialize, Serialize};
+
+use fabric_power_fabric::Architecture;
+use fabric_power_tech::constants::BANYAN_NODE_BUFFER_BITS;
+use fabric_power_tech::units::{Power, TimeSpan};
+use fabric_power_tech::Frequency;
+
+use crate::energy::EnergyAccount;
+use crate::traffic::TrafficPattern;
+
+/// Configuration of one simulation run.
+///
+/// Defaults mirror the paper's setup: 32-bit bus words, 16-word packets
+/// (one 64-byte TCP/IP-sized payload), uniform random destinations, a
+/// 4 Kbit buffer per Banyan node switch and a 133 MHz clock.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimulationConfig {
+    /// The fabric architecture being simulated.
+    pub architecture: Architecture,
+    /// Number of ingress/egress ports.
+    pub ports: usize,
+    /// Offered load per ingress port, as a fraction of line rate (0, 1].
+    pub offered_load: f64,
+    /// Payload words per packet.
+    pub packet_words: usize,
+    /// Cycles simulated before measurement starts.
+    pub warmup_cycles: u64,
+    /// Cycles over which throughput and energy are measured.
+    pub measure_cycles: u64,
+    /// Random seed (traffic and payload bits).
+    pub seed: u64,
+    /// Destination distribution.
+    pub pattern: TrafficPattern,
+    /// Buffer capacity per Banyan node switch, in bits.
+    pub node_buffer_bits: u64,
+    /// Fabric clock.
+    pub clock: Frequency,
+}
+
+impl SimulationConfig {
+    /// Creates a configuration with the paper's defaults for the given
+    /// architecture, size and offered load.
+    #[must_use]
+    pub fn new(architecture: Architecture, ports: usize, offered_load: f64) -> Self {
+        Self {
+            architecture,
+            ports,
+            offered_load,
+            packet_words: 16,
+            warmup_cycles: 500,
+            measure_cycles: 4000,
+            seed: 0xDAC_2002,
+            pattern: TrafficPattern::UniformRandom,
+            node_buffer_bits: BANYAN_NODE_BUFFER_BITS,
+            clock: Frequency::from_megahertz(133.0),
+        }
+    }
+
+    /// A shorter run for unit tests and examples.
+    #[must_use]
+    pub fn quick(architecture: Architecture, ports: usize, offered_load: f64) -> Self {
+        Self {
+            warmup_cycles: 100,
+            measure_cycles: 800,
+            ..Self::new(architecture, ports, offered_load)
+        }
+    }
+
+    /// Overrides the traffic pattern.
+    #[must_use]
+    pub fn with_pattern(mut self, pattern: TrafficPattern) -> Self {
+        self.pattern = pattern;
+        self
+    }
+
+    /// Overrides the random seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the packet length in words.
+    #[must_use]
+    pub fn with_packet_words(mut self, packet_words: usize) -> Self {
+        self.packet_words = packet_words;
+        self
+    }
+
+    /// Overrides the warmup/measurement window.
+    #[must_use]
+    pub fn with_cycles(mut self, warmup: u64, measure: u64) -> Self {
+        self.warmup_cycles = warmup;
+        self.measure_cycles = measure;
+        self
+    }
+
+    /// Duration of one clock cycle.
+    #[must_use]
+    pub fn cycle_time(&self) -> TimeSpan {
+        self.clock.period()
+    }
+}
+
+/// Result of one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimulationReport {
+    /// The architecture that was simulated.
+    pub architecture: Architecture,
+    /// Number of ports.
+    pub ports: usize,
+    /// Offered load per port requested by the configuration.
+    pub offered_load: f64,
+    /// Cycles in the measurement window.
+    pub measured_cycles: u64,
+    /// Payload words delivered at egress ports during measurement.
+    pub words_delivered: u64,
+    /// Packets fully delivered during measurement.
+    pub packets_delivered: u64,
+    /// Words written to (and later read from) internal buffers because of
+    /// interconnect contention.
+    pub buffered_words: u64,
+    /// Number of cycles in which a node buffer exceeded its configured
+    /// capacity (congestion indicator).
+    pub buffer_overflow_cycles: u64,
+    /// Mean packet latency (arrival to last word delivered), in cycles.
+    pub average_latency_cycles: f64,
+    /// Accumulated energy, by component.
+    pub energy: EnergyAccount,
+    /// Duration of one clock cycle (for power computation).
+    pub cycle_time: TimeSpan,
+}
+
+impl SimulationReport {
+    /// Measured egress throughput as a fraction of aggregate line rate:
+    /// `words delivered / (cycles × ports)` (the paper measures throughput at
+    /// the egress process units).
+    #[must_use]
+    pub fn measured_throughput(&self) -> f64 {
+        if self.measured_cycles == 0 {
+            0.0
+        } else {
+            self.words_delivered as f64 / (self.measured_cycles * self.ports as u64) as f64
+        }
+    }
+
+    /// Average fabric power over the measurement window.
+    #[must_use]
+    pub fn average_power(&self) -> Power {
+        self.energy.average_power(self.measured_cycles, self.cycle_time)
+    }
+
+    /// Average energy per delivered payload bit (a size-independent figure of
+    /// merit).
+    #[must_use]
+    pub fn energy_per_delivered_bit(&self, bus_width: u32) -> fabric_power_tech::units::Energy {
+        let bits = self.words_delivered * u64::from(bus_width);
+        if bits == 0 {
+            fabric_power_tech::units::Energy::ZERO
+        } else {
+            self.energy.total() / bits as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabric_power_tech::units::Energy;
+
+    #[test]
+    fn defaults_follow_the_paper() {
+        let config = SimulationConfig::new(Architecture::Banyan, 16, 0.3);
+        assert_eq!(config.packet_words, 16);
+        assert_eq!(config.node_buffer_bits, 4096);
+        assert!((config.clock.as_megahertz() - 133.0).abs() < 1e-9);
+        assert_eq!(config.pattern, TrafficPattern::UniformRandom);
+        assert!(config.cycle_time().as_nanoseconds() > 7.0);
+    }
+
+    #[test]
+    fn builder_style_overrides() {
+        let config = SimulationConfig::quick(Architecture::Crossbar, 4, 0.5)
+            .with_seed(7)
+            .with_packet_words(8)
+            .with_cycles(10, 100)
+            .with_pattern(TrafficPattern::Permutation { shift: 1 });
+        assert_eq!(config.seed, 7);
+        assert_eq!(config.packet_words, 8);
+        assert_eq!(config.warmup_cycles, 10);
+        assert_eq!(config.measure_cycles, 100);
+        assert_eq!(config.pattern, TrafficPattern::Permutation { shift: 1 });
+    }
+
+    #[test]
+    fn report_derived_metrics() {
+        let report = SimulationReport {
+            architecture: Architecture::Crossbar,
+            ports: 4,
+            offered_load: 0.5,
+            measured_cycles: 1000,
+            words_delivered: 1000,
+            packets_delivered: 62,
+            buffered_words: 0,
+            buffer_overflow_cycles: 0,
+            average_latency_cycles: 20.0,
+            energy: EnergyAccount {
+                switches: Energy::from_nanojoules(1.0),
+                buffers: Energy::ZERO,
+                wires: Energy::from_nanojoules(1.0),
+            },
+            cycle_time: TimeSpan::from_nanoseconds(10.0),
+        };
+        assert!((report.measured_throughput() - 0.25).abs() < 1e-12);
+        // 2 nJ over 10 us = 0.2 mW.
+        assert!((report.average_power().as_milliwatts() - 0.2).abs() < 1e-9);
+        assert!(report.energy_per_delivered_bit(32).as_picojoules() > 0.0);
+    }
+
+    #[test]
+    fn zero_cycle_report_is_safe() {
+        let report = SimulationReport {
+            architecture: Architecture::Banyan,
+            ports: 4,
+            offered_load: 0.1,
+            measured_cycles: 0,
+            words_delivered: 0,
+            packets_delivered: 0,
+            buffered_words: 0,
+            buffer_overflow_cycles: 0,
+            average_latency_cycles: 0.0,
+            energy: EnergyAccount::new(),
+            cycle_time: TimeSpan::from_nanoseconds(10.0),
+        };
+        assert_eq!(report.measured_throughput(), 0.0);
+        assert_eq!(report.energy_per_delivered_bit(32), Energy::ZERO);
+    }
+}

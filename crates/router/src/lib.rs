@@ -1,0 +1,67 @@
+//! # fabric-power-router
+//!
+//! The bit-level, cycle-driven network-router simulation platform of the
+//! DAC 2002 paper (its Simulink/C++ S-function environment rebuilt in Rust):
+//! ingress/egress process units, a first-come-first-serve round-robin
+//! arbiter with input buffering, synthetic TCP/IP-like traffic, and per-bit
+//! energy tracing through any of the four switch-fabric architectures.
+//!
+//! * [`packet`] — packets with real random payload bits;
+//! * [`traffic`] — offered-load-controlled packet generation (uniform,
+//!   hot-spot and permutation destination patterns);
+//! * [`energy`] — the three-component energy account (switches, buffers,
+//!   wires);
+//! * [`config`] — simulation configuration and the per-run report;
+//! * [`sim`] — the simulator itself.
+//!
+//! # Examples
+//!
+//! Reproduce one point of the paper's Figure 9 (16×16 Banyan at 30 % load):
+//!
+//! ```
+//! use fabric_power_fabric::{Architecture, FabricEnergyModel};
+//! use fabric_power_router::config::SimulationConfig;
+//! use fabric_power_router::sim::RouterSimulator;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let config = SimulationConfig::quick(Architecture::Banyan, 16, 0.3);
+//! let model = FabricEnergyModel::paper(16)?;
+//! let report = RouterSimulator::new(config, model)?.run();
+//! println!(
+//!     "throughput {:.2}, power {}",
+//!     report.measured_throughput(),
+//!     report.average_power()
+//! );
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod config;
+pub mod energy;
+pub mod packet;
+pub mod sim;
+pub mod traffic;
+
+pub use config::{SimulationConfig, SimulationReport};
+pub use energy::EnergyAccount;
+pub use packet::Packet;
+pub use sim::{simulate, RouterSimulator, SimulationError};
+pub use traffic::{TrafficGenerator, TrafficPattern};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimulationConfig>();
+        assert_send_sync::<SimulationReport>();
+        assert_send_sync::<RouterSimulator>();
+        assert_send_sync::<EnergyAccount>();
+    }
+}

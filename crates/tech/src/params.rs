@@ -1,0 +1,416 @@
+//! Process-technology and router-level parameters.
+//!
+//! The paper's case study is a 0.18 µm, 3.3 V technology with 32-bit-wide
+//! global buses, a ~1 µm global-wire pitch, ~0.50 fF/µm global-wire
+//! capacitance and a 133 MHz memory/operating clock.  [`Technology::tsmc180`]
+//! captures exactly those numbers; [`TechnologyBuilder`] lets a user describe
+//! any other process so the whole framework re-scales consistently.
+
+use serde::{Deserialize, Serialize};
+
+use crate::units::{Capacitance, Frequency, Length, Voltage};
+
+/// Errors produced when validating technology parameters.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BuildTechnologyError {
+    /// A parameter that must be strictly positive was zero or negative.
+    NonPositive {
+        /// Name of the offending parameter.
+        parameter: &'static str,
+    },
+    /// The bus width was zero; a zero-bit bus cannot carry packets.
+    ZeroBusWidth,
+}
+
+impl std::fmt::Display for BuildTechnologyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NonPositive { parameter } => {
+                write!(f, "technology parameter `{parameter}` must be positive")
+            }
+            Self::ZeroBusWidth => write!(f, "bus width must be at least one bit"),
+        }
+    }
+}
+
+impl std::error::Error for BuildTechnologyError {}
+
+/// A complete description of the process technology and router-level bus
+/// parameters that the bit-energy model depends on.
+///
+/// Construct via [`Technology::tsmc180`] (the paper's case study) or through
+/// [`Technology::builder`].
+///
+/// # Examples
+///
+/// ```
+/// use fabric_power_tech::params::Technology;
+///
+/// let tech = Technology::tsmc180();
+/// assert_eq!(tech.bus_width_bits(), 32);
+/// assert!((tech.supply_voltage().as_volts() - 3.3).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Technology {
+    /// Human-readable name, e.g. `"0.18um generic"`.
+    name: String,
+    /// Drawn feature size of the process.
+    feature_size: Length,
+    /// Rail-to-rail supply voltage (the paper assumes full-swing switching).
+    supply_voltage: Voltage,
+    /// Capacitance per unit length of a global interconnect wire.
+    wire_capacitance_per_length: Capacitance,
+    /// Reference length for `wire_capacitance_per_length` (1 µm in the paper).
+    wire_capacitance_reference: Length,
+    /// Pitch between adjacent global bus wires.
+    wire_pitch: Length,
+    /// Width of the parallel data bus in bits (the ingress unit parallelizes
+    /// the serial line into this width).
+    bus_width_bits: u32,
+    /// Average input capacitance presented by one gate input attached to a wire.
+    gate_input_capacitance: Capacitance,
+    /// Operating clock frequency of the fabric and its buffers.
+    clock: Frequency,
+}
+
+impl Technology {
+    /// The 0.18 µm / 3.3 V case-study technology used throughout the paper.
+    ///
+    /// * global wire capacitance 0.50 fF/µm ([Ho, Mai, Horowitz 2001] as cited),
+    /// * 1 µm global bus pitch, 32-bit buses (so one Thompson grid ≈ 32 µm),
+    /// * 133 MHz operation (the SRAM datasheet operating point).
+    #[must_use]
+    pub fn tsmc180() -> Self {
+        Self {
+            name: "0.18um 3.3V case study".to_owned(),
+            feature_size: Length::from_micrometers(0.18),
+            supply_voltage: Voltage::from_volts(3.3),
+            wire_capacitance_per_length: Capacitance::from_femtofarads(0.50),
+            wire_capacitance_reference: Length::from_micrometers(1.0),
+            wire_pitch: Length::from_micrometers(1.0),
+            bus_width_bits: 32,
+            // A small 0.18um gate input is a few fF; 2 fF is a typical
+            // minimum-size inverter input load.
+            gate_input_capacitance: Capacitance::from_femtofarads(2.0),
+            clock: Frequency::from_megahertz(133.0),
+        }
+    }
+
+    /// A scaled 0.13 µm / 1.2 V variant, useful for exploring how the
+    /// architectural conclusions shift with technology (an extension of the
+    /// paper's "different implementations will differ" remark).
+    #[must_use]
+    pub fn generic130() -> Self {
+        Self {
+            name: "0.13um 1.2V generic".to_owned(),
+            feature_size: Length::from_micrometers(0.13),
+            supply_voltage: Voltage::from_volts(1.2),
+            wire_capacitance_per_length: Capacitance::from_femtofarads(0.40),
+            wire_capacitance_reference: Length::from_micrometers(1.0),
+            wire_pitch: Length::from_micrometers(0.8),
+            bus_width_bits: 32,
+            gate_input_capacitance: Capacitance::from_femtofarads(1.2),
+            clock: Frequency::from_megahertz(200.0),
+        }
+    }
+
+    /// Starts building a custom technology from the 0.18 µm defaults.
+    #[must_use]
+    pub fn builder() -> TechnologyBuilder {
+        TechnologyBuilder::new()
+    }
+
+    /// Human-readable technology name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Drawn feature size.
+    #[must_use]
+    pub fn feature_size(&self) -> Length {
+        self.feature_size
+    }
+
+    /// Rail-to-rail supply voltage.
+    #[must_use]
+    pub fn supply_voltage(&self) -> Voltage {
+        self.supply_voltage
+    }
+
+    /// Pitch between adjacent global bus wires.
+    #[must_use]
+    pub fn wire_pitch(&self) -> Length {
+        self.wire_pitch
+    }
+
+    /// Width of the parallel data bus in bits.
+    #[must_use]
+    pub fn bus_width_bits(&self) -> u32 {
+        self.bus_width_bits
+    }
+
+    /// Average gate input capacitance loading an interconnect wire.
+    #[must_use]
+    pub fn gate_input_capacitance(&self) -> Capacitance {
+        self.gate_input_capacitance
+    }
+
+    /// Operating clock frequency.
+    #[must_use]
+    pub fn clock(&self) -> Frequency {
+        self.clock
+    }
+
+    /// Capacitance of a wire of the given length (linear in length).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use fabric_power_tech::params::Technology;
+    /// use fabric_power_tech::units::Length;
+    ///
+    /// let tech = Technology::tsmc180();
+    /// let c = tech.wire_capacitance(Length::from_micrometers(32.0));
+    /// assert!((c.as_femtofarads() - 16.0).abs() < 1e-9);
+    /// ```
+    #[must_use]
+    pub fn wire_capacitance(&self, length: Length) -> Capacitance {
+        let per_meter = self.wire_capacitance_per_length.as_farads()
+            / self.wire_capacitance_reference.as_meters();
+        Capacitance::from_farads(per_meter * length.as_meters())
+    }
+
+    /// Side length of one Thompson grid square: the width of a full bus,
+    /// i.e. `bus_width_bits × wire_pitch` (≈32 µm in the paper).
+    #[must_use]
+    pub fn thompson_grid_length(&self) -> Length {
+        Length::from_meters(self.wire_pitch.as_meters() * f64::from(self.bus_width_bits))
+    }
+}
+
+impl Default for Technology {
+    fn default() -> Self {
+        Self::tsmc180()
+    }
+}
+
+/// Builder for [`Technology`] (C-BUILDER).
+///
+/// Starts from the paper's 0.18 µm parameters; every setter overrides one
+/// field.  [`TechnologyBuilder::build`] validates that all quantities are
+/// physically meaningful.
+///
+/// # Examples
+///
+/// ```
+/// use fabric_power_tech::params::Technology;
+/// use fabric_power_tech::units::Voltage;
+///
+/// let tech = Technology::builder()
+///     .name("low-voltage variant")
+///     .supply_voltage(Voltage::from_volts(1.8))
+///     .build()?;
+/// assert_eq!(tech.name(), "low-voltage variant");
+/// # Ok::<(), fabric_power_tech::params::BuildTechnologyError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct TechnologyBuilder {
+    inner: Technology,
+}
+
+impl TechnologyBuilder {
+    /// Creates a builder pre-populated with the 0.18 µm case-study values.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            inner: Technology::tsmc180(),
+        }
+    }
+
+    /// Sets the human-readable technology name.
+    #[must_use]
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.inner.name = name.into();
+        self
+    }
+
+    /// Sets the drawn feature size.
+    #[must_use]
+    pub fn feature_size(mut self, feature_size: Length) -> Self {
+        self.inner.feature_size = feature_size;
+        self
+    }
+
+    /// Sets the rail-to-rail supply voltage.
+    #[must_use]
+    pub fn supply_voltage(mut self, supply_voltage: Voltage) -> Self {
+        self.inner.supply_voltage = supply_voltage;
+        self
+    }
+
+    /// Sets the wire capacitance per reference length.
+    #[must_use]
+    pub fn wire_capacitance_per_length(
+        mut self,
+        capacitance: Capacitance,
+        reference: Length,
+    ) -> Self {
+        self.inner.wire_capacitance_per_length = capacitance;
+        self.inner.wire_capacitance_reference = reference;
+        self
+    }
+
+    /// Sets the global bus wire pitch.
+    #[must_use]
+    pub fn wire_pitch(mut self, wire_pitch: Length) -> Self {
+        self.inner.wire_pitch = wire_pitch;
+        self
+    }
+
+    /// Sets the data-bus width in bits.
+    #[must_use]
+    pub fn bus_width_bits(mut self, bits: u32) -> Self {
+        self.inner.bus_width_bits = bits;
+        self
+    }
+
+    /// Sets the average gate input capacitance.
+    #[must_use]
+    pub fn gate_input_capacitance(mut self, capacitance: Capacitance) -> Self {
+        self.inner.gate_input_capacitance = capacitance;
+        self
+    }
+
+    /// Sets the operating clock frequency.
+    #[must_use]
+    pub fn clock(mut self, clock: Frequency) -> Self {
+        self.inner.clock = clock;
+        self
+    }
+
+    /// Validates the parameters and returns the finished [`Technology`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildTechnologyError`] if any physical quantity is zero or
+    /// negative, or the bus width is zero.
+    pub fn build(self) -> Result<Technology, BuildTechnologyError> {
+        let t = &self.inner;
+        let checks: [(&'static str, f64); 6] = [
+            ("feature_size", t.feature_size.as_meters()),
+            ("supply_voltage", t.supply_voltage.as_volts()),
+            (
+                "wire_capacitance_per_length",
+                t.wire_capacitance_per_length.as_farads(),
+            ),
+            (
+                "wire_capacitance_reference",
+                t.wire_capacitance_reference.as_meters(),
+            ),
+            ("wire_pitch", t.wire_pitch.as_meters()),
+            ("clock", t.clock.as_hertz()),
+        ];
+        for (parameter, value) in checks {
+            if !(value > 0.0) {
+                return Err(BuildTechnologyError::NonPositive { parameter });
+            }
+        }
+        if t.bus_width_bits == 0 {
+            return Err(BuildTechnologyError::ZeroBusWidth);
+        }
+        Ok(self.inner)
+    }
+}
+
+impl Default for TechnologyBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_technology_parameters() {
+        let tech = Technology::tsmc180();
+        assert_eq!(tech.bus_width_bits(), 32);
+        assert!((tech.supply_voltage().as_volts() - 3.3).abs() < 1e-12);
+        assert!((tech.feature_size().as_micrometers() - 0.18).abs() < 1e-12);
+        assert!((tech.wire_pitch().as_micrometers() - 1.0).abs() < 1e-12);
+        assert!((tech.clock().as_megahertz() - 133.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn thompson_grid_is_32_micrometers() {
+        let tech = Technology::tsmc180();
+        assert!((tech.thompson_grid_length().as_micrometers() - 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wire_capacitance_scales_linearly_with_length() {
+        let tech = Technology::tsmc180();
+        let c1 = tech.wire_capacitance(Length::from_micrometers(10.0));
+        let c2 = tech.wire_capacitance(Length::from_micrometers(20.0));
+        assert!((c2.as_femtofarads() / c1.as_femtofarads() - 2.0).abs() < 1e-12);
+        assert!((c1.as_femtofarads() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn default_is_the_paper_technology() {
+        assert_eq!(Technology::default(), Technology::tsmc180());
+    }
+
+    #[test]
+    fn builder_overrides_fields() {
+        let tech = Technology::builder()
+            .name("test")
+            .bus_width_bits(16)
+            .supply_voltage(Voltage::from_volts(1.0))
+            .wire_pitch(Length::from_micrometers(2.0))
+            .build()
+            .expect("valid technology");
+        assert_eq!(tech.name(), "test");
+        assert_eq!(tech.bus_width_bits(), 16);
+        assert!((tech.thompson_grid_length().as_micrometers() - 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn builder_rejects_zero_bus_width() {
+        let err = Technology::builder().bus_width_bits(0).build().unwrap_err();
+        assert_eq!(err, BuildTechnologyError::ZeroBusWidth);
+    }
+
+    #[test]
+    fn builder_rejects_non_positive_voltage() {
+        let err = Technology::builder()
+            .supply_voltage(Voltage::from_volts(0.0))
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            BuildTechnologyError::NonPositive {
+                parameter: "supply_voltage"
+            }
+        );
+        assert!(err.to_string().contains("supply_voltage"));
+    }
+
+    #[test]
+    fn generic130_is_smaller_and_lower_voltage() {
+        let older = Technology::tsmc180();
+        let newer = Technology::generic130();
+        assert!(newer.feature_size() < older.feature_size());
+        assert!(newer.supply_voltage() < older.supply_voltage());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let tech = Technology::tsmc180();
+        let json = serde_json::to_string(&tech).expect("serialize");
+        let back: Technology = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(tech, back);
+    }
+}

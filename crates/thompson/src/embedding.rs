@@ -1,0 +1,429 @@
+//! Source graphs and their embeddings into the Thompson grid.
+//!
+//! A [`SourceGraph`] describes the fabric topology (node switches and the
+//! interconnects between them); an [`Embedding`] records where each vertex was
+//! placed (a square of grid vertices) and which grid edges each interconnect
+//! occupies.  [`Embedding::validate`] enforces the two Thompson legality
+//! rules: no two vertices share a grid vertex, and no two interconnects share
+//! a grid edge.  The wire length of an interconnect is the number of grid
+//! edges its path covers — the `m` in `E_W_bit = m · E_T_bit`.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use serde::{Deserialize, Serialize};
+
+use crate::grid::{GridEdge, GridRect};
+
+/// Identifier of a vertex (node switch or port) in a [`SourceGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct VertexId(pub usize);
+
+/// Identifier of an edge (interconnect) in a [`SourceGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct EdgeId(pub usize);
+
+/// The fabric topology to be embedded.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SourceGraph {
+    vertex_names: Vec<String>,
+    edges: Vec<(VertexId, VertexId)>,
+}
+
+impl SourceGraph {
+    /// Creates an empty source graph.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a named vertex and returns its id.
+    pub fn add_vertex(&mut self, name: impl Into<String>) -> VertexId {
+        let id = VertexId(self.vertex_names.len());
+        self.vertex_names.push(name.into());
+        id
+    }
+
+    /// Adds an undirected edge between two vertices and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either vertex does not exist.
+    pub fn add_edge(&mut self, a: VertexId, b: VertexId) -> EdgeId {
+        assert!(a.0 < self.vertex_names.len(), "vertex {a:?} does not exist");
+        assert!(b.0 < self.vertex_names.len(), "vertex {b:?} does not exist");
+        let id = EdgeId(self.edges.len());
+        self.edges.push((a, b));
+        id
+    }
+
+    /// Number of vertices.
+    #[must_use]
+    pub fn vertex_count(&self) -> usize {
+        self.vertex_names.len()
+    }
+
+    /// Number of edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Name of a vertex.
+    #[must_use]
+    pub fn vertex_name(&self, vertex: VertexId) -> &str {
+        &self.vertex_names[vertex.0]
+    }
+
+    /// Endpoints of an edge.
+    #[must_use]
+    pub fn edge(&self, edge: EdgeId) -> (VertexId, VertexId) {
+        self.edges[edge.0]
+    }
+
+    /// Degree of a vertex (number of incident edges; self-loops count twice).
+    #[must_use]
+    pub fn degree(&self, vertex: VertexId) -> usize {
+        self.edges
+            .iter()
+            .map(|&(a, b)| usize::from(a == vertex) + usize::from(b == vertex))
+            .sum()
+    }
+
+    /// Iterates over all edges with their ids.
+    pub fn edges(&self) -> impl Iterator<Item = (EdgeId, (VertexId, VertexId))> + '_ {
+        self.edges.iter().enumerate().map(|(i, &e)| (EdgeId(i), e))
+    }
+}
+
+/// Errors detected when validating an embedding.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EmbeddingError {
+    /// A vertex has not been placed.
+    UnplacedVertex {
+        /// The vertex missing a placement.
+        vertex: VertexId,
+    },
+    /// An edge has not been routed.
+    UnroutedEdge {
+        /// The edge missing a route.
+        edge: EdgeId,
+    },
+    /// Two vertex squares overlap on the grid.
+    VertexOverlap {
+        /// First vertex.
+        first: VertexId,
+        /// Second vertex.
+        second: VertexId,
+    },
+    /// Two interconnect routes share a grid edge.
+    EdgeOverlap {
+        /// First interconnect.
+        first: EdgeId,
+        /// Second interconnect.
+        second: EdgeId,
+    },
+    /// A vertex square is smaller than the vertex degree requires.
+    SquareTooSmall {
+        /// The vertex whose square is too small.
+        vertex: VertexId,
+        /// The degree-implied minimum side.
+        required_side: u32,
+    },
+}
+
+impl std::fmt::Display for EmbeddingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::UnplacedVertex { vertex } => write!(f, "vertex {} is not placed", vertex.0),
+            Self::UnroutedEdge { edge } => write!(f, "edge {} is not routed", edge.0),
+            Self::VertexOverlap { first, second } => {
+                write!(f, "vertices {} and {} overlap", first.0, second.0)
+            }
+            Self::EdgeOverlap { first, second } => {
+                write!(f, "edges {} and {} share a grid edge", first.0, second.0)
+            }
+            Self::SquareTooSmall {
+                vertex,
+                required_side,
+            } => write!(
+                f,
+                "vertex {} needs at least a {required_side}x{required_side} square",
+                vertex.0
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EmbeddingError {}
+
+/// An embedding of a [`SourceGraph`] into the Thompson grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Embedding {
+    graph: SourceGraph,
+    placements: BTreeMap<VertexId, GridRect>,
+    routes: BTreeMap<EdgeId, Vec<GridEdge>>,
+}
+
+impl Embedding {
+    /// Starts an empty embedding of `graph`.
+    #[must_use]
+    pub fn new(graph: SourceGraph) -> Self {
+        Self {
+            graph,
+            placements: BTreeMap::new(),
+            routes: BTreeMap::new(),
+        }
+    }
+
+    /// The embedded source graph.
+    #[must_use]
+    pub fn graph(&self) -> &SourceGraph {
+        &self.graph
+    }
+
+    /// Places a vertex on a rectangle of grid vertices.
+    pub fn place_vertex(&mut self, vertex: VertexId, rect: GridRect) {
+        self.placements.insert(vertex, rect);
+    }
+
+    /// Records the grid-edge path of an interconnect.
+    pub fn route_edge(&mut self, edge: EdgeId, path: Vec<GridEdge>) {
+        self.routes.insert(edge, path);
+    }
+
+    /// The placement of a vertex, if set.
+    #[must_use]
+    pub fn placement(&self, vertex: VertexId) -> Option<GridRect> {
+        self.placements.get(&vertex).copied()
+    }
+
+    /// Wire length of an interconnect in Thompson grids (number of grid edges
+    /// on its route), or `None` if it has not been routed.
+    #[must_use]
+    pub fn wire_length(&self, edge: EdgeId) -> Option<u64> {
+        self.routes.get(&edge).map(|p| p.len() as u64)
+    }
+
+    /// Total wire length over all routed interconnects.
+    #[must_use]
+    pub fn total_wire_length(&self) -> u64 {
+        self.routes.values().map(|p| p.len() as u64).sum()
+    }
+
+    /// The longest routed interconnect, in grids.
+    #[must_use]
+    pub fn max_wire_length(&self) -> u64 {
+        self.routes.values().map(|p| p.len() as u64).max().unwrap_or(0)
+    }
+
+    /// The bounding box (columns, rows) of the embedding — Thompson's `p × q`.
+    #[must_use]
+    pub fn bounding_box(&self) -> (u32, u32) {
+        let mut columns = 0;
+        let mut rows = 0;
+        for rect in self.placements.values() {
+            columns = columns.max(rect.right());
+            rows = rows.max(rect.top());
+        }
+        for path in self.routes.values() {
+            for edge in path {
+                columns = columns.max(edge.high().column + 1);
+                rows = rows.max(edge.high().row + 1);
+            }
+        }
+        (columns, rows)
+    }
+
+    /// Checks the Thompson legality rules.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found:
+    /// * every vertex placed, every edge routed;
+    /// * vertex squares at least `degree × degree` and pairwise disjoint;
+    /// * no grid edge used by two different interconnect routes.
+    pub fn validate(&self) -> Result<(), EmbeddingError> {
+        // Completeness and square sizes. Thompson assigns a d×d square to a
+        // degree-d vertex; like the paper (which keeps crossbar crosspoints on
+        // 2×2 squares because two of their four ports are feed-throughs) we
+        // only require enough boundary to terminate the incident wires, i.e. a
+        // side of ⌈d/2⌉.
+        for v in 0..self.graph.vertex_count() {
+            let vertex = VertexId(v);
+            let rect = self
+                .placements
+                .get(&vertex)
+                .ok_or(EmbeddingError::UnplacedVertex { vertex })?;
+            let required = (self.graph.degree(vertex).max(1) as u32).div_ceil(2);
+            if rect.width < required || rect.height < required {
+                return Err(EmbeddingError::SquareTooSmall {
+                    vertex,
+                    required_side: required,
+                });
+            }
+        }
+        for (edge, _) in self.graph.edges() {
+            if !self.routes.contains_key(&edge) {
+                return Err(EmbeddingError::UnroutedEdge { edge });
+            }
+        }
+        // Vertex overlap.
+        let placements: Vec<(VertexId, GridRect)> =
+            self.placements.iter().map(|(&v, &r)| (v, r)).collect();
+        for (i, &(first, rect_a)) in placements.iter().enumerate() {
+            for &(second, rect_b) in &placements[i + 1..] {
+                if rect_a.overlaps(&rect_b) {
+                    return Err(EmbeddingError::VertexOverlap { first, second });
+                }
+            }
+        }
+        // Edge overlap.
+        let mut used: HashMap<GridEdge, EdgeId> = HashMap::new();
+        for (&edge, path) in &self.routes {
+            let mut seen_in_path: HashSet<GridEdge> = HashSet::new();
+            for &grid_edge in path {
+                if !seen_in_path.insert(grid_edge) {
+                    continue; // a route may touch its own edge only once; duplicates within
+                              // a path are collapsed rather than flagged as a conflict
+                }
+                if let Some(&other) = used.get(&grid_edge) {
+                    return Err(EmbeddingError::EdgeOverlap {
+                        first: other,
+                        second: edge,
+                    });
+                }
+                used.insert(grid_edge, edge);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::{l_shaped_path, GridPoint};
+
+    fn two_vertex_graph() -> (SourceGraph, VertexId, VertexId, EdgeId) {
+        let mut g = SourceGraph::new();
+        let a = g.add_vertex("a");
+        let b = g.add_vertex("b");
+        let e = g.add_edge(a, b);
+        (g, a, b, e)
+    }
+
+    #[test]
+    fn source_graph_accounting() {
+        let (g, a, b, e) = two_vertex_graph();
+        assert_eq!(g.vertex_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.degree(a), 1);
+        assert_eq!(g.degree(b), 1);
+        assert_eq!(g.edge(e), (a, b));
+        assert_eq!(g.vertex_name(a), "a");
+    }
+
+    #[test]
+    fn valid_embedding_passes_and_reports_lengths() {
+        let (g, a, b, e) = two_vertex_graph();
+        let mut emb = Embedding::new(g);
+        emb.place_vertex(a, GridRect::square(0, 0, 1));
+        emb.place_vertex(b, GridRect::square(5, 0, 1));
+        emb.route_edge(e, l_shaped_path(GridPoint::new(0, 0), GridPoint::new(5, 0)));
+        emb.validate().expect("legal embedding");
+        assert_eq!(emb.wire_length(e), Some(5));
+        assert_eq!(emb.total_wire_length(), 5);
+        assert_eq!(emb.max_wire_length(), 5);
+        assert_eq!(emb.bounding_box(), (6, 1));
+    }
+
+    #[test]
+    fn missing_placement_or_route_is_detected() {
+        let (g, a, _b, _e) = two_vertex_graph();
+        let mut emb = Embedding::new(g);
+        assert!(matches!(
+            emb.validate(),
+            Err(EmbeddingError::UnplacedVertex { .. })
+        ));
+        emb.place_vertex(a, GridRect::square(0, 0, 1));
+        emb.place_vertex(VertexId(1), GridRect::square(3, 0, 1));
+        assert!(matches!(
+            emb.validate(),
+            Err(EmbeddingError::UnroutedEdge { .. })
+        ));
+    }
+
+    #[test]
+    fn overlapping_vertices_are_detected() {
+        let (g, a, b, e) = two_vertex_graph();
+        let mut emb = Embedding::new(g);
+        emb.place_vertex(a, GridRect::square(0, 0, 2));
+        emb.place_vertex(b, GridRect::square(1, 1, 2));
+        emb.route_edge(e, l_shaped_path(GridPoint::new(0, 0), GridPoint::new(1, 1)));
+        assert!(matches!(
+            emb.validate(),
+            Err(EmbeddingError::VertexOverlap { .. })
+        ));
+    }
+
+    #[test]
+    fn shared_grid_edges_are_detected() {
+        let mut g = SourceGraph::new();
+        let a = g.add_vertex("a");
+        let b = g.add_vertex("b");
+        let c = g.add_vertex("c");
+        let e1 = g.add_edge(a, b);
+        let e2 = g.add_edge(a, c);
+        let mut emb = Embedding::new(g);
+        emb.place_vertex(a, GridRect::square(0, 0, 2));
+        emb.place_vertex(b, GridRect::square(4, 0, 1));
+        emb.place_vertex(c, GridRect::square(6, 0, 1));
+        // Both routes run along row 0 from column 0: they share grid edges.
+        emb.route_edge(e1, l_shaped_path(GridPoint::new(0, 0), GridPoint::new(4, 0)));
+        emb.route_edge(e2, l_shaped_path(GridPoint::new(0, 0), GridPoint::new(6, 0)));
+        assert!(matches!(
+            emb.validate(),
+            Err(EmbeddingError::EdgeOverlap { .. })
+        ));
+    }
+
+    #[test]
+    fn degree_requires_larger_square() {
+        let mut g = SourceGraph::new();
+        let hub = g.add_vertex("hub");
+        let spokes: Vec<_> = (0..3).map(|i| g.add_vertex(format!("s{i}"))).collect();
+        let edges: Vec<_> = spokes.iter().map(|&s| g.add_edge(hub, s)).collect();
+        let mut emb = Embedding::new(g);
+        // Hub has degree 3 (requires a 2x2 square) but only a 1x1 square.
+        emb.place_vertex(hub, GridRect::square(0, 0, 1));
+        for (i, &s) in spokes.iter().enumerate() {
+            emb.place_vertex(s, GridRect::square(10 + 2 * i as u32, 10, 1));
+        }
+        for (i, &e) in edges.iter().enumerate() {
+            emb.route_edge(
+                e,
+                l_shaped_path(GridPoint::new(0, 0), GridPoint::new(10 + 2 * i as u32, 10)),
+            );
+        }
+        assert!(matches!(
+            emb.validate(),
+            Err(EmbeddingError::SquareTooSmall {
+                required_side: 2,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        assert!(EmbeddingError::UnplacedVertex { vertex: VertexId(3) }
+            .to_string()
+            .contains('3'));
+        assert!(EmbeddingError::EdgeOverlap {
+            first: EdgeId(1),
+            second: EdgeId(2)
+        }
+        .to_string()
+        .contains("share"));
+    }
+}

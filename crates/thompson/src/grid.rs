@@ -1,0 +1,255 @@
+//! The 2-dimensional Thompson target grid.
+//!
+//! The Thompson wire-length model (paper §3.4, after Thompson's 1980 thesis)
+//! embeds the switch-fabric topology into a `p × q` grid mesh.  Each vertex of
+//! the source graph occupies a `d × d` square of grid vertices (`d` = vertex
+//! degree) and each edge is mapped onto a path of grid edges; the wire length
+//! of an interconnect is simply the number of grid squares its path covers.
+
+use serde::{Deserialize, Serialize};
+
+/// A vertex of the Thompson grid, addressed by column and row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct GridPoint {
+    /// Column index (x coordinate).
+    pub column: u32,
+    /// Row index (y coordinate).
+    pub row: u32,
+}
+
+impl GridPoint {
+    /// Creates a grid point.
+    #[must_use]
+    pub fn new(column: u32, row: u32) -> Self {
+        Self { column, row }
+    }
+
+    /// Manhattan distance to another point, in grid units.
+    #[must_use]
+    pub fn manhattan_distance(self, other: Self) -> u32 {
+        self.column.abs_diff(other.column) + self.row.abs_diff(other.row)
+    }
+
+    /// Whether two points are adjacent (share a grid edge).
+    #[must_use]
+    pub fn is_adjacent(self, other: Self) -> bool {
+        self.manhattan_distance(other) == 1
+    }
+}
+
+impl std::fmt::Display for GridPoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({}, {})", self.column, self.row)
+    }
+}
+
+/// An undirected edge between two adjacent grid points.
+///
+/// The edge is stored with its endpoints in sorted order so `(a, b)` and
+/// `(b, a)` compare equal — edge-occupancy checks rely on this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct GridEdge {
+    low: GridPoint,
+    high: GridPoint,
+}
+
+impl GridEdge {
+    /// Creates the edge between two adjacent grid points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the points are not adjacent in the grid.
+    #[must_use]
+    pub fn new(a: GridPoint, b: GridPoint) -> Self {
+        assert!(a.is_adjacent(b), "{a} and {b} are not adjacent grid points");
+        if a <= b {
+            Self { low: a, high: b }
+        } else {
+            Self { low: b, high: a }
+        }
+    }
+
+    /// The lexicographically smaller endpoint.
+    #[must_use]
+    pub fn low(self) -> GridPoint {
+        self.low
+    }
+
+    /// The lexicographically larger endpoint.
+    #[must_use]
+    pub fn high(self) -> GridPoint {
+        self.high
+    }
+}
+
+/// An axis-aligned rectangle of grid vertices (used for vertex placements).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GridRect {
+    /// Lowest column covered.
+    pub column: u32,
+    /// Lowest row covered.
+    pub row: u32,
+    /// Number of columns covered (at least 1).
+    pub width: u32,
+    /// Number of rows covered (at least 1).
+    pub height: u32,
+}
+
+impl GridRect {
+    /// Creates a rectangle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the width or height is zero.
+    #[must_use]
+    pub fn new(column: u32, row: u32, width: u32, height: u32) -> Self {
+        assert!(width > 0 && height > 0, "a grid rectangle cannot be empty");
+        Self {
+            column,
+            row,
+            width,
+            height,
+        }
+    }
+
+    /// A `d × d` square at the given origin — the shape Thompson assigns to a
+    /// vertex of degree `d`.
+    #[must_use]
+    pub fn square(column: u32, row: u32, side: u32) -> Self {
+        Self::new(column, row, side, side)
+    }
+
+    /// Whether this rectangle contains a grid point.
+    #[must_use]
+    pub fn contains(&self, point: GridPoint) -> bool {
+        point.column >= self.column
+            && point.column < self.column + self.width
+            && point.row >= self.row
+            && point.row < self.row + self.height
+    }
+
+    /// Whether two rectangles overlap in at least one grid vertex.
+    #[must_use]
+    pub fn overlaps(&self, other: &Self) -> bool {
+        self.column < other.column + other.width
+            && other.column < self.column + self.width
+            && self.row < other.row + other.height
+            && other.row < self.row + self.height
+    }
+
+    /// The centre-ish anchor point of the rectangle (used as a routing
+    /// terminal).
+    #[must_use]
+    pub fn anchor(&self) -> GridPoint {
+        GridPoint::new(self.column + self.width / 2, self.row + self.height / 2)
+    }
+
+    /// Exclusive right edge (first column not covered).
+    #[must_use]
+    pub fn right(&self) -> u32 {
+        self.column + self.width
+    }
+
+    /// Exclusive top edge (first row not covered).
+    #[must_use]
+    pub fn top(&self) -> u32 {
+        self.row + self.height
+    }
+}
+
+/// Builds the L-shaped (horizontal-then-vertical) Manhattan path between two
+/// grid points, returned as a list of grid edges.
+///
+/// The path is empty when `from == to`.
+#[must_use]
+pub fn l_shaped_path(from: GridPoint, to: GridPoint) -> Vec<GridEdge> {
+    let mut edges = Vec::with_capacity(from.manhattan_distance(to) as usize);
+    let mut cursor = from;
+    while cursor.column != to.column {
+        let next_column = if to.column > cursor.column {
+            cursor.column + 1
+        } else {
+            cursor.column - 1
+        };
+        let next = GridPoint::new(next_column, cursor.row);
+        edges.push(GridEdge::new(cursor, next));
+        cursor = next;
+    }
+    while cursor.row != to.row {
+        let next_row = if to.row > cursor.row {
+            cursor.row + 1
+        } else {
+            cursor.row - 1
+        };
+        let next = GridPoint::new(cursor.column, next_row);
+        edges.push(GridEdge::new(cursor, next));
+        cursor = next;
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manhattan_distance_and_adjacency() {
+        let a = GridPoint::new(1, 1);
+        let b = GridPoint::new(4, 3);
+        assert_eq!(a.manhattan_distance(b), 5);
+        assert!(!a.is_adjacent(b));
+        assert!(a.is_adjacent(GridPoint::new(1, 2)));
+        assert!(a.is_adjacent(GridPoint::new(0, 1)));
+        assert!(!a.is_adjacent(a));
+    }
+
+    #[test]
+    fn grid_edges_are_order_independent() {
+        let a = GridPoint::new(2, 2);
+        let b = GridPoint::new(2, 3);
+        assert_eq!(GridEdge::new(a, b), GridEdge::new(b, a));
+        assert_eq!(GridEdge::new(a, b).low(), a);
+        assert_eq!(GridEdge::new(a, b).high(), b);
+    }
+
+    #[test]
+    #[should_panic(expected = "not adjacent")]
+    fn non_adjacent_edge_panics() {
+        let _ = GridEdge::new(GridPoint::new(0, 0), GridPoint::new(2, 0));
+    }
+
+    #[test]
+    fn rect_contains_and_overlaps() {
+        let r = GridRect::square(2, 2, 2);
+        assert!(r.contains(GridPoint::new(2, 2)));
+        assert!(r.contains(GridPoint::new(3, 3)));
+        assert!(!r.contains(GridPoint::new(4, 2)));
+        assert!(r.overlaps(&GridRect::new(3, 3, 2, 2)));
+        assert!(!r.overlaps(&GridRect::new(4, 2, 2, 2)));
+        assert_eq!(r.anchor(), GridPoint::new(3, 3));
+        assert_eq!(r.right(), 4);
+        assert_eq!(r.top(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be empty")]
+    fn empty_rect_panics() {
+        let _ = GridRect::new(0, 0, 0, 1);
+    }
+
+    #[test]
+    fn l_shaped_path_has_manhattan_length() {
+        let from = GridPoint::new(0, 0);
+        let to = GridPoint::new(3, 2);
+        let path = l_shaped_path(from, to);
+        assert_eq!(path.len(), 5);
+        // Path edges are contiguous.
+        for pair in path.windows(2) {
+            let shared = [pair[0].low(), pair[0].high()]
+                .iter()
+                .any(|p| *p == pair[1].low() || *p == pair[1].high());
+            assert!(shared, "path edges must be contiguous");
+        }
+        assert!(l_shaped_path(from, from).is_empty());
+    }
+}

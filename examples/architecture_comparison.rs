@@ -1,0 +1,37 @@
+//! Architecture exploration: compare the four switch fabrics of the paper at
+//! one size and load, the way a router designer would when picking a fabric.
+//!
+//! Run with
+//! `cargo run --release -p fabric-power-core --example architecture_comparison`.
+
+use fabric_power_core::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let ports = 16;
+    let offered_load = 0.40;
+    let model = FabricEnergyModel::paper(ports)?;
+
+    println!("{ports}x{ports} fabrics at {:.0}% offered load", offered_load * 100.0);
+    println!(
+        "{:<18} {:>12} {:>12} {:>14} {:>12} {:>10}",
+        "architecture", "power (mW)", "throughput", "buffer share", "latency", "worst-case"
+    );
+
+    for architecture in Architecture::ALL {
+        let config = SimulationConfig::new(architecture, ports, offered_load);
+        let report = RouterSimulator::new(config, model.clone())?.run();
+        let worst_case = analytic::worst_case_bit_energy(architecture, &model, 1);
+        println!(
+            "{:<18} {:>12.2} {:>11.1}% {:>13.0}% {:>12.1} {:>10.1}pJ",
+            architecture.to_string(),
+            report.average_power().as_milliwatts(),
+            report.measured_throughput() * 100.0,
+            report.energy.buffer_fraction() * 100.0,
+            report.average_latency_cycles,
+            worst_case.as_picojoules()
+        );
+    }
+
+    println!("\n(The fully-connected fabric wins on power; the Banyan pays the buffer penalty.)");
+    Ok(())
+}

@@ -1,0 +1,38 @@
+//! Runs the gate-level characterization flow (the paper's Synopsys Power
+//! Compiler substitute) for every node switch and prints the resulting
+//! input-vector-indexed bit-energy LUTs next to the published Table 1.
+//!
+//! Run with
+//! `cargo run --release -p fabric-power-core --example characterize_switches`.
+
+use fabric_power_core::prelude::*;
+use fabric_power_core::report::format_table1;
+use fabric_power_netlist::circuits::{banyan_binary_switch, batcher_sorting_switch};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let library = CellLibrary::calibrated_018um();
+    let config = CharacterizationConfig::quick();
+
+    // Show the structural side first: how big are the generated circuits?
+    let binary = banyan_binary_switch(32)?;
+    let sorting = batcher_sorting_switch(32, 5)?;
+    println!(
+        "generated circuits: binary switch {} cells, sorting switch {} cells",
+        binary.cell_count(),
+        sorting.cell_count()
+    );
+
+    // Full Table 1 characterization at a 16-bit bus width to keep the example fast.
+    let ours = Table1::characterize(16, 4, &library, &config)?;
+    println!("{}", format_table1(&ours, &Table1::paper()));
+
+    // The input-state dependence the paper highlights: two packets cost more
+    // than one, but less than twice as much.
+    let one = ours.banyan_binary.energy_for_active_count(1);
+    let two = ours.banyan_binary.energy_for_active_count(2);
+    println!(
+        "binary switch: one packet {one}, two packets {two} ({}x)",
+        (two / one * 100.0).round() / 100.0
+    );
+    Ok(())
+}
