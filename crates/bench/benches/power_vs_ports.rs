@@ -29,9 +29,8 @@ fn bench_port_scaling(c: &mut Criterion) {
 fn bench_routing(c: &mut Criterion) {
     let mut group = c.benchmark_group("figure10_route_computation");
     for ports in [8_usize, 32] {
-        let topology =
-            fabric_power_fabric::FabricTopology::new(Architecture::BatcherBanyan, ports)
-                .expect("topology");
+        let topology = fabric_power_fabric::FabricTopology::new(Architecture::BatcherBanyan, ports)
+            .expect("topology");
         group.bench_function(BenchmarkId::from_parameter(ports), |b| {
             b.iter(|| {
                 let mut grids = 0_u64;

@@ -30,14 +30,17 @@ fn bench_load_sweep(c: &mut Criterion) {
     group.sample_size(10);
     let model = FabricEnergyModel::paper(8).expect("model");
     for load in [0.1_f64, 0.3, 0.5] {
-        group.bench_function(BenchmarkId::from_parameter(format!("{:.0}pct", load * 100.0)), |b| {
-            b.iter(|| {
-                let config = SimulationConfig::quick(Architecture::Banyan, 8, load);
-                RouterSimulator::new(config, model.clone())
-                    .expect("simulator")
-                    .run()
-            });
-        });
+        group.bench_function(
+            BenchmarkId::from_parameter(format!("{:.0}pct", load * 100.0)),
+            |b| {
+                b.iter(|| {
+                    let config = SimulationConfig::quick(Architecture::Banyan, 8, load);
+                    RouterSimulator::new(config, model.clone())
+                        .expect("simulator")
+                        .run()
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -1,0 +1,37 @@
+//! Criterion bench for the sweep engine's thread scaling: wall-clock time of
+//! `ExperimentConfig::quick()` at 1/2/4/8 worker threads.
+//!
+//! On a multi-core machine the 8-thread run should be several times faster
+//! than the 1-thread run; on a single-core container the times converge —
+//! either way the emitted results are bit-identical (see the
+//! `sweep_determinism` integration test).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use fabric_power_sweep::{ExperimentConfig, SweepEngine};
+
+fn bench_thread_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweep_quick_grid_thread_scaling");
+    group.sample_size(10);
+    let config = ExperimentConfig::quick();
+    for threads in [1_usize, 2, 4, 8] {
+        let engine = SweepEngine::new().with_threads(threads);
+        group.bench_function(BenchmarkId::from_parameter(threads), |b| {
+            b.iter(|| engine.run(&config).expect("sweep"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_expansion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweep_grid_expansion");
+    let config = ExperimentConfig::paper();
+    let engine = SweepEngine::new();
+    group.bench_function(BenchmarkId::from_parameter("paper"), |b| {
+        b.iter(|| engine.expand(&config));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_thread_scaling, bench_expansion);
+criterion_main!(benches);

@@ -15,7 +15,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  * one contended Banyan stage adds one buffer access per bit (the buffer penalty),");
     println!("    which immediately dominates every other term;");
     println!("  * the fully-connected wire term grows as N^2/2 and overtakes the crossbar's 8N");
-    println!("    around N = 32 — the paper's remark that interconnect power dominates large fabrics.");
+    println!(
+        "    around N = 32 — the paper's remark that interconnect power dominates large fabrics."
+    );
     export_json("analytic_model", &rows);
     Ok(())
 }

@@ -4,10 +4,11 @@
 //! narrowing to 20 % at 32×32).
 //!
 //! Run with `cargo run --release -p fabric-power-bench --bin figure10`.
-//! Pass `--quick` for a reduced grid.
+//! Pass `--quick` for a reduced grid and `--threads N` to bound the sweep
+//! engine's worker threads.
 
-use fabric_power_bench::export_json;
-use fabric_power_core::experiment::{ExperimentConfig, PortSweep};
+use fabric_power_bench::{export_json, parse_threads};
+use fabric_power_core::experiment::{ExperimentConfig, PortSweep, SweepEngine};
 use fabric_power_core::report::format_figure10;
 use fabric_power_tech::constants::FIGURE10_THROUGHPUT;
 
@@ -19,7 +20,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ExperimentConfig::paper()
     };
 
-    let sweep = PortSweep::run(&config, FIGURE10_THROUGHPUT)?;
+    let mut engine = SweepEngine::new();
+    if let Some(threads) = parse_threads()? {
+        engine = engine.with_threads(threads);
+    }
+
+    let sweep = PortSweep::run_with(&config, FIGURE10_THROUGHPUT, &engine)?;
     println!("{}", format_figure10(&sweep, &config.port_counts));
 
     let smallest = *config.port_counts.first().unwrap();

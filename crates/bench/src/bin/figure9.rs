@@ -3,10 +3,12 @@
 //! 16×16 and 32×32 ports.
 //!
 //! Run with `cargo run --release -p fabric-power-bench --bin figure9`.
-//! Pass `--quick` for a reduced grid that finishes in a couple of seconds.
+//! Pass `--quick` for a reduced grid that finishes in a couple of seconds and
+//! `--threads N` to bound the sweep engine's worker threads (the default
+//! uses every core; results are identical either way).
 
-use fabric_power_bench::export_json;
-use fabric_power_core::experiment::{ExperimentConfig, ThroughputSweep};
+use fabric_power_bench::{export_json, parse_threads};
+use fabric_power_core::experiment::{ExperimentConfig, SweepEngine, ThroughputSweep};
 use fabric_power_core::report::format_figure9_panel;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -17,14 +19,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ExperimentConfig::paper()
     };
 
+    let mut engine = SweepEngine::new();
+    if let Some(threads) = parse_threads()? {
+        engine = engine.with_threads(threads);
+    }
+
     eprintln!(
-        "running {} simulations ({} sizes x {} architectures x {} loads)...",
-        config.port_counts.len() * config.architectures.len() * config.offered_loads.len(),
+        "running {} simulations ({} sizes x {} architectures x {} loads) on {} thread(s)...",
+        config.grid_size(),
         config.port_counts.len(),
         config.architectures.len(),
-        config.offered_loads.len()
+        config.offered_loads.len(),
+        engine.threads(),
     );
-    let sweep = ThroughputSweep::run(&config)?;
+    let sweep = ThroughputSweep::run_with(&config, &engine)?;
 
     for &ports in &config.port_counts {
         println!("{}", format_figure9_panel(&sweep, ports));

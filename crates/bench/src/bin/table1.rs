@@ -19,7 +19,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let paper = Table1::paper();
 
     println!("{}", format_table1(&ours, &paper));
-    println!("(ratio = characterized / paper; the qualitative ordering is the result that matters)");
+    println!(
+        "(ratio = characterized / paper; the qualitative ordering is the result that matters)"
+    );
     export_json("table1", &ours);
     Ok(())
 }

@@ -45,10 +45,35 @@ pub fn export_json<T: Serialize>(name: &str, value: &T) {
     }
 }
 
+/// Parses an optional `--threads N` flag from the process arguments, shared
+/// by the figure-regeneration binaries (the sweeps run on the parallel
+/// engine; results are identical for every thread count).
+///
+/// # Errors
+///
+/// Returns a message when the flag is present but its value is missing or
+/// not a positive integer.
+pub fn parse_threads() -> Result<Option<usize>, String> {
+    let args: Vec<String> = std::env::args().collect();
+    let Some(position) = args.iter().position(|a| a == "--threads") else {
+        return Ok(None);
+    };
+    let value = args
+        .get(position + 1)
+        .ok_or_else(|| "`--threads` needs a value".to_string())?;
+    fabric_power_sweep::executor::parse_thread_count(value).map(Some)
+}
+
 #[cfg(test)]
 mod tests {
     #[test]
     fn export_json_smoke() {
         super::export_json("bench_selftest", &vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn parse_threads_without_flag_is_none() {
+        // The test harness's argv has no `--threads`.
+        assert_eq!(super::parse_threads().unwrap(), None);
     }
 }

@@ -1,308 +1,26 @@
 //! Experiment configuration and the parameter sweeps behind the paper's
 //! Figure 9 (power vs. traffic throughput) and Figure 10 (power vs. number
 //! of ports).
+//!
+//! The implementation moved to the [`fabric_power_sweep`] crate when sweep
+//! orchestration became its own subsystem: `ThroughputSweep::run` and
+//! `PortSweep::run` now expand the grid into cells and evaluate them on the
+//! parallel [`fabric_power_sweep::SweepEngine`] (one shared energy model per
+//! fabric size, deterministic per-cell seeds, results in canonical grid
+//! order).  This module re-exports the public types so every pre-existing
+//! `fabric_power_core::experiment::...` path keeps working, with identical
+//! results point for point.
 
-use serde::{Deserialize, Serialize};
-
-use fabric_power_fabric::energy_model::{EnergyModelError, FabricEnergyModel};
-use fabric_power_fabric::Architecture;
-use fabric_power_netlist::characterize::CharacterizationConfig;
-use fabric_power_netlist::library::CellLibrary;
-use fabric_power_router::config::SimulationConfig;
-use fabric_power_router::sim::{RouterSimulator, SimulationError};
-use fabric_power_router::traffic::TrafficPattern;
-use fabric_power_tech::units::{Energy, Power};
-use fabric_power_tech::Technology;
-
-/// Where the bit-energy components come from.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum ModelSource {
-    /// The paper's published Table 1 / Table 2 / 87 fJ values.
-    Paper,
-    /// Everything re-derived from the substrate models (gate-level
-    /// characterization, structural SRAM model, wire model).
-    Derived,
-}
-
-/// Errors raised while running an experiment.
-#[derive(Debug)]
-pub enum ExperimentError {
-    /// Building an energy model failed.
-    Model(EnergyModelError),
-    /// Building or running the simulator failed.
-    Simulation(SimulationError),
-}
-
-impl std::fmt::Display for ExperimentError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            Self::Model(e) => write!(f, "energy model: {e}"),
-            Self::Simulation(e) => write!(f, "simulation: {e}"),
-        }
-    }
-}
-
-impl std::error::Error for ExperimentError {}
-
-impl From<EnergyModelError> for ExperimentError {
-    fn from(e: EnergyModelError) -> Self {
-        Self::Model(e)
-    }
-}
-
-impl From<SimulationError> for ExperimentError {
-    fn from(e: SimulationError) -> Self {
-        Self::Simulation(e)
-    }
-}
-
-/// Configuration shared by every experiment in the evaluation section.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct ExperimentConfig {
-    /// Fabric sizes to evaluate (the paper uses 4, 8, 16, 32).
-    pub port_counts: Vec<usize>,
-    /// Offered loads to evaluate (the paper sweeps 10 %–50 %).
-    pub offered_loads: Vec<f64>,
-    /// Architectures to compare.
-    pub architectures: Vec<Architecture>,
-    /// Payload words per packet.
-    pub packet_words: usize,
-    /// Warmup cycles per simulation.
-    pub warmup_cycles: u64,
-    /// Measured cycles per simulation.
-    pub measure_cycles: u64,
-    /// Random seed.
-    pub seed: u64,
-    /// Traffic destination pattern.
-    pub pattern: TrafficPattern,
-    /// Source of the bit-energy components.
-    pub model_source: ModelSource,
-}
-
-impl ExperimentConfig {
-    /// The paper's full evaluation grid: 4 architectures × {4, 8, 16, 32}
-    /// ports × loads 10 %–50 %.
-    #[must_use]
-    pub fn paper() -> Self {
-        Self {
-            port_counts: vec![4, 8, 16, 32],
-            offered_loads: vec![0.10, 0.20, 0.30, 0.40, 0.50],
-            architectures: Architecture::ALL.to_vec(),
-            packet_words: 16,
-            warmup_cycles: 500,
-            measure_cycles: 4000,
-            seed: 0xDAC_2002,
-            pattern: TrafficPattern::UniformRandom,
-            model_source: ModelSource::Paper,
-        }
-    }
-
-    /// A reduced grid that finishes in well under a second — used by unit
-    /// tests, examples and smoke benches.
-    #[must_use]
-    pub fn quick() -> Self {
-        Self {
-            port_counts: vec![4, 8],
-            offered_loads: vec![0.10, 0.30, 0.50],
-            warmup_cycles: 100,
-            measure_cycles: 600,
-            ..Self::paper()
-        }
-    }
-
-    /// Builds the energy model for one fabric size according to
-    /// [`ExperimentConfig::model_source`].
-    ///
-    /// # Errors
-    ///
-    /// Propagates [`EnergyModelError`].
-    pub fn energy_model(&self, ports: usize) -> Result<FabricEnergyModel, EnergyModelError> {
-        match self.model_source {
-            ModelSource::Paper => FabricEnergyModel::paper(ports),
-            ModelSource::Derived => FabricEnergyModel::derived(
-                ports,
-                &Technology::tsmc180(),
-                &CellLibrary::calibrated_018um(),
-                &CharacterizationConfig::quick(),
-            ),
-        }
-    }
-
-    fn simulation_config(
-        &self,
-        architecture: Architecture,
-        ports: usize,
-        offered_load: f64,
-    ) -> SimulationConfig {
-        SimulationConfig {
-            architecture,
-            ports,
-            offered_load,
-            packet_words: self.packet_words,
-            warmup_cycles: self.warmup_cycles,
-            measure_cycles: self.measure_cycles,
-            seed: self.seed,
-            pattern: self.pattern,
-            ..SimulationConfig::new(architecture, ports, offered_load)
-        }
-    }
-}
-
-/// One simulated operating point: architecture × size × offered load.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct SweepPoint {
-    /// Architecture simulated.
-    pub architecture: Architecture,
-    /// Fabric size.
-    pub ports: usize,
-    /// Offered load per port.
-    pub offered_load: f64,
-    /// Throughput measured at the egress ports.
-    pub measured_throughput: f64,
-    /// Average switch-fabric power.
-    pub power: Power,
-    /// Node-switch energy share of the total.
-    pub switch_energy: Energy,
-    /// Internal-buffer energy share of the total.
-    pub buffer_energy: Energy,
-    /// Interconnect-wire energy share of the total.
-    pub wire_energy: Energy,
-    /// Words absorbed by internal buffers (interconnect contention).
-    pub buffered_words: u64,
-    /// Mean packet latency in cycles.
-    pub average_latency_cycles: f64,
-}
-
-/// The data behind Figure 9: power vs. offered throughput for every
-/// architecture and fabric size.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct ThroughputSweep {
-    /// All simulated points.
-    pub points: Vec<SweepPoint>,
-}
-
-impl ThroughputSweep {
-    /// Runs the sweep described by `config`.
-    ///
-    /// # Errors
-    ///
-    /// Propagates model and simulation errors.
-    pub fn run(config: &ExperimentConfig) -> Result<Self, ExperimentError> {
-        let mut points = Vec::new();
-        for &ports in &config.port_counts {
-            let model = config.energy_model(ports)?;
-            for &architecture in &config.architectures {
-                for &offered_load in &config.offered_loads {
-                    let sim_config = config.simulation_config(architecture, ports, offered_load);
-                    let report = RouterSimulator::new(sim_config, model.clone())?.run();
-                    points.push(SweepPoint {
-                        architecture,
-                        ports,
-                        offered_load,
-                        measured_throughput: report.measured_throughput(),
-                        power: report.average_power(),
-                        switch_energy: report.energy.switches,
-                        buffer_energy: report.energy.buffers,
-                        wire_energy: report.energy.wires,
-                        buffered_words: report.buffered_words,
-                        average_latency_cycles: report.average_latency_cycles,
-                    });
-                }
-            }
-        }
-        Ok(Self { points })
-    }
-
-    /// Points of one architecture at one fabric size, ordered by offered load
-    /// (one curve of Figure 9).
-    #[must_use]
-    pub fn curve(&self, architecture: Architecture, ports: usize) -> Vec<&SweepPoint> {
-        let mut points: Vec<&SweepPoint> = self
-            .points
-            .iter()
-            .filter(|p| p.architecture == architecture && p.ports == ports)
-            .collect();
-        points.sort_by(|a, b| a.offered_load.total_cmp(&b.offered_load));
-        points
-    }
-
-    /// The power of one operating point, if it was simulated.
-    #[must_use]
-    pub fn power(&self, architecture: Architecture, ports: usize, offered_load: f64) -> Option<Power> {
-        self.points
-            .iter()
-            .find(|p| {
-                p.architecture == architecture
-                    && p.ports == ports
-                    && (p.offered_load - offered_load).abs() < 1e-9
-            })
-            .map(|p| p.power)
-    }
-
-    /// The architecture with the lowest power at the given size and load.
-    #[must_use]
-    pub fn cheapest(&self, ports: usize, offered_load: f64) -> Option<Architecture> {
-        self.points
-            .iter()
-            .filter(|p| p.ports == ports && (p.offered_load - offered_load).abs() < 1e-9)
-            .min_by(|a, b| a.power.as_watts().total_cmp(&b.power.as_watts()))
-            .map(|p| p.architecture)
-    }
-}
-
-/// The data behind Figure 10: power vs. number of ports at one fixed load.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct PortSweep {
-    /// Offered load shared by every point (the paper uses 50 %).
-    pub offered_load: f64,
-    /// All simulated points.
-    pub points: Vec<SweepPoint>,
-}
-
-impl PortSweep {
-    /// Runs the port sweep at `offered_load` over the configured sizes.
-    ///
-    /// # Errors
-    ///
-    /// Propagates model and simulation errors.
-    pub fn run(config: &ExperimentConfig, offered_load: f64) -> Result<Self, ExperimentError> {
-        let mut single = config.clone();
-        single.offered_loads = vec![offered_load];
-        let sweep = ThroughputSweep::run(&single)?;
-        Ok(Self {
-            offered_load,
-            points: sweep.points,
-        })
-    }
-
-    /// Power of one architecture at one size.
-    #[must_use]
-    pub fn power(&self, architecture: Architecture, ports: usize) -> Option<Power> {
-        self.points
-            .iter()
-            .find(|p| p.architecture == architecture && p.ports == ports)
-            .map(|p| p.power)
-    }
-
-    /// Relative power gap between the fully-connected fabric and the
-    /// Batcher-Banyan at one size: `(P_batcher − P_fc) / P_batcher`.
-    ///
-    /// The paper reports this gap shrinking from 37 % at 4×4 to 20 % at
-    /// 32×32 (§6 observation 2).
-    #[must_use]
-    pub fn fully_connected_vs_batcher_gap(&self, ports: usize) -> Option<f64> {
-        let fully = self.power(Architecture::FullyConnected, ports)?;
-        let batcher = self.power(Architecture::BatcherBanyan, ports)?;
-        if batcher.as_watts() == 0.0 {
-            return None;
-        }
-        Some((batcher.as_watts() - fully.as_watts()) / batcher.as_watts())
-    }
-}
+pub use fabric_power_sweep::{
+    ExperimentConfig, ExperimentError, ModelSource, PortSweep, SeedStrategy, SweepCell,
+    SweepEngine, SweepPoint, ThroughputSweep,
+};
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fabric_power_fabric::energy_model::EnergyModelError;
+    use fabric_power_fabric::Architecture;
 
     #[test]
     fn quick_throughput_sweep_produces_all_points() {
@@ -314,7 +32,9 @@ mod tests {
         );
         let curve = sweep.curve(Architecture::Banyan, 8);
         assert_eq!(curve.len(), 3);
-        assert!(curve.windows(2).all(|w| w[0].offered_load < w[1].offered_load));
+        assert!(curve
+            .windows(2)
+            .all(|w| w[0].offered_load < w[1].offered_load));
         assert!(sweep.power(Architecture::Crossbar, 8, 0.3).is_some());
         assert!(sweep.power(Architecture::Crossbar, 64, 0.3).is_none());
     }

@@ -45,6 +45,9 @@ pub mod report;
 pub use experiment::{
     ExperimentConfig, ExperimentError, ModelSource, PortSweep, SweepPoint, ThroughputSweep,
 };
+pub use fabric_power_sweep::{
+    Scenario, ScenarioRegistry, SeedStrategy, SweepCell, SweepDocument, SweepEngine,
+};
 
 /// Convenient re-exports of the most frequently used types from the whole
 /// workspace, so downstream users can `use fabric_power_core::prelude::*`.
@@ -64,6 +67,9 @@ pub mod prelude {
         ExperimentConfig, ModelSource, PortSweep, SweepPoint, ThroughputSweep,
     };
     pub use crate::paper::PaperClaims;
+    pub use fabric_power_sweep::{
+        Scenario, ScenarioRegistry, SeedStrategy, SweepDocument, SweepEngine,
+    };
 }
 
 #[cfg(test)]

@@ -27,7 +27,11 @@ pub fn format_table1(ours: &Table1, paper: &Table1) -> String {
         "switch / input vector", "ours (fJ)", "paper (fJ)", "ratio"
     );
     let mut row = |label: &str, ours_fj: f64, paper_fj: f64| {
-        let ratio = if paper_fj > 0.0 { ours_fj / paper_fj } else { f64::NAN };
+        let ratio = if paper_fj > 0.0 {
+            ours_fj / paper_fj
+        } else {
+            f64::NAN
+        };
         let _ = writeln!(
             out,
             "{label:<28} {ours_fj:>10.0} {paper_fj:>14.0} {ratio:>12.2}"
@@ -45,8 +49,13 @@ pub fn format_table1(ours: &Table1, paper: &Table1) -> String {
     );
     row(
         "banyan 2x2 [1,1]",
-        ours.banyan_binary.energy_for_active_count(2).as_femtojoules(),
-        paper.banyan_binary.energy_for_active_count(2).as_femtojoules(),
+        ours.banyan_binary
+            .energy_for_active_count(2)
+            .as_femtojoules(),
+        paper
+            .banyan_binary
+            .energy_for_active_count(2)
+            .as_femtojoules(),
     );
     row(
         "batcher 2x2 [0,1]",
@@ -55,8 +64,13 @@ pub fn format_table1(ours: &Table1, paper: &Table1) -> String {
     );
     row(
         "batcher 2x2 [1,1]",
-        ours.batcher_sorting.energy_for_active_count(2).as_femtojoules(),
-        paper.batcher_sorting.energy_for_active_count(2).as_femtojoules(),
+        ours.batcher_sorting
+            .energy_for_active_count(2)
+            .as_femtojoules(),
+        paper
+            .batcher_sorting
+            .energy_for_active_count(2)
+            .as_femtojoules(),
     );
     for (ours_mux, paper_mux) in ours.muxes.iter().zip(&paper.muxes) {
         let inputs = ours_mux.ports();
@@ -73,7 +87,10 @@ pub fn format_table1(ours: &Table1, paper: &Table1) -> String {
 #[must_use]
 pub fn format_table2(computed: &Table2, paper: &Table2) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Table 2 — Banyan shared-buffer bit energy, computed vs. paper");
+    let _ = writeln!(
+        out,
+        "Table 2 — Banyan shared-buffer bit energy, computed vs. paper"
+    );
     let _ = writeln!(
         out,
         "{:>6} {:>10} {:>12} {:>14} {:>14} {:>8}",
@@ -100,7 +117,10 @@ pub fn format_table2(computed: &Table2, paper: &Table2) -> String {
 #[must_use]
 pub fn format_figure9_panel(sweep: &ThroughputSweep, ports: usize) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Figure 9 panel — {ports}x{ports}, power (mW) vs. offered load");
+    let _ = writeln!(
+        out,
+        "Figure 9 panel — {ports}x{ports}, power (mW) vs. offered load"
+    );
     let loads: Vec<f64> = {
         let mut loads: Vec<f64> = sweep
             .points
@@ -182,7 +202,10 @@ pub fn format_figure10(sweep: &PortSweep, port_counts: &[usize]) -> String {
 #[must_use]
 pub fn format_analytic_table(rows: &[AnalyticRow]) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Worst-case bit energy per architecture (Eq. 3-6), in pJ/bit");
+    let _ = writeln!(
+        out,
+        "Worst-case bit energy per architecture (Eq. 3-6), in pJ/bit"
+    );
     let _ = writeln!(
         out,
         "{:>6} {:>12} {:>16} {:>18} {:>22} {:>16}",

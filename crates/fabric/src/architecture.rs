@@ -109,12 +109,18 @@ mod tests {
 
     #[test]
     fn parsing_accepts_common_spellings() {
-        assert_eq!("crossbar".parse::<Architecture>().unwrap(), Architecture::Crossbar);
+        assert_eq!(
+            "crossbar".parse::<Architecture>().unwrap(),
+            Architecture::Crossbar
+        );
         assert_eq!(
             "Batcher-Banyan".parse::<Architecture>().unwrap(),
             Architecture::BatcherBanyan
         );
-        assert_eq!("fc".parse::<Architecture>().unwrap(), Architecture::FullyConnected);
+        assert_eq!(
+            "fc".parse::<Architecture>().unwrap(),
+            Architecture::FullyConnected
+        );
         assert!("torus".parse::<Architecture>().is_err());
         assert!("torus"
             .parse::<Architecture>()

@@ -273,7 +273,10 @@ impl FabricTopology {
                 buffered_on_contention: bufferable,
             });
         }
-        debug_assert_eq!(row, output, "butterfly self-routing must reach the destination");
+        debug_assert_eq!(
+            row, output,
+            "butterfly self-routing must reach the destination"
+        );
         RoutePath {
             wire_grids_before: 0,
             hops,
@@ -349,7 +352,7 @@ mod tests {
         assert_eq!(path.switch_hops(), 1);
         assert_eq!(path.hops[0].class, SwitchClass::Mux { inputs: 16 });
         assert_eq!(path.total_wire_grids(), 128); // ½·N² broadcast bus
-        // The wire cost is destination-independent: the ingress bus is one net.
+                                                  // The wire cost is destination-independent: the ingress bus is one net.
         assert_eq!(fabric.route(7, 15).total_wire_grids(), 128);
         assert_eq!(fabric.element_count(), 16);
     }
@@ -401,9 +404,9 @@ mod tests {
                 let path = fabric.route(input, output);
                 let first = &path.hops[0];
                 if !seen.insert((input, first.element, first.output_port))
-                    || seen
-                        .iter()
-                        .any(|&(other_in, e, p)| other_in != input && e == first.element && p == first.output_port)
+                    || seen.iter().any(|&(other_in, e, p)| {
+                        other_in != input && e == first.element && p == first.output_port
+                    })
                 {
                     collision = true;
                 }

@@ -126,7 +126,7 @@ impl MemoryModel {
         if word_bits == 0 {
             return Err(MemoryModelError::ZeroWordWidth);
         }
-        if capacity_bits == 0 || capacity_bits % u64::from(word_bits) != 0 {
+        if capacity_bits == 0 || !capacity_bits.is_multiple_of(u64::from(word_bits)) {
             return Err(MemoryModelError::InvalidCapacity {
                 capacity_bits,
                 word_bits,
@@ -234,9 +234,7 @@ impl MemoryModel {
     pub fn refresh_energy_per_bit(&self) -> Energy {
         match self.memory_technology {
             MemoryTechnology::Sram => Energy::ZERO,
-            MemoryTechnology::Dram {
-                refresh_interval_s,
-            } => {
+            MemoryTechnology::Dram { refresh_interval_s } => {
                 let refresh_cycles = refresh_interval_s * self.clock.as_hertz();
                 if refresh_cycles <= 0.0 {
                     return Energy::ZERO;
@@ -321,12 +319,7 @@ mod tests {
     #[test]
     fn paper_table2_sizes_land_in_the_published_band() {
         // Paper Table 2: 140, 140, 154, 222 pJ for 16K, 48K, 128K, 320K.
-        let expectations = [
-            (16_u64, 140.0),
-            (48, 140.0),
-            (128, 154.0),
-            (320, 222.0),
-        ];
+        let expectations = [(16_u64, 140.0), (48, 140.0), (128, 154.0), (320, 222.0)];
         for (kbits, paper_pj) in expectations {
             let sram = MemoryModel::shared_buffer(kbits * 1024).unwrap();
             let ours = sram.access_energy_per_bit().as_picojoules();

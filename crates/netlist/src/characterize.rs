@@ -13,8 +13,8 @@ use serde::{Deserialize, Serialize};
 use fabric_power_tech::units::Energy;
 
 use crate::circuits::{
-    banyan_binary_switch, batcher_sorting_switch, crossbar_crosspoint, n_input_mux,
-    SwitchCircuit, SwitchClass,
+    banyan_binary_switch, batcher_sorting_switch, crossbar_crosspoint, n_input_mux, SwitchCircuit,
+    SwitchClass,
 };
 use crate::library::CellLibrary;
 use crate::lut::{LutSource, SwitchEnergyLut};
@@ -121,7 +121,11 @@ fn measure_occupancy(
         let mut vector = circuit.blank_input_vector();
         // Presence flags for the first `active_ports` ports.
         for port in 0..circuit.ports {
-            circuit.set_input(&mut vector, circuit.presence_inputs[port], port < active_ports);
+            circuit.set_input(
+                &mut vector,
+                circuit.presence_inputs[port],
+                port < active_ports,
+            );
         }
         // Routing control: a fresh non-conflicting header every cycle (the
         // header data path of a switch is exercised once per packet; we use
@@ -177,7 +181,11 @@ fn set_routing_controls(
         SwitchClass::BatcherSorting => {
             let address_bits = circuit.control_inputs.len() / 2;
             for port in 0..2 {
-                let address = if port < active_ports { rng.gen::<u64>() } else { 0 };
+                let address = if port < active_ports {
+                    rng.gen::<u64>()
+                } else {
+                    0
+                };
                 for bit in 0..address_bits {
                     circuit.set_input(
                         vector,
@@ -311,8 +319,7 @@ mod tests {
     #[test]
     fn sorting_switch_costs_more_than_binary_switch_when_loaded() {
         let lib = CellLibrary::calibrated_018um();
-        let binary =
-            characterize_class(SwitchClass::BanyanBinary, 16, 4, &lib, &quick()).unwrap();
+        let binary = characterize_class(SwitchClass::BanyanBinary, 16, 4, &lib, &quick()).unwrap();
         let sorting =
             characterize_class(SwitchClass::BatcherSorting, 16, 4, &lib, &quick()).unwrap();
         // Table 1's [1,1] ordering (2025 fJ > 1821 fJ): with both inputs busy
@@ -335,8 +342,7 @@ mod tests {
         let lib = CellLibrary::calibrated_018um();
         let crosspoint =
             characterize_class(SwitchClass::CrossbarCrosspoint, 16, 4, &lib, &quick()).unwrap();
-        let binary =
-            characterize_class(SwitchClass::BanyanBinary, 16, 4, &lib, &quick()).unwrap();
+        let binary = characterize_class(SwitchClass::BanyanBinary, 16, 4, &lib, &quick()).unwrap();
         assert!(crosspoint.single_active() < binary.single_active());
     }
 
@@ -364,12 +370,17 @@ mod tests {
     #[test]
     fn characterized_energies_are_in_the_paper_order_of_magnitude() {
         let lib = CellLibrary::calibrated_018um();
-        let lut =
-            characterize_class(SwitchClass::BanyanBinary, 32, 5, &lib, &quick()).unwrap();
+        let lut = characterize_class(SwitchClass::BanyanBinary, 32, 5, &lib, &quick()).unwrap();
         let fj = lut.single_active().as_femtojoules();
         // Paper: 1080 fJ. Accept a generous band — the point is the scale.
-        assert!(fj > 100.0, "binary switch energy {fj} fJ is implausibly low");
-        assert!(fj < 10_000.0, "binary switch energy {fj} fJ is implausibly high");
+        assert!(
+            fj > 100.0,
+            "binary switch energy {fj} fJ is implausibly low"
+        );
+        assert!(
+            fj < 10_000.0,
+            "binary switch energy {fj} fJ is implausibly high"
+        );
     }
 
     #[test]

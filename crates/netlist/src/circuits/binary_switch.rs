@@ -146,7 +146,12 @@ fn gate_bus(
 ) -> Result<Vec<crate::netlist::NetId>, NetlistError> {
     let out = super::build::net_bus(netlist, &format!("{prefix}_g"), data.len());
     for (i, (&d, &o)) in data.iter().zip(&out).enumerate() {
-        netlist.add_cell(format!("{prefix}_and[{i}]"), CellKind::And2, &[d, enable], o)?;
+        netlist.add_cell(
+            format!("{prefix}_and[{i}]"),
+            CellKind::And2,
+            &[d, enable],
+            o,
+        )?;
     }
     Ok(out)
 }

@@ -126,9 +126,7 @@ mod tests {
         let mut vector = circuit.blank_input_vector();
         circuit.set_bus(&mut vector, 0, 0x00);
         sim.step(&vector);
-        let held = circuit.data_outputs[0]
-            .iter()
-            .all(|&n| sim.net_value(n));
+        let held = circuit.data_outputs[0].iter().all(|&n| sim.net_value(n));
         assert!(held, "disabled crosspoint must hold the column bus value");
     }
 

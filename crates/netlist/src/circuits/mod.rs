@@ -19,7 +19,7 @@ pub use sorting_switch::batcher_sorting_switch;
 
 use serde::{Deserialize, Serialize};
 
-use crate::netlist::{Netlist, NetId, NetlistError};
+use crate::netlist::{NetId, Netlist, NetlistError};
 
 /// Which of the paper's node-switch circuits a [`SwitchCircuit`] implements.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -183,7 +183,10 @@ mod tests {
 
     #[test]
     fn switch_class_display() {
-        assert_eq!(SwitchClass::CrossbarCrosspoint.to_string(), "crossbar crosspoint");
+        assert_eq!(
+            SwitchClass::CrossbarCrosspoint.to_string(),
+            "crossbar crosspoint"
+        );
         assert_eq!(SwitchClass::Mux { inputs: 8 }.to_string(), "8-input MUX");
     }
 

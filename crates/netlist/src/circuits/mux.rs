@@ -69,11 +69,7 @@ pub fn n_input_mux(inputs: usize, bus_width: usize) -> Result<SwitchCircuit, Net
         for pair in 0..half {
             let a = &current[2 * pair];
             let b = &current[2 * pair + 1];
-            let y = net_bus(
-                &mut netlist,
-                &format!("l{level}_p{pair}"),
-                bus_width,
-            );
+            let y = net_bus(&mut netlist, &format!("l{level}_p{pair}"), bus_width);
             for bit in 0..bus_width {
                 netlist.add_cell(
                     format!("u_mux_l{level}_p{pair}[{bit}]"),

@@ -44,7 +44,10 @@ pub fn batcher_sorting_switch(
     bus_width: usize,
     address_bits: usize,
 ) -> Result<SwitchCircuit, NetlistError> {
-    assert!(address_bits > 0, "a sorting switch needs at least one address bit");
+    assert!(
+        address_bits > 0,
+        "a sorting switch needs at least one address bit"
+    );
     let mut netlist = Netlist::new(format!("batcher_sorting_{bus_width}b_{address_bits}a"));
 
     // --- interface ---------------------------------------------------------
@@ -99,12 +102,7 @@ pub fn batcher_sorting_switch(
 
     // Gate idle outputs so they do not toggle when no packet leaves there.
     let any_present = netlist.add_net("any_present");
-    netlist.add_cell(
-        "u_any",
-        CellKind::Or2,
-        &[present0, present1],
-        any_present,
-    )?;
+    netlist.add_cell("u_any", CellKind::Or2, &[present0, present1], any_present)?;
     let gated_out0 = gate_bus(&mut netlist, "gate0", &mux_out0, any_present)?;
     let gated_out1 = gate_bus(&mut netlist, "gate1", &mux_out1, both_present)?;
 
@@ -192,7 +190,12 @@ fn gate_bus(
 ) -> Result<Vec<NetId>, NetlistError> {
     let out = net_bus(netlist, &format!("{prefix}_g"), data.len());
     for (i, (&d, &o)) in data.iter().zip(&out).enumerate() {
-        netlist.add_cell(format!("{prefix}_and[{i}]"), CellKind::And2, &[d, enable], o)?;
+        netlist.add_cell(
+            format!("{prefix}_and[{i}]"),
+            CellKind::And2,
+            &[d, enable],
+            o,
+        )?;
     }
     Ok(out)
 }

@@ -150,9 +150,8 @@ impl CellLibrary {
             (CellKind::Latch, 2.0, 8.0, 1.5),
         ];
 
-        let energy = |cap_ff: f64| {
-            Capacitance::from_femtofarads(cap_ff * scale).switching_energy(vdd)
-        };
+        let energy =
+            |cap_ff: f64| Capacitance::from_femtofarads(cap_ff * scale).switching_energy(vdd);
         // Leakage at 0.18um is negligible next to dynamic energy; keep a tiny
         // non-zero value so the accounting path is exercised.
         let leakage = energy(0.002);

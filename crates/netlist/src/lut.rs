@@ -33,7 +33,10 @@ impl InputVector {
     /// Panics if `ports` is zero or greater than 64.
     #[must_use]
     pub fn none(ports: usize) -> Self {
-        assert!(ports > 0 && ports <= 64, "ports must be in 1..=64, got {ports}");
+        assert!(
+            ports > 0 && ports <= 64,
+            "ports must be in 1..=64, got {ports}"
+        );
         Self { mask: 0, ports }
     }
 
@@ -41,7 +44,11 @@ impl InputVector {
     #[must_use]
     pub fn all(ports: usize) -> Self {
         let mut v = Self::none(ports);
-        v.mask = if ports == 64 { u64::MAX } else { (1 << ports) - 1 };
+        v.mask = if ports == 64 {
+            u64::MAX
+        } else {
+            (1 << ports) - 1
+        };
         v
     }
 
@@ -380,15 +387,27 @@ mod tests {
         let banyan = SwitchEnergyLut::paper_banyan_binary();
         let batcher = SwitchEnergyLut::paper_batcher_sorting();
         assert!(batcher.single_active() > banyan.single_active());
-        assert!(
-            batcher.energy_for_active_count(2) > banyan.energy_for_active_count(2)
-        );
+        assert!(batcher.energy_for_active_count(2) > banyan.energy_for_active_count(2));
     }
 
     #[test]
     fn paper_mux_published_points_and_interpolation() {
-        assert!((SwitchEnergyLut::paper_mux(4).single_active().as_femtojoules() - 431.0).abs() < 1e-9);
-        assert!((SwitchEnergyLut::paper_mux(32).single_active().as_femtojoules() - 2515.0).abs() < 1e-9);
+        assert!(
+            (SwitchEnergyLut::paper_mux(4)
+                .single_active()
+                .as_femtojoules()
+                - 431.0)
+                .abs()
+                < 1e-9
+        );
+        assert!(
+            (SwitchEnergyLut::paper_mux(32)
+                .single_active()
+                .as_femtojoules()
+                - 2515.0)
+                .abs()
+                < 1e-9
+        );
         // Interpolated value lands between the published neighbours.
         let e64 = SwitchEnergyLut::paper_mux(64).single_active();
         assert!(e64.as_femtojoules() > 2515.0);

@@ -81,8 +81,9 @@ impl ActivityReport {
     /// Average power when the run is clocked at the given period.
     #[must_use]
     pub fn average_power(&self, cycle_time: TimeSpan) -> Power {
-        self.total_energy()
-            .over(TimeSpan::from_seconds(cycle_time.as_seconds() * self.cycles as f64))
+        self.total_energy().over(TimeSpan::from_seconds(
+            cycle_time.as_seconds() * self.cycles as f64,
+        ))
     }
 }
 
@@ -345,7 +346,7 @@ mod tests {
         let lib = CellLibrary::default();
         let mut sim = Simulator::new(&n, &lib).unwrap();
         // Same vector repeatedly: after the first cycle nothing toggles.
-        sim.run(std::iter::repeat([false, false]).take(10));
+        sim.run(std::iter::repeat_n([false, false], 10));
         let report = sim.report();
         assert_eq!(report.toggles, 0);
         assert_eq!(report.energy.internal, Energy::ZERO);
@@ -398,7 +399,7 @@ mod tests {
         n.add_cell("u_ff", CellKind::Dff, &[d], q).unwrap();
         n.mark_output(q).unwrap();
         let lib = CellLibrary::default();
-        let report = simulate(&n, &lib, std::iter::repeat([false]).take(50)).unwrap();
+        let report = simulate(&n, &lib, std::iter::repeat_n([false], 50)).unwrap();
         let expected = lib.parameters(CellKind::Dff).clock_energy * 50.0;
         assert!((report.energy.clock.as_joules() - expected.as_joules()).abs() < 1e-24);
     }

@@ -149,7 +149,8 @@ impl SimulationReport {
     /// Average fabric power over the measurement window.
     #[must_use]
     pub fn average_power(&self) -> Power {
-        self.energy.average_power(self.measured_cycles, self.cycle_time)
+        self.energy
+            .average_power(self.measured_cycles, self.cycle_time)
     }
 
     /// Average energy per delivered payload bit (a size-independent figure of

@@ -48,8 +48,9 @@ impl EnergyAccount {
     /// duration `cycle_time` each.
     #[must_use]
     pub fn average_power(&self, cycles: u64, cycle_time: TimeSpan) -> Power {
-        self.total()
-            .over(TimeSpan::from_seconds(cycle_time.as_seconds() * cycles as f64))
+        self.total().over(TimeSpan::from_seconds(
+            cycle_time.as_seconds() * cycles as f64,
+        ))
     }
 
     /// Adds another account component-wise.

@@ -17,6 +17,7 @@
 //! Throughput is measured at the egress ports, exactly as in the paper.
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 
 use fabric_power_fabric::energy_model::FabricEnergyModel;
 use fabric_power_fabric::topology::{ElementId, FabricTopology, RoutePath, TopologyError};
@@ -115,7 +116,11 @@ impl From<TopologyError> for SimulationError {
 #[derive(Debug)]
 pub struct RouterSimulator {
     config: SimulationConfig,
-    model: FabricEnergyModel,
+    /// Shared immutable energy model: parameter sweeps evaluate many
+    /// operating points per fabric size, so the model is behind an [`Arc`]
+    /// and shared across simulators (and worker threads) instead of being
+    /// cloned per run.
+    model: Arc<FabricEnergyModel>,
     topology: FabricTopology,
     traffic: TrafficGenerator,
 
@@ -148,6 +153,23 @@ impl RouterSimulator {
     pub fn new(
         config: SimulationConfig,
         model: FabricEnergyModel,
+    ) -> Result<Self, SimulationError> {
+        Self::with_shared_model(config, Arc::new(model))
+    }
+
+    /// Creates a simulator from a configuration and a shared energy model.
+    ///
+    /// This is the constructor parameter sweeps use: one immutable model per
+    /// fabric size, shared across every simulation (and worker thread) via
+    /// [`Arc`] instead of being cloned per operating point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimulationError`] if the port count is invalid or does not
+    /// match the energy model.
+    pub fn with_shared_model(
+        config: SimulationConfig,
+        model: Arc<FabricEnergyModel>,
     ) -> Result<Self, SimulationError> {
         if model.ports() != config.ports {
             return Err(SimulationError::PortMismatch {
@@ -405,7 +427,8 @@ impl RouterSimulator {
             let ingress_key = LinkKey::Ingress(flow.packet.source);
             let previous = self.link_last_word.insert(ingress_key, word).unwrap_or(0);
             let flips = f64::from(polarity_flips(previous, word));
-            wire_energy += self.model.grid_bit_energy() * (flips * flow.path.wire_grids_before as f64);
+            wire_energy +=
+                self.model.grid_bit_energy() * (flips * flow.path.wire_grids_before as f64);
             for hop in &flow.path.hops {
                 let key = LinkKey::Hop(hop.element, hop.output_port);
                 let previous = self.link_last_word.insert(key, word).unwrap_or(0);
@@ -460,7 +483,11 @@ impl RouterSimulator {
         let mut completed_latency = Vec::new();
         self.flows.retain(|flow| {
             if flow.is_complete() {
-                completed_latency.push((flow.packet.source, flow.packet.destination, cycle + 1 - flow.packet.arrival_cycle));
+                completed_latency.push((
+                    flow.packet.source,
+                    flow.packet.destination,
+                    cycle + 1 - flow.packet.arrival_cycle,
+                ));
                 false
             } else {
                 true
@@ -493,8 +520,8 @@ pub fn simulate(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fabric_power_fabric::Architecture;
     use crate::traffic::TrafficPattern;
+    use fabric_power_fabric::Architecture;
 
     fn run(architecture: Architecture, ports: usize, load: f64) -> SimulationReport {
         simulate(SimulationConfig::quick(architecture, ports, load)).expect("simulation runs")
@@ -516,8 +543,8 @@ mod tests {
     fn throughput_saturates_near_the_input_buffer_limit() {
         // Offered load far above the 58.6% head-of-line blocking limit: the
         // measured egress throughput must saturate below ~65%.
-        let config = SimulationConfig::quick(Architecture::Crossbar, 8, 0.95)
-            .with_cycles(300, 2500);
+        let config =
+            SimulationConfig::quick(Architecture::Crossbar, 8, 0.95).with_cycles(300, 2500);
         let report = simulate(config).unwrap();
         let measured = report.measured_throughput();
         assert!(measured < 0.70, "measured {measured} should saturate");
@@ -585,10 +612,8 @@ mod tests {
         let b = run(Architecture::Banyan, 4, 0.3);
         assert_eq!(a.words_delivered, b.words_delivered);
         assert_eq!(a.energy, b.energy);
-        let c = simulate(
-            SimulationConfig::quick(Architecture::Banyan, 4, 0.3).with_seed(99),
-        )
-        .unwrap();
+        let c =
+            simulate(SimulationConfig::quick(Architecture::Banyan, 4, 0.3).with_seed(99)).unwrap();
         assert_ne!(a.words_delivered, c.words_delivered);
     }
 

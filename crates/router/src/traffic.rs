@@ -35,6 +35,31 @@ pub enum TrafficPattern {
         /// Constant offset applied to the source port.
         shift: usize,
     },
+    /// The tornado permutation: input `i` always sends to
+    /// `(i + N/2) mod N`, the maximum-distance destination.  A classic
+    /// adversarial pattern for multistage interconnects; like
+    /// [`TrafficPattern::Permutation`] it is destination-contention-free.
+    Tornado,
+    /// The bit-complement permutation: input `i` sends to `(N - 1) - i`,
+    /// i.e. every bit of the port index inverted (for power-of-two `N`).
+    /// Also destination-contention-free.
+    BitComplement,
+    /// Two-state on/off (bursty) traffic with uniform random destinations.
+    ///
+    /// Each ingress port alternates independently between an ON state
+    /// offering `on_load` and an OFF state offering `off_load`; state dwell
+    /// times are geometrically distributed with mean `mean_burst` cycles.
+    /// The `offered_load` passed to the generator is ignored while this
+    /// pattern is active — the two state loads define the traffic — so the
+    /// long-run average load is `(on_load + off_load) / 2`.
+    Bursty {
+        /// Offered load per port while the port is in the ON state (0, 1].
+        on_load: f64,
+        /// Offered load per port while the port is in the OFF state [0, 1].
+        off_load: f64,
+        /// Mean dwell time of each state, in cycles (must be ≥ 1).
+        mean_burst: f64,
+    },
 }
 
 /// Generates packet arrivals for every ingress port.
@@ -47,6 +72,9 @@ pub struct TrafficGenerator {
     rng: ChaCha8Rng,
     next_packet_id: u64,
     generated: u64,
+    /// Per-port ON/OFF state, used only by [`TrafficPattern::Bursty`]
+    /// (`true` = ON).  All ports start ON.
+    burst_on: Vec<bool>,
 }
 
 impl TrafficGenerator {
@@ -70,6 +98,25 @@ impl TrafficGenerator {
             "offered load must be in (0, 1], got {offered_load}"
         );
         assert!(packet_words > 0, "packets need at least one word");
+        if let TrafficPattern::Bursty {
+            on_load,
+            off_load,
+            mean_burst,
+        } = pattern
+        {
+            assert!(
+                on_load > 0.0 && on_load <= 1.0,
+                "bursty on-load must be in (0, 1], got {on_load}"
+            );
+            assert!(
+                (0.0..=1.0).contains(&off_load),
+                "bursty off-load must be in [0, 1], got {off_load}"
+            );
+            assert!(
+                mean_burst >= 1.0,
+                "bursty mean burst must be at least one cycle, got {mean_burst}"
+            );
+        }
         Self {
             ports,
             offered_load,
@@ -78,6 +125,7 @@ impl TrafficGenerator {
             rng: ChaCha8Rng::seed_from_u64(seed),
             next_packet_id: 0,
             generated: 0,
+            burst_on: vec![true; ports],
         }
     }
 
@@ -95,7 +143,8 @@ impl TrafficGenerator {
 
     /// Produces the packets arriving at `port` during `cycle` (zero or one).
     pub fn arrivals(&mut self, port: usize, cycle: u64) -> Option<Packet> {
-        let start_probability = self.offered_load / self.packet_words as f64;
+        let load = self.effective_load(port);
+        let start_probability = load / self.packet_words as f64;
         if self.rng.gen::<f64>() >= start_probability {
             return None;
         }
@@ -113,27 +162,64 @@ impl TrafficGenerator {
         ))
     }
 
+    /// The offered load in effect for `port` this cycle.  For
+    /// [`TrafficPattern::Bursty`] this also advances the port's two-state
+    /// Markov chain (one transition draw per call, i.e. per cycle).
+    fn effective_load(&mut self, port: usize) -> f64 {
+        let TrafficPattern::Bursty {
+            on_load,
+            off_load,
+            mean_burst,
+        } = self.pattern
+        else {
+            return self.offered_load;
+        };
+        // Geometric dwell time with mean `mean_burst`: leave the current
+        // state with probability 1/mean_burst each cycle.
+        if self.rng.gen::<f64>() < 1.0 / mean_burst {
+            self.burst_on[port] = !self.burst_on[port];
+        }
+        if self.burst_on[port] {
+            on_load
+        } else {
+            off_load
+        }
+    }
+
+    fn uniform_excluding_source(&mut self, source: usize) -> usize {
+        loop {
+            let candidate = self.rng.gen_range(0..self.ports);
+            if candidate != source {
+                return candidate;
+            }
+        }
+    }
+
     fn pick_destination(&mut self, source: usize) -> usize {
         match self.pattern {
-            TrafficPattern::UniformRandom => loop {
-                let candidate = self.rng.gen_range(0..self.ports);
-                if candidate != source {
-                    return candidate;
-                }
-            },
+            TrafficPattern::UniformRandom | TrafficPattern::Bursty { .. } => {
+                self.uniform_excluding_source(source)
+            }
             TrafficPattern::Hotspot { port, fraction } => {
                 if self.rng.gen::<f64>() < fraction && port != source {
                     port
                 } else {
-                    loop {
-                        let candidate = self.rng.gen_range(0..self.ports);
-                        if candidate != source {
-                            return candidate;
-                        }
-                    }
+                    self.uniform_excluding_source(source)
                 }
             }
             TrafficPattern::Permutation { shift } => (source + shift) % self.ports,
+            TrafficPattern::Tornado => (source + self.ports / 2) % self.ports,
+            TrafficPattern::BitComplement => {
+                let destination = (self.ports - 1) - source;
+                if destination == source {
+                    // Only possible for odd port counts (the middle port);
+                    // self-traffic never crosses the fabric, so fall back to
+                    // a uniform destination.
+                    self.uniform_excluding_source(source)
+                } else {
+                    destination
+                }
+            }
         }
     }
 }
@@ -237,5 +323,102 @@ mod tests {
     #[should_panic(expected = "offered load")]
     fn zero_load_is_rejected() {
         let _ = TrafficGenerator::new(4, 0.0, 16, TrafficPattern::UniformRandom, 0);
+    }
+
+    #[test]
+    fn tornado_sends_to_the_half_span_destination() {
+        let mut generator = TrafficGenerator::new(8, 1.0, 1, TrafficPattern::Tornado, 5);
+        for source in 0..8 {
+            for cycle in 0..50 {
+                if let Some(packet) = generator.arrivals(source, cycle) {
+                    assert_eq!(packet.destination, (source + 4) % 8);
+                    assert_ne!(packet.destination, source);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bit_complement_inverts_the_port_index() {
+        let mut generator = TrafficGenerator::new(8, 1.0, 1, TrafficPattern::BitComplement, 6);
+        for source in 0..8 {
+            for cycle in 0..50 {
+                if let Some(packet) = generator.arrivals(source, cycle) {
+                    assert_eq!(packet.destination, 7 - source);
+                    assert_ne!(packet.destination, source);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bit_complement_is_a_permutation_without_destination_contention() {
+        // Every source maps to a distinct destination, so the pattern is
+        // contention-free at the arbiter (like Permutation and Tornado).
+        let destinations: Vec<usize> = (0..8).map(|s| 7 - s).collect();
+        let mut sorted = destinations.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bursty_traffic_modulates_the_arrival_rate() {
+        // ON at 0.8, OFF at 0.0, long dwell times: the long-run average load
+        // must sit between the two state loads, well below the ON rate and
+        // well above the OFF rate.
+        let pattern = TrafficPattern::Bursty {
+            on_load: 0.8,
+            off_load: 0.0,
+            mean_burst: 500.0,
+        };
+        let mut generator = TrafficGenerator::new(8, 0.5, 16, pattern, 7);
+        let cycles = 40_000_u64;
+        let mut words = 0_u64;
+        for cycle in 0..cycles {
+            for port in 0..8 {
+                if let Some(packet) = generator.arrivals(port, cycle) {
+                    words += packet.words() as u64;
+                }
+            }
+        }
+        let measured = words as f64 / (cycles * 8) as f64;
+        assert!(
+            measured > 0.25 && measured < 0.55,
+            "long-run bursty load {measured} should be near (0.8 + 0.0) / 2"
+        );
+    }
+
+    #[test]
+    fn bursty_destinations_are_uniform_excluding_source() {
+        let pattern = TrafficPattern::Bursty {
+            on_load: 1.0,
+            off_load: 0.5,
+            mean_burst: 50.0,
+        };
+        let mut generator = TrafficGenerator::new(4, 0.5, 1, pattern, 8);
+        let mut seen = std::collections::HashSet::new();
+        for cycle in 0..2000 {
+            if let Some(packet) = generator.arrivals(0, cycle) {
+                assert_ne!(packet.destination, 0);
+                seen.insert(packet.destination);
+            }
+        }
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "mean burst")]
+    fn bursty_sub_cycle_dwell_is_rejected() {
+        let _ = TrafficGenerator::new(
+            4,
+            0.5,
+            16,
+            TrafficPattern::Bursty {
+                on_load: 0.8,
+                off_load: 0.1,
+                mean_burst: 0.5,
+            },
+            0,
+        );
     }
 }

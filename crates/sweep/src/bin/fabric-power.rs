@@ -1,0 +1,200 @@
+//! The `fabric-power` CLI: the user-facing entry point to the sweep engine.
+//!
+//! ```text
+//! fabric-power list-scenarios
+//! fabric-power sweep --scenario paper-fig9 --threads 8 --out fig9.json
+//! fabric-power report --in fig9.json
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use fabric_power_sweep::{report, ScenarioRegistry, SeedStrategy, SweepDocument, SweepEngine};
+
+const USAGE: &str = "\
+fabric-power — switch-fabric power sweeps (DAC 2002 reproduction)
+
+USAGE:
+    fabric-power <COMMAND> [OPTIONS]
+
+COMMANDS:
+    list-scenarios                 List every registered scenario
+    sweep --scenario <NAME>        Run a scenario's grid
+        [--threads <N>]            Worker threads (default: all cores; results
+                                   are identical for every thread count)
+        [--seed <SEED>]            Override the scenario's base RNG seed
+        [--seed-strategy <S>]      `shared` (default) or `per-cell`
+        [--out <FILE.json>]        Write the JSON document here
+        [--csv <FILE.csv>]         Also write a CSV table here
+    report --in <FILE.json>        Summarize a previously emitted document
+    help                           Show this message
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("run `fabric-power help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        None | Some("help" | "--help" | "-h") => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some("list-scenarios") => list_scenarios(),
+        Some("sweep") => sweep(&args[1..]),
+        Some("report") => report_command(&args[1..]),
+        Some(other) => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn list_scenarios() -> Result<(), String> {
+    let registry = ScenarioRegistry::builtin();
+    println!("{:<20} {:>7}  description", "scenario", "points");
+    for scenario in registry.scenarios() {
+        println!(
+            "{:<20} {:>7}  {}",
+            scenario.name,
+            scenario.config.grid_size(),
+            scenario.summary
+        );
+    }
+    Ok(())
+}
+
+/// Pulls the value of `--flag value` out of an argument list.
+fn flag_value(args: &[String], flag: &str) -> Result<Option<String>, String> {
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == flag {
+            return match iter.next() {
+                Some(value) => Ok(Some(value.clone())),
+                None => Err(format!("`{flag}` needs a value")),
+            };
+        }
+    }
+    Ok(None)
+}
+
+fn known_flags(args: &[String], flags: &[&str]) -> Result<(), String> {
+    let mut expect_value = false;
+    for arg in args {
+        if expect_value {
+            expect_value = false;
+            continue;
+        }
+        if flags.contains(&arg.as_str()) {
+            expect_value = true;
+        } else {
+            return Err(format!("unexpected argument `{arg}`"));
+        }
+    }
+    Ok(())
+}
+
+fn sweep(args: &[String]) -> Result<(), String> {
+    known_flags(
+        args,
+        &[
+            "--scenario",
+            "--threads",
+            "--seed",
+            "--seed-strategy",
+            "--out",
+            "--csv",
+        ],
+    )?;
+    let name = flag_value(args, "--scenario")?
+        .ok_or_else(|| "sweep needs `--scenario <NAME>`".to_string())?;
+    let registry = ScenarioRegistry::builtin();
+    let scenario = registry.get(&name).ok_or_else(|| {
+        format!(
+            "unknown scenario `{name}` (available: {})",
+            registry.names().join(", ")
+        )
+    })?;
+
+    let mut config = scenario.config.clone();
+    if let Some(seed) = flag_value(args, "--seed")? {
+        config.seed = parse_seed(&seed)?;
+    }
+
+    let mut engine = SweepEngine::new();
+    if let Some(threads) = flag_value(args, "--threads")? {
+        engine = engine.with_threads(fabric_power_sweep::executor::parse_thread_count(&threads)?);
+    }
+    if let Some(strategy) = flag_value(args, "--seed-strategy")? {
+        engine = engine.with_seed_strategy(SeedStrategy::parse(&strategy)?);
+    }
+
+    eprintln!(
+        "running scenario `{}`: {} points on {} thread(s)...",
+        scenario.name,
+        config.grid_size(),
+        engine.threads()
+    );
+    let started = std::time::Instant::now();
+    let points = engine.run(&config).map_err(|e| e.to_string())?;
+    eprintln!(
+        "completed {} points in {:.2?}",
+        points.len(),
+        started.elapsed()
+    );
+
+    let document = SweepDocument {
+        scenario: scenario.name.clone(),
+        config,
+        seed_strategy: engine.seed_strategy(),
+        points,
+    };
+
+    let out = flag_value(args, "--out")?.map(PathBuf::from);
+    let csv = flag_value(args, "--csv")?.map(PathBuf::from);
+    match (&out, &csv) {
+        (None, None) => {
+            // No files requested: the JSON document goes to stdout.
+            println!("{}", document.to_json_string().map_err(|e| e.to_string())?);
+        }
+        _ => {
+            if let Some(path) = &out {
+                document.write_json(path).map_err(|e| e.to_string())?;
+                eprintln!("wrote {}", path.display());
+            }
+            if let Some(path) = &csv {
+                document.write_csv(path).map_err(|e| e.to_string())?;
+                eprintln!("wrote {}", path.display());
+            }
+        }
+    }
+    Ok(())
+}
+
+fn parse_seed(input: &str) -> Result<u64, String> {
+    let parsed = if let Some(hex) = input
+        .strip_prefix("0x")
+        .or_else(|| input.strip_prefix("0X"))
+    {
+        u64::from_str_radix(hex, 16)
+    } else {
+        input.parse()
+    };
+    parsed.map_err(|_| format!("invalid seed `{input}`"))
+}
+
+fn report_command(args: &[String]) -> Result<(), String> {
+    known_flags(args, &["--in"])?;
+    let path =
+        flag_value(args, "--in")?.ok_or_else(|| "report needs `--in <FILE.json>`".to_string())?;
+    let json = std::fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?;
+    let document = SweepDocument::from_json_str(json.trim_end())
+        .map_err(|e| format!("parsing {path}: {e}"))?;
+    print!("{}", report::format_document(&document));
+    Ok(())
+}

@@ -1,0 +1,244 @@
+//! Sweep cells: one flattened operating point per cell, each carrying its
+//! own deterministic RNG seed, plus the measured [`SweepPoint`] results.
+
+use serde::{Deserialize, Serialize};
+
+use fabric_power_fabric::Architecture;
+use fabric_power_router::traffic::TrafficPattern;
+use fabric_power_tech::units::{Energy, Power};
+
+/// How each cell's simulation seed is derived from the experiment's base
+/// seed.
+///
+/// Either way the seed is fixed when the grid is expanded — before any worker
+/// thread starts — so results never depend on thread count or scheduling
+/// order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SeedStrategy {
+    /// Every cell uses the base seed unchanged.  This matches the original
+    /// sequential `ThroughputSweep::run` implementation point for point, so
+    /// it is the default.
+    #[default]
+    Shared,
+    /// Each cell's seed is mixed from `(base_seed, architecture, ports,
+    /// offered_load, pattern)`, decorrelating the traffic streams of
+    /// different cells (two cells that differ only in architecture still
+    /// share a seed stream under [`SeedStrategy::Shared`]).
+    PerCell,
+}
+
+impl SeedStrategy {
+    /// Parses the CLI spelling (`shared` / `per-cell`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the unrecognized input.
+    pub fn parse(input: &str) -> Result<Self, String> {
+        match input {
+            "shared" => Ok(Self::Shared),
+            "per-cell" => Ok(Self::PerCell),
+            other => Err(format!(
+                "unknown seed strategy `{other}` (expected `shared` or `per-cell`)"
+            )),
+        }
+    }
+
+    /// Derives the cell seed for one operating point.
+    #[must_use]
+    pub fn cell_seed(
+        self,
+        base_seed: u64,
+        architecture: Architecture,
+        ports: usize,
+        offered_load: f64,
+        pattern: TrafficPattern,
+    ) -> u64 {
+        match self {
+            Self::Shared => base_seed,
+            Self::PerCell => {
+                let mut state = base_seed;
+                state = mix(state, architecture_fingerprint(architecture));
+                state = mix(state, ports as u64);
+                state = mix(state, offered_load.to_bits());
+                state = mix(state, pattern_fingerprint(pattern));
+                state
+            }
+        }
+    }
+}
+
+/// SplitMix64-style combine step: deterministic, well-distributed, and
+/// platform independent.
+fn mix(state: u64, value: u64) -> u64 {
+    let mut z = state
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(value.wrapping_mul(0xA24B_AED4_963E_E407));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn architecture_fingerprint(architecture: Architecture) -> u64 {
+    // The slug is stable across compilers and releases, unlike discriminant
+    // values or type layout.
+    fnv1a(architecture.slug().as_bytes())
+}
+
+/// A stable 64-bit fingerprint of a traffic pattern (variant tag plus every
+/// parameter), used for per-cell seed derivation.
+#[must_use]
+pub fn pattern_fingerprint(pattern: TrafficPattern) -> u64 {
+    match pattern {
+        TrafficPattern::UniformRandom => fnv1a(b"uniform-random"),
+        TrafficPattern::Hotspot { port, fraction } => {
+            mix(mix(fnv1a(b"hotspot"), port as u64), fraction.to_bits())
+        }
+        TrafficPattern::Permutation { shift } => mix(fnv1a(b"permutation"), shift as u64),
+        TrafficPattern::Tornado => fnv1a(b"tornado"),
+        TrafficPattern::BitComplement => fnv1a(b"bit-complement"),
+        TrafficPattern::Bursty {
+            on_load,
+            off_load,
+            mean_burst,
+        } => mix(
+            mix(mix(fnv1a(b"bursty"), on_load.to_bits()), off_load.to_bits()),
+            mean_burst.to_bits(),
+        ),
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325_u64;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// One operating point of an expanded sweep grid, ready to simulate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepCell {
+    /// Position in the grid's canonical order (ports → architecture → load),
+    /// which is also the order results are reported in.
+    pub index: usize,
+    /// Architecture to simulate.
+    pub architecture: Architecture,
+    /// Fabric size.
+    pub ports: usize,
+    /// Offered load per port.
+    pub offered_load: f64,
+    /// Traffic destination pattern.
+    pub pattern: TrafficPattern,
+    /// The simulation seed this cell runs with (already derived; see
+    /// [`SeedStrategy`]).
+    pub seed: u64,
+}
+
+/// One simulated operating point: architecture × size × offered load.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Architecture simulated.
+    pub architecture: Architecture,
+    /// Fabric size.
+    pub ports: usize,
+    /// Offered load per port.
+    pub offered_load: f64,
+    /// Throughput measured at the egress ports.
+    pub measured_throughput: f64,
+    /// Average switch-fabric power.
+    pub power: Power,
+    /// Node-switch energy share of the total.
+    pub switch_energy: Energy,
+    /// Internal-buffer energy share of the total.
+    pub buffer_energy: Energy,
+    /// Interconnect-wire energy share of the total.
+    pub wire_energy: Energy,
+    /// Words absorbed by internal buffers (interconnect contention).
+    pub buffered_words: u64,
+    /// Mean packet latency in cycles.
+    pub average_latency_cycles: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_strategy_passes_the_base_seed_through() {
+        let seed = SeedStrategy::Shared.cell_seed(
+            42,
+            Architecture::Banyan,
+            8,
+            0.3,
+            TrafficPattern::UniformRandom,
+        );
+        assert_eq!(seed, 42);
+    }
+
+    #[test]
+    fn per_cell_seeds_differ_across_every_coordinate() {
+        let base = |architecture, ports, load, pattern| {
+            SeedStrategy::PerCell.cell_seed(0xDAC_2002, architecture, ports, load, pattern)
+        };
+        let reference = base(Architecture::Banyan, 8, 0.3, TrafficPattern::UniformRandom);
+        assert_ne!(
+            reference,
+            base(
+                Architecture::Crossbar,
+                8,
+                0.3,
+                TrafficPattern::UniformRandom
+            )
+        );
+        assert_ne!(
+            reference,
+            base(Architecture::Banyan, 16, 0.3, TrafficPattern::UniformRandom)
+        );
+        assert_ne!(
+            reference,
+            base(Architecture::Banyan, 8, 0.4, TrafficPattern::UniformRandom)
+        );
+        assert_ne!(
+            reference,
+            base(Architecture::Banyan, 8, 0.3, TrafficPattern::Tornado)
+        );
+        // And it is a pure function of its inputs.
+        assert_eq!(
+            reference,
+            base(Architecture::Banyan, 8, 0.3, TrafficPattern::UniformRandom)
+        );
+    }
+
+    #[test]
+    fn pattern_fingerprints_separate_parameterized_variants() {
+        let a = pattern_fingerprint(TrafficPattern::Hotspot {
+            port: 0,
+            fraction: 0.3,
+        });
+        let b = pattern_fingerprint(TrafficPattern::Hotspot {
+            port: 1,
+            fraction: 0.3,
+        });
+        let c = pattern_fingerprint(TrafficPattern::Hotspot {
+            port: 0,
+            fraction: 0.4,
+        });
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(
+            pattern_fingerprint(TrafficPattern::Tornado),
+            pattern_fingerprint(TrafficPattern::BitComplement)
+        );
+    }
+
+    #[test]
+    fn seed_strategy_parses_cli_spellings() {
+        assert_eq!(SeedStrategy::parse("shared").unwrap(), SeedStrategy::Shared);
+        assert_eq!(
+            SeedStrategy::parse("per-cell").unwrap(),
+            SeedStrategy::PerCell
+        );
+        assert!(SeedStrategy::parse("banana").is_err());
+    }
+}

@@ -1,0 +1,186 @@
+//! Experiment configuration: the declarative description of a sweep grid.
+//!
+//! Moved here from `fabric_power_core::experiment` when the sweep engine
+//! became its own subsystem; `fabric_power_core` re-exports these types so
+//! the original paths keep working.
+
+use serde::{Deserialize, Serialize};
+
+use fabric_power_fabric::energy_model::{EnergyModelError, FabricEnergyModel};
+use fabric_power_fabric::Architecture;
+use fabric_power_netlist::characterize::CharacterizationConfig;
+use fabric_power_netlist::library::CellLibrary;
+use fabric_power_router::config::SimulationConfig;
+use fabric_power_router::sim::SimulationError;
+use fabric_power_router::traffic::TrafficPattern;
+use fabric_power_tech::Technology;
+
+/// Where the bit-energy components come from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ModelSource {
+    /// The paper's published Table 1 / Table 2 / 87 fJ values.
+    Paper,
+    /// Everything re-derived from the substrate models (gate-level
+    /// characterization, structural SRAM model, wire model).
+    Derived,
+}
+
+/// Errors raised while running an experiment.
+#[derive(Debug)]
+pub enum ExperimentError {
+    /// Building an energy model failed.
+    Model(EnergyModelError),
+    /// Building or running the simulator failed.
+    Simulation(SimulationError),
+}
+
+impl std::fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Model(e) => write!(f, "energy model: {e}"),
+            Self::Simulation(e) => write!(f, "simulation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExperimentError {}
+
+impl From<EnergyModelError> for ExperimentError {
+    fn from(e: EnergyModelError) -> Self {
+        Self::Model(e)
+    }
+}
+
+impl From<SimulationError> for ExperimentError {
+    fn from(e: SimulationError) -> Self {
+        Self::Simulation(e)
+    }
+}
+
+/// Configuration shared by every experiment in the evaluation section.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Fabric sizes to evaluate (the paper uses 4, 8, 16, 32).
+    pub port_counts: Vec<usize>,
+    /// Offered loads to evaluate (the paper sweeps 10 %–50 %).
+    pub offered_loads: Vec<f64>,
+    /// Architectures to compare.
+    pub architectures: Vec<Architecture>,
+    /// Payload words per packet.
+    pub packet_words: usize,
+    /// Warmup cycles per simulation.
+    pub warmup_cycles: u64,
+    /// Measured cycles per simulation.
+    pub measure_cycles: u64,
+    /// Random seed.
+    pub seed: u64,
+    /// Traffic destination pattern.
+    pub pattern: TrafficPattern,
+    /// Source of the bit-energy components.
+    pub model_source: ModelSource,
+}
+
+impl ExperimentConfig {
+    /// The paper's full evaluation grid: 4 architectures × {4, 8, 16, 32}
+    /// ports × loads 10 %–50 %.
+    #[must_use]
+    pub fn paper() -> Self {
+        Self {
+            port_counts: vec![4, 8, 16, 32],
+            offered_loads: vec![0.10, 0.20, 0.30, 0.40, 0.50],
+            architectures: Architecture::ALL.to_vec(),
+            packet_words: 16,
+            warmup_cycles: 500,
+            measure_cycles: 4000,
+            seed: 0xDAC_2002,
+            pattern: TrafficPattern::UniformRandom,
+            model_source: ModelSource::Paper,
+        }
+    }
+
+    /// A reduced grid that finishes in well under a second — used by unit
+    /// tests, examples and smoke benches.
+    #[must_use]
+    pub fn quick() -> Self {
+        Self {
+            port_counts: vec![4, 8],
+            offered_loads: vec![0.10, 0.30, 0.50],
+            warmup_cycles: 100,
+            measure_cycles: 600,
+            ..Self::paper()
+        }
+    }
+
+    /// Number of operating points the grid expands to.
+    #[must_use]
+    pub fn grid_size(&self) -> usize {
+        self.port_counts.len() * self.architectures.len() * self.offered_loads.len()
+    }
+
+    /// Builds the energy model for one fabric size according to
+    /// [`ExperimentConfig::model_source`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EnergyModelError`].
+    pub fn energy_model(&self, ports: usize) -> Result<FabricEnergyModel, EnergyModelError> {
+        match self.model_source {
+            ModelSource::Paper => FabricEnergyModel::paper(ports),
+            ModelSource::Derived => FabricEnergyModel::derived(
+                ports,
+                &Technology::tsmc180(),
+                &CellLibrary::calibrated_018um(),
+                &CharacterizationConfig::quick(),
+            ),
+        }
+    }
+
+    /// Builds the simulator configuration for one operating point, with an
+    /// explicit per-cell seed (see [`crate::SeedStrategy`]).
+    #[must_use]
+    pub fn simulation_config(
+        &self,
+        architecture: Architecture,
+        ports: usize,
+        offered_load: f64,
+        seed: u64,
+    ) -> SimulationConfig {
+        SimulationConfig {
+            architecture,
+            ports,
+            offered_load,
+            packet_words: self.packet_words,
+            warmup_cycles: self.warmup_cycles,
+            measure_cycles: self.measure_cycles,
+            seed,
+            pattern: self.pattern,
+            ..SimulationConfig::new(architecture, ports, offered_load)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_size_counts_every_point() {
+        let config = ExperimentConfig::paper();
+        assert_eq!(config.grid_size(), 4 * 4 * 5);
+        assert_eq!(ExperimentConfig::quick().grid_size(), 2 * 4 * 3);
+    }
+
+    #[test]
+    fn config_round_trips_through_json() {
+        let config = ExperimentConfig::paper();
+        let json = serde_json::to_string(&config).expect("serialize");
+        let back: ExperimentConfig = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(config, back);
+    }
+
+    #[test]
+    fn experiment_errors_display() {
+        let err = ExperimentError::from(EnergyModelError::InvalidPortCount { ports: 7 });
+        assert!(err.to_string().contains('7'));
+    }
+}

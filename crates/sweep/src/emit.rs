@@ -1,0 +1,169 @@
+//! Structured emitters: deterministic JSON and CSV documents for sweep
+//! results.
+//!
+//! A [`SweepDocument`] bundles the scenario name, the exact configuration
+//! that ran, and every measured point.  Serialization is fully
+//! deterministic — object keys keep declaration order, floats render via
+//! shortest-round-trip formatting — so the same sweep always produces the
+//! same bytes, whatever the thread count (exercised by the workspace's
+//! determinism tests).
+
+use std::io::Write as _;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use crate::cell::{SeedStrategy, SweepPoint};
+use crate::config::ExperimentConfig;
+
+/// A complete, self-describing sweep result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepDocument {
+    /// The scenario name this sweep ran (or a free-form label).
+    pub scenario: String,
+    /// The exact configuration that produced the points.
+    pub config: ExperimentConfig,
+    /// How each cell's seed was derived from `config.seed` — without this a
+    /// `per-cell` run could not be reproduced from its own document.
+    pub seed_strategy: SeedStrategy,
+    /// One point per grid cell, in canonical order.
+    pub points: Vec<SweepPoint>,
+}
+
+/// The CSV header [`SweepDocument::to_csv_string`] writes.
+pub const CSV_HEADER: &str = "architecture,ports,offered_load,measured_throughput,power_mw,\
+switch_energy_j,buffer_energy_j,wire_energy_j,buffered_words,average_latency_cycles";
+
+impl SweepDocument {
+    /// Serializes to pretty JSON (deterministic bytes).
+    ///
+    /// # Errors
+    ///
+    /// Propagates serializer errors.
+    pub fn to_json_string(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Parses a document previously emitted by
+    /// [`SweepDocument::to_json_string`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse errors.
+    pub fn from_json_str(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Renders the points as CSV (header plus one row per point).
+    #[must_use]
+    pub fn to_csv_string(&self) -> String {
+        let mut out = String::from(CSV_HEADER);
+        out.push('\n');
+        for point in &self.points {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{},{}\n",
+                point.architecture.slug(),
+                point.ports,
+                point.offered_load,
+                point.measured_throughput,
+                point.power.as_milliwatts(),
+                point.switch_energy.as_joules(),
+                point.buffer_energy.as_joules(),
+                point.wire_energy.as_joules(),
+                point.buffered_words,
+                point.average_latency_cycles,
+            ));
+        }
+        out
+    }
+
+    /// Writes the JSON form to `path` (with a trailing newline).
+    ///
+    /// # Errors
+    ///
+    /// Propagates serializer and I/O errors.
+    pub fn write_json(&self, path: &Path) -> Result<(), Box<dyn std::error::Error>> {
+        let mut file = std::fs::File::create(path)?;
+        file.write_all(self.to_json_string()?.as_bytes())?;
+        file.write_all(b"\n")?;
+        Ok(())
+    }
+
+    /// Writes the CSV form to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_csv(&self, path: &Path) -> Result<(), Box<dyn std::error::Error>> {
+        std::fs::write(path, self.to_csv_string())?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::SweepEngine;
+
+    fn quick_document() -> SweepDocument {
+        let config = ExperimentConfig {
+            port_counts: vec![4],
+            offered_loads: vec![0.2],
+            warmup_cycles: 50,
+            measure_cycles: 200,
+            ..ExperimentConfig::quick()
+        };
+        let points = SweepEngine::new().with_threads(1).run(&config).unwrap();
+        SweepDocument {
+            scenario: "unit-test".into(),
+            config,
+            seed_strategy: SeedStrategy::Shared,
+            points,
+        }
+    }
+
+    #[test]
+    fn json_round_trips_losslessly() {
+        let document = quick_document();
+        let json = document.to_json_string().expect("serialize");
+        let back = SweepDocument::from_json_str(&json).expect("deserialize");
+        assert_eq!(document, back);
+    }
+
+    #[test]
+    fn json_bytes_are_deterministic() {
+        let a = quick_document().to_json_string().unwrap();
+        let b = quick_document().to_json_string().unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn csv_has_header_plus_one_row_per_point() {
+        let document = quick_document();
+        let csv = document.to_csv_string();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], CSV_HEADER);
+        assert_eq!(lines.len(), 1 + document.points.len());
+        let fields: Vec<&str> = lines[1].split(',').collect();
+        assert_eq!(fields.len(), 10);
+        assert_eq!(fields[1], "4");
+    }
+
+    #[test]
+    fn files_round_trip_through_disk() {
+        let document = quick_document();
+        let dir = std::env::temp_dir();
+        let json_path = dir.join("fabric_power_sweep_emit_test.json");
+        let csv_path = dir.join("fabric_power_sweep_emit_test.csv");
+        document.write_json(&json_path).expect("write json");
+        document.write_csv(&csv_path).expect("write csv");
+        let json = std::fs::read_to_string(&json_path).expect("read json");
+        let back = SweepDocument::from_json_str(json.trim_end()).expect("parse");
+        assert_eq!(document, back);
+        assert!(std::fs::read_to_string(&csv_path)
+            .expect("read csv")
+            .starts_with("architecture,"));
+        let _ = std::fs::remove_file(json_path);
+        let _ = std::fs::remove_file(csv_path);
+    }
+}

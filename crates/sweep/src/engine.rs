@@ -1,0 +1,267 @@
+//! The sweep engine: expands an [`ExperimentConfig`] into a flat list of
+//! [`SweepCell`]s and evaluates them on a parallel, deterministic executor.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use fabric_power_fabric::energy_model::FabricEnergyModel;
+use fabric_power_router::sim::RouterSimulator;
+
+use crate::cell::{SeedStrategy, SweepCell, SweepPoint};
+use crate::config::{ExperimentConfig, ExperimentError};
+use crate::executor;
+
+/// Orchestrates the evaluation of an experiment grid.
+///
+/// The engine guarantees **bit-identical results regardless of thread
+/// count**: cell seeds are fixed at expansion time, every cell's simulation
+/// is independent, and results are assembled in canonical grid order rather
+/// than completion order.
+///
+/// # Examples
+///
+/// ```
+/// use fabric_power_sweep::{ExperimentConfig, SweepEngine};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let engine = SweepEngine::new().with_threads(2);
+/// let points = engine.run(&ExperimentConfig::quick())?;
+/// assert_eq!(points.len(), ExperimentConfig::quick().grid_size());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SweepEngine {
+    threads: usize,
+    seed_strategy: SeedStrategy,
+}
+
+impl Default for SweepEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SweepEngine {
+    /// Creates an engine with automatic thread count and the
+    /// seed-compatible [`SeedStrategy::Shared`].
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            threads: 0,
+            seed_strategy: SeedStrategy::Shared,
+        }
+    }
+
+    /// Overrides the worker thread count (`0` = use every available core).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Overrides the per-cell seed derivation strategy.
+    #[must_use]
+    pub fn with_seed_strategy(mut self, strategy: SeedStrategy) -> Self {
+        self.seed_strategy = strategy;
+        self
+    }
+
+    /// The resolved worker thread count this engine will run with.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        if self.threads == 0 {
+            executor::default_threads()
+        } else {
+            self.threads
+        }
+    }
+
+    /// The seed strategy this engine runs with.
+    #[must_use]
+    pub fn seed_strategy(&self) -> SeedStrategy {
+        self.seed_strategy
+    }
+
+    /// Expands a configuration into its flat cell list, in canonical order
+    /// (ports → architecture → offered load — the order the original
+    /// sequential loops visited the grid in).
+    #[must_use]
+    pub fn expand(&self, config: &ExperimentConfig) -> Vec<SweepCell> {
+        let mut cells = Vec::with_capacity(config.grid_size());
+        for &ports in &config.port_counts {
+            for &architecture in &config.architectures {
+                for &offered_load in &config.offered_loads {
+                    cells.push(SweepCell {
+                        index: cells.len(),
+                        architecture,
+                        ports,
+                        offered_load,
+                        pattern: config.pattern,
+                        seed: self.seed_strategy.cell_seed(
+                            config.seed,
+                            architecture,
+                            ports,
+                            offered_load,
+                            config.pattern,
+                        ),
+                    });
+                }
+            }
+        }
+        cells
+    }
+
+    /// Builds one immutable energy model per fabric size, shared across all
+    /// cells (and worker threads) of that size via [`Arc`].
+    ///
+    /// Models for distinct sizes are independent, so they build on the same
+    /// parallel executor as the cells — with `ModelSource::Derived`, the
+    /// per-size gate-level characterization is the most expensive step of
+    /// the whole sweep and would otherwise serialize before any cell runs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first model-construction failure, in port order.
+    fn build_models(
+        &self,
+        config: &ExperimentConfig,
+    ) -> Result<HashMap<usize, Arc<FabricEnergyModel>>, ExperimentError> {
+        let mut unique_ports: Vec<usize> = Vec::new();
+        for &ports in &config.port_counts {
+            if !unique_ports.contains(&ports) {
+                unique_ports.push(ports);
+            }
+        }
+        let built = executor::parallel_map(&unique_ports, self.threads().max(1), |&ports| {
+            config.energy_model(ports).map(Arc::new)
+        });
+        let mut models = HashMap::new();
+        for (&ports, result) in unique_ports.iter().zip(built) {
+            models.insert(ports, result?);
+        }
+        Ok(models)
+    }
+
+    /// Runs the full grid and returns one [`SweepPoint`] per cell, in
+    /// canonical grid order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model and simulation errors; when several cells fail, the
+    /// error of the lowest-indexed cell is returned (deterministically).
+    pub fn run(&self, config: &ExperimentConfig) -> Result<Vec<SweepPoint>, ExperimentError> {
+        let models = self.build_models(config)?;
+        let cells = self.expand(config);
+        let results = executor::parallel_map(&cells, self.threads().max(1), |cell| {
+            self.run_cell(config, cell, &models[&cell.ports])
+        });
+        results.into_iter().collect()
+    }
+
+    /// Simulates a single cell against a shared energy model.
+    ///
+    /// Every operating parameter comes from the cell itself (a cell is the
+    /// self-describing unit future sharding will ship around); the config
+    /// only contributes the grid-wide knobs (cycle windows, packet length,
+    /// model source).
+    fn run_cell(
+        &self,
+        config: &ExperimentConfig,
+        cell: &SweepCell,
+        model: &Arc<FabricEnergyModel>,
+    ) -> Result<SweepPoint, ExperimentError> {
+        let mut sim_config =
+            config.simulation_config(cell.architecture, cell.ports, cell.offered_load, cell.seed);
+        sim_config.pattern = cell.pattern;
+        let report = RouterSimulator::with_shared_model(sim_config, Arc::clone(model))?.run();
+        Ok(SweepPoint {
+            architecture: cell.architecture,
+            ports: cell.ports,
+            offered_load: cell.offered_load,
+            measured_throughput: report.measured_throughput(),
+            power: report.average_power(),
+            switch_energy: report.energy.switches,
+            buffer_energy: report.energy.buffers,
+            wire_energy: report.energy.wires,
+            buffered_words: report.buffered_words,
+            average_latency_cycles: report.average_latency_cycles,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fabric_power_fabric::Architecture;
+
+    #[test]
+    fn expansion_is_canonical_and_complete() {
+        let config = ExperimentConfig::quick();
+        let cells = SweepEngine::new().expand(&config);
+        assert_eq!(cells.len(), config.grid_size());
+        // Canonical order: ports outermost, loads innermost.
+        assert_eq!(cells[0].ports, 4);
+        assert_eq!(cells[0].architecture, config.architectures[0]);
+        assert_eq!(cells[0].offered_load, config.offered_loads[0]);
+        assert_eq!(cells[1].offered_load, config.offered_loads[1]);
+        for (index, cell) in cells.iter().enumerate() {
+            assert_eq!(cell.index, index);
+            assert_eq!(cell.seed, config.seed, "shared strategy");
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let config = ExperimentConfig::quick();
+        let sequential = SweepEngine::new().with_threads(1).run(&config).unwrap();
+        let parallel = SweepEngine::new().with_threads(8).run(&config).unwrap();
+        assert_eq!(sequential, parallel);
+    }
+
+    #[test]
+    fn per_cell_strategy_changes_traffic_but_not_shape() {
+        let config = ExperimentConfig::quick();
+        let shared = SweepEngine::new().with_threads(2).run(&config).unwrap();
+        let per_cell = SweepEngine::new()
+            .with_threads(2)
+            .with_seed_strategy(SeedStrategy::PerCell)
+            .run(&config)
+            .unwrap();
+        assert_eq!(shared.len(), per_cell.len());
+        assert!(
+            shared != per_cell,
+            "per-cell seeding should change at least one trajectory"
+        );
+        // And stays deterministic in itself.
+        let per_cell_again = SweepEngine::new()
+            .with_threads(8)
+            .with_seed_strategy(SeedStrategy::PerCell)
+            .run(&config)
+            .unwrap();
+        assert_eq!(per_cell, per_cell_again);
+    }
+
+    #[test]
+    fn model_errors_surface_deterministically() {
+        let config = ExperimentConfig {
+            port_counts: vec![3],
+            ..ExperimentConfig::quick()
+        };
+        let err = SweepEngine::new().run(&config).unwrap_err();
+        assert!(err.to_string().contains('3'));
+    }
+
+    #[test]
+    fn engine_reports_resolved_threads() {
+        assert_eq!(SweepEngine::new().with_threads(5).threads(), 5);
+        assert!(SweepEngine::new().threads() >= 1);
+        assert_eq!(
+            SweepEngine::new()
+                .with_seed_strategy(SeedStrategy::PerCell)
+                .seed_strategy(),
+            SeedStrategy::PerCell
+        );
+        let _ = Architecture::ALL;
+    }
+}

@@ -1,0 +1,67 @@
+//! # fabric-power-sweep
+//!
+//! The experiment-orchestration subsystem of the `fabric-power` workspace:
+//! everything between "a grid of operating points I want evaluated" and "a
+//! deterministic, structured result file".
+//!
+//! The paper's evaluation is a large grid — 4 architectures × {4, 8, 16, 32}
+//! ports × 5 offered loads × traffic patterns — and every future scaling
+//! direction (more patterns, more sizes, derived models) only makes it
+//! larger.  This crate owns that problem end to end:
+//!
+//! * [`config`] — [`ExperimentConfig`]: the declarative description of a
+//!   sweep grid (formerly `fabric_power_core::experiment`);
+//! * [`cell`] — [`SweepCell`]: one flattened operating point with its own
+//!   deterministic RNG seed, and [`SweepPoint`], the measured result;
+//! * [`executor`] — a self-scheduling parallel map over cells: worker
+//!   threads pull the next unclaimed cell from a shared cursor, so load
+//!   balances dynamically and the result order never depends on scheduling;
+//! * [`engine`] — [`SweepEngine`]: expands a config into cells, builds one
+//!   immutable [`fabric_power_fabric::FabricEnergyModel`] per fabric size and
+//!   shares it across threads via [`std::sync::Arc`], then runs the cells in
+//!   parallel.  Results are **bit-identical regardless of thread count**;
+//! * [`sweeps`] — [`ThroughputSweep`] / [`PortSweep`]: the Figure 9/10
+//!   datasets, now thin views over the engine;
+//! * [`registry`] — [`ScenarioRegistry`]: named, JSON-round-trippable
+//!   workload definitions (`paper-fig9`, `hotspot-ablation`, `tornado`, …);
+//! * [`emit`] — structured emitters: deterministic JSON and CSV documents;
+//! * [`report`] — plain-text summaries for the `fabric-power report` CLI.
+//!
+//! The `fabric-power` binary in `src/bin/` is the user-facing entry point:
+//!
+//! ```text
+//! fabric-power list-scenarios
+//! fabric-power sweep --scenario paper-fig9 --threads 8 --out fig9.json
+//! fabric-power report --in fig9.json
+//! ```
+//!
+//! # Determinism
+//!
+//! Two sweeps of the same scenario with the same base seed produce
+//! byte-identical JSON no matter how many worker threads run them.  Each
+//! cell's simulation is seeded before execution starts — either with the
+//! shared base seed ([`SeedStrategy::Shared`], matching the original
+//! sequential implementation point for point) or with a per-cell seed mixed
+//! from `(base_seed, architecture, ports, load, pattern)`
+//! ([`SeedStrategy::PerCell`], decorrelating the traffic across cells) — and
+//! results are written back by cell index, not completion order.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cell;
+pub mod config;
+pub mod emit;
+pub mod engine;
+pub mod executor;
+pub mod registry;
+pub mod report;
+pub mod sweeps;
+
+pub use cell::{SeedStrategy, SweepCell, SweepPoint};
+pub use config::{ExperimentConfig, ExperimentError, ModelSource};
+pub use emit::SweepDocument;
+pub use engine::SweepEngine;
+pub use registry::{Scenario, ScenarioRegistry};
+pub use sweeps::{PortSweep, ThroughputSweep};

@@ -1,0 +1,89 @@
+//! Plain-text summaries of sweep documents, used by `fabric-power report`.
+
+use crate::emit::SweepDocument;
+use crate::sweeps::ThroughputSweep;
+
+/// Renders a per-fabric-size power table plus headline observations for a
+/// sweep document.
+#[must_use]
+pub fn format_document(document: &SweepDocument) -> String {
+    // Reuse ThroughputSweep's point lookup and cheapest-architecture
+    // selection so the CLI report and the programmatic API can never
+    // diverge on matching tolerance or tie-breaks.
+    let sweep = ThroughputSweep {
+        points: document.points.clone(),
+    };
+    let mut out = String::new();
+    out.push_str(&format!(
+        "scenario: {} ({} points, seed 0x{:X}, {} seeding)\n",
+        document.scenario,
+        document.points.len(),
+        document.config.seed,
+        match document.seed_strategy {
+            crate::cell::SeedStrategy::Shared => "shared",
+            crate::cell::SeedStrategy::PerCell => "per-cell",
+        }
+    ));
+
+    for &ports in &document.config.port_counts {
+        out.push_str(&format!("\n{ports}x{ports} fabric — average power [mW]\n"));
+        out.push_str(&format!("{:<16}", "load"));
+        for &load in &document.config.offered_loads {
+            out.push_str(&format!("{:>12.0}%", load * 100.0));
+        }
+        out.push('\n');
+        for &architecture in &document.config.architectures {
+            out.push_str(&format!("{:<16}", architecture.slug()));
+            for &load in &document.config.offered_loads {
+                match sweep.power(architecture, ports, load) {
+                    Some(power) => {
+                        out.push_str(&format!("{:>13.3}", power.as_milliwatts()));
+                    }
+                    None => out.push_str(&format!("{:>13}", "-")),
+                }
+            }
+            out.push('\n');
+        }
+        for &load in &document.config.offered_loads {
+            if let Some(cheapest) = sweep.cheapest(ports, load) {
+                out.push_str(&format!(
+                    "  cheapest at {:.0}% load: {}\n",
+                    load * 100.0,
+                    cheapest.slug()
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ExperimentConfig;
+    use crate::engine::SweepEngine;
+
+    #[test]
+    fn report_mentions_every_architecture_and_size() {
+        let config = ExperimentConfig {
+            port_counts: vec![4],
+            offered_loads: vec![0.1, 0.3],
+            warmup_cycles: 50,
+            measure_cycles: 200,
+            ..ExperimentConfig::quick()
+        };
+        let points = SweepEngine::new().with_threads(1).run(&config).unwrap();
+        let document = SweepDocument {
+            scenario: "report-test".into(),
+            config: config.clone(),
+            seed_strategy: crate::cell::SeedStrategy::Shared,
+            points,
+        };
+        let text = format_document(&document);
+        assert!(text.contains("4x4 fabric"));
+        for architecture in &config.architectures {
+            assert!(text.contains(architecture.slug()), "{architecture}");
+        }
+        assert!(text.contains("cheapest at 10% load"));
+    }
+}

@@ -44,6 +44,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // sanity-pins published values
     fn constants_are_in_sane_ranges() {
         assert!(PAPER_GRID_BIT_ENERGY_FJ > 0.0);
         assert!(INPUT_BUFFER_SATURATION_THROUGHPUT > 0.5);

@@ -312,7 +312,9 @@ impl TechnologyBuilder {
             ("clock", t.clock.as_hertz()),
         ];
         for (parameter, value) in checks {
-            if !(value > 0.0) {
+            // `partial_cmp` keeps NaN on the rejecting side, which a plain
+            // `value <= 0.0` would let through.
+            if value.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
                 return Err(BuildTechnologyError::NonPositive { parameter });
             }
         }

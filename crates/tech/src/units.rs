@@ -620,7 +620,10 @@ mod tests {
         assert_eq!(format!("{}", Energy::from_picojoules(1.5)), "1.500 pJ");
         assert_eq!(format!("{}", Power::from_milliwatts(12.0)), "12.000 mW");
         assert_eq!(format!("{}", Energy::ZERO), "0 J");
-        assert_eq!(format!("{}", Frequency::from_megahertz(133.0)), "133.000 MHz");
+        assert_eq!(
+            format!("{}", Frequency::from_megahertz(133.0)),
+            "133.000 MHz"
+        );
     }
 
     #[test]

@@ -213,7 +213,11 @@ impl Embedding {
     /// The longest routed interconnect, in grids.
     #[must_use]
     pub fn max_wire_length(&self) -> u64 {
-        self.routes.values().map(|p| p.len() as u64).max().unwrap_or(0)
+        self.routes
+            .values()
+            .map(|p| p.len() as u64)
+            .max()
+            .unwrap_or(0)
     }
 
     /// The bounding box (columns, rows) of the embedding — Thompson's `p × q`.
@@ -379,8 +383,14 @@ mod tests {
         emb.place_vertex(b, GridRect::square(4, 0, 1));
         emb.place_vertex(c, GridRect::square(6, 0, 1));
         // Both routes run along row 0 from column 0: they share grid edges.
-        emb.route_edge(e1, l_shaped_path(GridPoint::new(0, 0), GridPoint::new(4, 0)));
-        emb.route_edge(e2, l_shaped_path(GridPoint::new(0, 0), GridPoint::new(6, 0)));
+        emb.route_edge(
+            e1,
+            l_shaped_path(GridPoint::new(0, 0), GridPoint::new(4, 0)),
+        );
+        emb.route_edge(
+            e2,
+            l_shaped_path(GridPoint::new(0, 0), GridPoint::new(6, 0)),
+        );
         assert!(matches!(
             emb.validate(),
             Err(EmbeddingError::EdgeOverlap { .. })
@@ -416,9 +426,11 @@ mod tests {
 
     #[test]
     fn error_messages_are_informative() {
-        assert!(EmbeddingError::UnplacedVertex { vertex: VertexId(3) }
-            .to_string()
-            .contains('3'));
+        assert!(EmbeddingError::UnplacedVertex {
+            vertex: VertexId(3)
+        }
+        .to_string()
+        .contains('3'));
         assert!(EmbeddingError::EdgeOverlap {
             first: EdgeId(1),
             second: EdgeId(2)

@@ -82,17 +82,11 @@ impl CrossbarLayout {
         // crosspoint the paper's 2×2 square and accounting the two extra
         // routing grids in the 4-grid pitch.
         for i in 0..ports {
-            embedding.place_vertex(
-                inputs[i],
-                GridRect::square(0, 4 * i as u32, 1),
-            );
-            embedding.place_vertex(
-                outputs[i],
-                GridRect::square(4 * i as u32 + 4, 4 * n, 1),
-            );
-            for j in 0..ports {
+            embedding.place_vertex(inputs[i], GridRect::square(0, 4 * i as u32, 1));
+            embedding.place_vertex(outputs[i], GridRect::square(4 * i as u32 + 4, 4 * n, 1));
+            for (j, &crosspoint) in crosspoints[i].iter().enumerate() {
                 embedding.place_vertex(
-                    crosspoints[i][j],
+                    crosspoint,
                     GridRect::square(4 * j as u32 + 4, 4 * i as u32, 2),
                 );
             }
@@ -101,10 +95,10 @@ impl CrossbarLayout {
         // Route the row buses along row 4i and the column buses along column
         // 4j + 4; horizontal and vertical grid edges never collide, and
         // distinct rows/columns keep parallel buses apart.
-        for i in 0..ports {
+        for (i, edges) in row_edges.iter().enumerate().take(ports) {
             let row = 4 * i as u32;
             let mut x = 0;
-            for &edge in &row_edges[i] {
+            for &edge in edges {
                 let next_x = x + 4;
                 embedding.route_edge(
                     edge,
@@ -113,10 +107,10 @@ impl CrossbarLayout {
                 x = next_x;
             }
         }
-        for j in 0..ports {
+        for (j, edges) in column_edges.iter().enumerate().take(ports) {
             let column = 4 * j as u32 + 4;
             let mut y = 0;
-            for &edge in &column_edges[j] {
+            for &edge in edges {
                 let next_y = y + 4;
                 embedding.route_edge(
                     edge,
@@ -206,7 +200,10 @@ impl MultistageLayout {
         switches_per_stage: usize,
         mut link: impl FnMut(usize, usize, usize) -> (usize, usize),
     ) -> Self {
-        assert!(stages > 0 && switches_per_stage > 0, "empty multistage network");
+        assert!(
+            stages > 0 && switches_per_stage > 0,
+            "empty multistage network"
+        );
         let links_per_gap = 2 * switches_per_stage;
         // Column band geometry: a 4-wide switch column plus one private track
         // per link plus a 2-grid margin.
@@ -309,7 +306,6 @@ impl MultistageLayout {
 /// `n − 2 − i` of the destination path — the standard butterfly exchange.
 ///
 /// `ports` must be a power of two ≥ 4.
-#[must_use]
 pub fn banyan_permutation(ports: usize) -> impl Fn(usize, usize, usize) -> (usize, usize) {
     let stages = crate::wirelength::banyan_stages(ports) as usize;
     move |stage: usize, switch: usize, port: usize| {
@@ -317,7 +313,11 @@ pub fn banyan_permutation(ports: usize) -> impl Fn(usize, usize, usize) -> (usiz
         // (counting from the MSB of the switch index) moves one position.
         let bit = stages.saturating_sub(2).saturating_sub(stage);
         let straight = port == (switch >> bit) & 1;
-        let dest = if straight { switch } else { switch ^ (1 << bit) };
+        let dest = if straight {
+            switch
+        } else {
+            switch ^ (1 << bit)
+        };
         (dest, (switch >> bit) & 1)
     }
 }
@@ -331,7 +331,10 @@ mod tests {
     fn crossbar_layout_is_legal_and_matches_closed_form() {
         for ports in [2_usize, 4, 8] {
             let layout = CrossbarLayout::new(ports);
-            layout.embedding().validate().expect("legal crossbar embedding");
+            layout
+                .embedding()
+                .validate()
+                .expect("legal crossbar embedding");
             for i in 0..ports {
                 assert_eq!(
                     layout.row_wire_grids(i),
@@ -361,11 +364,7 @@ mod tests {
     fn multistage_layout_is_legal_by_construction() {
         for ports in [4_usize, 8, 16] {
             let stages = wirelength::banyan_stages(ports) as usize;
-            let layout = MultistageLayout::new(
-                stages,
-                ports / 2,
-                banyan_permutation(ports),
-            );
+            let layout = MultistageLayout::new(stages, ports / 2, banyan_permutation(ports));
             layout
                 .embedding()
                 .validate()

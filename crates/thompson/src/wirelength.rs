@@ -55,7 +55,10 @@ pub fn fully_connected_bit_wire_grids(ports: usize) -> u64 {
 /// a segmented (repeater-isolated) bus.
 #[must_use]
 pub fn fully_connected_pair_wire_grids(ports: usize, output: usize) -> u64 {
-    debug_assert!(output < ports, "output {output} out of range for {ports} ports");
+    debug_assert!(
+        output < ports,
+        "output {output} out of range for {ports} ports"
+    );
     (ports * (output + 1)) as u64 / 2
 }
 

@@ -11,7 +11,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let offered_load = 0.40;
     let model = FabricEnergyModel::paper(ports)?;
 
-    println!("{ports}x{ports} fabrics at {:.0}% offered load", offered_load * 100.0);
+    println!(
+        "{ports}x{ports} fabrics at {:.0}% offered load",
+        offered_load * 100.0
+    );
     println!(
         "{:<18} {:>12} {:>12} {:>14} {:>12} {:>10}",
         "architecture", "power (mW)", "throughput", "buffer share", "latency", "worst-case"

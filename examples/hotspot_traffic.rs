@@ -38,12 +38,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 fraction: 0.6,
             },
         ),
-        ("permutation (no dest. contention)", TrafficPattern::Permutation { shift: 5 }),
+        (
+            "permutation (no dest. contention)",
+            TrafficPattern::Permutation { shift: 5 },
+        ),
+        ("tornado (half-span permutation)", TrafficPattern::Tornado),
+        ("bit-complement permutation", TrafficPattern::BitComplement),
+        (
+            "bursty on/off (80%/5%, 400 cyc)",
+            TrafficPattern::Bursty {
+                on_load: 0.80,
+                off_load: 0.05,
+                mean_burst: 400.0,
+            },
+        ),
     ];
 
     for (label, pattern) in patterns {
-        let config = SimulationConfig::new(Architecture::Banyan, ports, offered_load)
-            .with_pattern(pattern);
+        let config =
+            SimulationConfig::new(Architecture::Banyan, ports, offered_load).with_pattern(pattern);
         let report = RouterSimulator::new(config, model.clone())?.run();
         println!(
             "{:<28} {:>12.2} {:>11.1}% {:>16} {:>13.0}%",

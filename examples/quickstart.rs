@@ -22,7 +22,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3. The closed-form worst case (Eq. 5) — no contention vs. one buffered stage.
     let uncontended = analytic::banyan_bit_energy(&model, 0);
     let contended = analytic::banyan_bit_energy(&model, 1);
-    println!("worst-case bit energy: {uncontended} uncontended, {contended} with one buffered stage");
+    println!(
+        "worst-case bit energy: {uncontended} uncontended, {contended} with one buffered stage"
+    );
 
     // 4. Simulate dynamic traffic at 30 % offered load and read off the power.
     let config = SimulationConfig::new(architecture, ports, 0.30);

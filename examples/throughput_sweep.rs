@@ -5,7 +5,7 @@
 //! Run with
 //! `cargo run --release -p fabric-power-core --example throughput_sweep`.
 
-use fabric_power_core::experiment::{ExperimentConfig, ThroughputSweep};
+use fabric_power_core::experiment::{ExperimentConfig, SweepEngine, ThroughputSweep};
 use fabric_power_core::prelude::*;
 use fabric_power_core::report::format_figure9_panel;
 
@@ -14,14 +14,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     config.port_counts = vec![16];
     config.offered_loads = vec![0.10, 0.20, 0.30, 0.40, 0.50];
 
-    let sweep = ThroughputSweep::run(&config)?;
+    // The sweep runs on the parallel engine (one worker per core, one shared
+    // energy model per fabric size); results are identical for every thread
+    // count.
+    let engine = SweepEngine::new();
+    eprintln!(
+        "evaluating {} operating points on {} thread(s)",
+        config.grid_size(),
+        engine.threads()
+    );
+    let sweep = ThroughputSweep::run_with(&config, &engine)?;
     println!("{}", format_figure9_panel(&sweep, 16));
 
     // Show how the Banyan's buffer share of total energy grows with load.
     println!("Banyan internal-buffer share of total fabric energy:");
     for point in sweep.curve(Architecture::Banyan, 16) {
-        let share = point.buffer_energy
-            / (point.buffer_energy + point.switch_energy + point.wire_energy);
+        let share =
+            point.buffer_energy / (point.buffer_energy + point.switch_energy + point.wire_energy);
         println!(
             "  load {:>3.0}% -> buffered words {:>6}, buffer share {:>4.0}%",
             point.offered_load * 100.0,

@@ -1,0 +1,10 @@
+//! Umbrella crate for the `fabric-power` workspace.
+//!
+//! This package exists to host the workspace-level `examples/` and `tests/`
+//! directories; the actual functionality lives in the `crates/` members.  It
+//! re-exports the most useful entry points so `fabric_power::prelude::*`
+//! works in scratch code.
+
+#![forbid(unsafe_code)]
+
+pub use fabric_power_core::prelude;

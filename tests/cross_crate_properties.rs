@@ -14,7 +14,14 @@ use fabric_power_thompson::{l_shaped_path, GridPoint};
 
 /// Strategy: one of the paper's power-of-two port counts.
 fn port_counts() -> impl Strategy<Value = usize> {
-    prop_oneof![Just(2_usize), Just(4), Just(8), Just(16), Just(32), Just(64)]
+    prop_oneof![
+        Just(2_usize),
+        Just(4),
+        Just(8),
+        Just(16),
+        Just(32),
+        Just(64)
+    ]
 }
 
 proptest! {
@@ -140,7 +147,7 @@ proptest! {
         prop_assert_eq!(vector.active_ports().count(), expected);
         // Formatting always shows one digit per port.
         let printed = vector.to_string();
-        prop_assert_eq!(printed.matches(|c| c == '0' || c == '1').count(), ports);
+        prop_assert_eq!(printed.matches(['0', '1']).count(), ports);
     }
 
     #[test]

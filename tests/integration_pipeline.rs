@@ -36,7 +36,10 @@ fn derived_energy_model_supports_the_same_pipeline_as_the_paper_model() {
         assert!(report.energy.total().as_joules() > 0.0, "{label}");
         // Both models agree that the fabric moves bits more cheaply over
         // wires than through buffers.
-        assert!(model.buffer_bit_energy() > model.grid_bit_energy() * 10.0, "{label}");
+        assert!(
+            model.buffer_bit_energy() > model.grid_bit_energy() * 10.0,
+            "{label}"
+        );
     }
 }
 
@@ -66,7 +69,10 @@ fn analytic_equations_agree_with_topology_path_structure() {
             banyan_path.total_wire_grids(),
             wirelength::banyan_bit_wire_grids(ports)
         );
-        assert_eq!(banyan_path.switch_hops() as u32, wirelength::banyan_stages(ports));
+        assert_eq!(
+            banyan_path.switch_hops() as u32,
+            wirelength::banyan_stages(ports)
+        );
     }
 }
 
@@ -107,8 +113,7 @@ fn characterized_table1_keeps_the_orderings_the_experiments_rely_on() {
         .expect("characterization");
     // Idle switches cost (almost) nothing compared with busy ones.
     assert!(
-        table.banyan_binary.energy_for_active_count(0)
-            < table.banyan_binary.single_active() * 0.25
+        table.banyan_binary.energy_for_active_count(0) < table.banyan_binary.single_active() * 0.25
     );
     // The crosspoint is by far the cheapest switch.
     assert!(table.crosspoint.single_active() < table.banyan_binary.single_active() * 0.5);

@@ -80,5 +80,8 @@ fn permutation_traffic_is_not_limited_by_destination_contention() {
 fn banyan_saturates_no_higher_than_contention_free_fabrics() {
     let banyan = run(Architecture::Banyan, 8, 0.95, 3000).measured_throughput();
     let crossbar = run(Architecture::Crossbar, 8, 0.95, 3000).measured_throughput();
-    assert!(banyan <= crossbar + 0.05, "banyan {banyan} vs crossbar {crossbar}");
+    assert!(
+        banyan <= crossbar + 0.05,
+        "banyan {banyan} vs crossbar {crossbar}"
+    );
 }

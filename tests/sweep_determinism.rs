@@ -1,0 +1,128 @@
+//! Workspace-level determinism and equivalence guarantees of the sweep
+//! subsystem:
+//!
+//! 1. the same scenario + seed produces **byte-identical JSON** at
+//!    `--threads 1` and `--threads 8`;
+//! 2. the engine-backed `ThroughputSweep::run` matches the original
+//!    sequential nested-loop implementation point for point;
+//! 3. scenario registry entries run end to end through engine and emitters.
+
+use fabric_power_core::prelude::*;
+use fabric_power_router::sim::RouterSimulator;
+use fabric_power_sweep::{SweepDocument, SweepEngine};
+
+/// A scenario-sized grid that still finishes quickly in CI.
+fn test_config() -> ExperimentConfig {
+    ExperimentConfig {
+        port_counts: vec![4, 8],
+        offered_loads: vec![0.1, 0.3, 0.5],
+        warmup_cycles: 100,
+        measure_cycles: 400,
+        ..ExperimentConfig::paper()
+    }
+}
+
+fn document_for_threads(threads: usize) -> String {
+    let config = test_config();
+    let points = SweepEngine::new()
+        .with_threads(threads)
+        .run(&config)
+        .expect("sweep");
+    SweepDocument {
+        scenario: "determinism-test".into(),
+        config,
+        seed_strategy: SeedStrategy::Shared,
+        points,
+    }
+    .to_json_string()
+    .expect("serialize")
+}
+
+#[test]
+fn json_is_byte_identical_across_thread_counts() {
+    let single = document_for_threads(1);
+    for threads in [2, 8] {
+        let parallel = document_for_threads(threads);
+        assert_eq!(
+            single, parallel,
+            "thread count {threads} changed the emitted bytes"
+        );
+    }
+}
+
+#[test]
+fn engine_backed_sweep_matches_sequential_reference() {
+    // The original pre-engine implementation, inlined as the reference.
+    let config = test_config();
+    let mut reference = Vec::new();
+    for &ports in &config.port_counts {
+        let model = config.energy_model(ports).expect("model");
+        for &architecture in &config.architectures {
+            for &offered_load in &config.offered_loads {
+                let sim_config =
+                    config.simulation_config(architecture, ports, offered_load, config.seed);
+                let report = RouterSimulator::new(sim_config, model.clone())
+                    .expect("simulator")
+                    .run();
+                reference.push(SweepPoint {
+                    architecture,
+                    ports,
+                    offered_load,
+                    measured_throughput: report.measured_throughput(),
+                    power: report.average_power(),
+                    switch_energy: report.energy.switches,
+                    buffer_energy: report.energy.buffers,
+                    wire_energy: report.energy.wires,
+                    buffered_words: report.buffered_words,
+                    average_latency_cycles: report.average_latency_cycles,
+                });
+            }
+        }
+    }
+
+    let sweep = ThroughputSweep::run(&config).expect("sweep");
+    assert_eq!(sweep.points, reference);
+}
+
+#[test]
+fn every_builtin_scenario_expands_and_a_reduced_version_runs() {
+    let registry = ScenarioRegistry::builtin();
+    assert!(registry.scenarios().len() >= 7);
+    for scenario in registry.scenarios() {
+        assert!(scenario.config.grid_size() > 0, "{}", scenario.name);
+        // Shrink every scenario to one cheap cell and push it through the
+        // whole engine + emitter pipeline.
+        let reduced = ExperimentConfig {
+            port_counts: vec![4],
+            offered_loads: vec![scenario.config.offered_loads[0]],
+            architectures: vec![Architecture::Banyan],
+            warmup_cycles: 20,
+            measure_cycles: 100,
+            ..scenario.config.clone()
+        };
+        let points = SweepEngine::new().run(&reduced).expect("run");
+        assert_eq!(points.len(), 1, "{}", scenario.name);
+        let document = SweepDocument {
+            scenario: scenario.name.clone(),
+            config: reduced,
+            seed_strategy: SeedStrategy::Shared,
+            points,
+        };
+        let json = document.to_json_string().expect("emit");
+        let back = SweepDocument::from_json_str(&json).expect("parse");
+        assert_eq!(document, back, "{}", scenario.name);
+    }
+}
+
+#[test]
+fn per_cell_seeding_is_thread_invariant_too() {
+    let config = test_config();
+    let run = |threads| {
+        SweepEngine::new()
+            .with_threads(threads)
+            .with_seed_strategy(SeedStrategy::PerCell)
+            .run(&config)
+            .expect("sweep")
+    };
+    assert_eq!(run(1), run(8));
+}

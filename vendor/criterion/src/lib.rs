@@ -1,0 +1,237 @@
+//! Vendored, offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the subset of criterion's API the workspace benches use —
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`BenchmarkId`], [`Bencher::iter`], [`criterion_group!`],
+//! [`criterion_main!`] and [`black_box`] — with a simple best-of-N wall-clock
+//! measurement instead of criterion's statistical machinery.
+//!
+//! When the binary is invoked with `--test` (as `cargo test --benches` does
+//! for `harness = false` targets), every benchmark body runs exactly once so
+//! the target doubles as a smoke test.
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding a value.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a bare parameter (criterion renders it after the
+    /// group name).
+    pub fn from_parameter<D: std::fmt::Display>(parameter: D) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+
+    /// Builds an id from a function name and a parameter.
+    pub fn new<D: std::fmt::Display>(function: &str, parameter: D) -> Self {
+        Self {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(id: &str) -> Self {
+        Self { id: id.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        Self { id }
+    }
+}
+
+/// Timing helper handed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    test_mode: bool,
+    samples: usize,
+    best: Option<Duration>,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Runs the closure repeatedly and records the best observed sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            black_box(routine());
+            self.iterations = 1;
+            self.best = Some(Duration::ZERO);
+            return;
+        }
+        // Warmup.
+        black_box(routine());
+        let mut best = Duration::MAX;
+        let mut iterations = 0_u64;
+        let budget = Duration::from_millis(300);
+        let started = Instant::now();
+        for _ in 0..self.samples {
+            let sample_start = Instant::now();
+            black_box(routine());
+            let sample = sample_start.elapsed();
+            best = best.min(sample);
+            iterations += 1;
+            if started.elapsed() > budget {
+                break;
+            }
+        }
+        self.best = Some(best);
+        self.iterations = iterations;
+    }
+}
+
+fn is_test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+/// Minimal stand-in for criterion's top-level driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Overrides the number of samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut routine: F,
+    ) -> &mut Self {
+        run_one(None, &id.into(), self.sample_size, &mut routine);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of samples per benchmark in this group.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples.max(1);
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut routine: F,
+    ) -> &mut Self {
+        run_one(Some(&self.name), &id.into(), self.sample_size, &mut routine);
+        self
+    }
+
+    /// Finishes the group (formatting no-op in this stand-in).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    group: Option<&str>,
+    id: &BenchmarkId,
+    samples: usize,
+    routine: &mut F,
+) {
+    let label = match group {
+        Some(group) => format!("{group}/{}", id.id),
+        None => id.id.clone(),
+    };
+    let mut bencher = Bencher {
+        test_mode: is_test_mode(),
+        samples,
+        best: None,
+        iterations: 0,
+    };
+    routine(&mut bencher);
+    match bencher.best {
+        Some(best) if !bencher.test_mode => {
+            println!(
+                "bench: {label:<50} best {:>12.3?} ({} samples)",
+                best, bencher.iterations
+            );
+        }
+        _ => println!("bench: {label:<50} ok (test mode)"),
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut criterion = Criterion::default();
+        let mut runs = 0;
+        criterion.bench_function("smoke", |b| b.iter(|| runs += 1));
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn groups_run_and_finish() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("g");
+        group.sample_size(2);
+        let mut runs = 0;
+        group.bench_function(BenchmarkId::from_parameter(4), |b| b.iter(|| runs += 1));
+        group.finish();
+        assert!(runs > 0);
+    }
+}

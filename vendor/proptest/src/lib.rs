@@ -1,0 +1,366 @@
+//! Vendored, offline stand-in for the `proptest` crate.
+//!
+//! Supports the subset the workspace's property tests use: the [`proptest!`]
+//! macro with an optional `#![proptest_config(...)]` header, `a in strategy`
+//! bindings, [`prop_assert!`]/[`prop_assert_eq!`], [`prop_oneof!`],
+//! [`strategy::Just`], `any::<T>()` and range strategies.
+//!
+//! Unlike real proptest there is no shrinking: each test draws `cases`
+//! deterministic samples (seeded from the test name, so failures reproduce)
+//! and reports the first failing case.
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A source of random values of one type.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    /// Strategy producing one constant value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($ty:ty),*) => {$(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+                fn sample(&self, rng: &mut TestRng) -> $ty {
+                    rng.rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$ty> {
+                type Value = $ty;
+                fn sample(&self, rng: &mut TestRng) -> $ty {
+                    rng.rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, f64);
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for u64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.rng.gen()
+        }
+    }
+
+    impl Arbitrary for u32 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.rng.gen()
+        }
+    }
+
+    impl Arbitrary for u16 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.rng.gen()
+        }
+    }
+
+    impl Arbitrary for u8 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.rng.gen()
+        }
+    }
+
+    impl Arbitrary for usize {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.rng.gen()
+        }
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.rng.gen()
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.rng.gen()
+        }
+    }
+
+    /// Strategy for `any::<T>()`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T> {
+        _marker: std::marker::PhantomData<T>,
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Returns the canonical strategy for `T`.
+    #[must_use]
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any {
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Boxes a strategy, erasing its concrete type (drives inference in
+    /// [`crate::prop_oneof!`] better than an `as` cast would).
+    pub fn boxed<S: Strategy + 'static>(strategy: S) -> Box<dyn Strategy<Value = S::Value>> {
+        Box::new(strategy)
+    }
+
+    /// Uniform choice between boxed strategies (backs [`crate::prop_oneof!`]).
+    pub struct OneOf<V> {
+        options: Vec<Box<dyn Strategy<Value = V>>>,
+    }
+
+    impl<V> std::fmt::Debug for OneOf<V> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "OneOf({} options)", self.options.len())
+        }
+    }
+
+    impl<V> OneOf<V> {
+        /// Creates a uniform choice over `options`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `options` is empty.
+        #[must_use]
+        pub fn new(options: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Self { options }
+        }
+    }
+
+    impl<V> Strategy for OneOf<V> {
+        type Value = V;
+        fn sample(&self, rng: &mut TestRng) -> V {
+            let index = rng.rng.gen_range(0..self.options.len());
+            self.options[index].sample(rng)
+        }
+    }
+}
+
+pub mod test_runner {
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use std::fmt;
+
+    /// Configuration for one `proptest!` block.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per test.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// Creates a configuration running `cases` cases per test.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    /// The deterministic RNG driving strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        pub(crate) rng: ChaCha8Rng,
+    }
+
+    impl TestRng {
+        /// Seeds the RNG from a test name so every run draws the same cases.
+        #[must_use]
+        pub fn deterministic(name: &str) -> Self {
+            let mut seed = 0xcbf2_9ce4_8422_2325_u64; // FNV-1a
+            for byte in name.bytes() {
+                seed ^= u64::from(byte);
+                seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            Self {
+                rng: ChaCha8Rng::seed_from_u64(seed),
+            }
+        }
+    }
+
+    /// A failed property within a test case.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// Creates a failure with a message.
+        #[must_use]
+        pub fn fail(message: impl Into<String>) -> Self {
+            Self {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+}
+
+/// Everything a property test usually imports.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Declares property tests; see the crate docs for the supported grammar.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!{@impl $config; $($rest)*}
+    };
+    (@impl $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $( $arg:ident in $strategy:expr ),* $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $config;
+                let mut __rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+                for __case in 0..__config.cases {
+                    $( let $arg = $crate::strategy::Strategy::sample(&($strategy), &mut __rng); )*
+                    let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(__error) = __result {
+                        panic!(
+                            "proptest `{}` failed at case {}/{}: {}",
+                            stringify!($name), __case + 1, __config.cases, __error
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!{@impl $crate::test_runner::ProptestConfig::default(); $($rest)*}
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __left = $left;
+        let __right = $right;
+        if !(__left == __right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}` ({:?} != {:?})",
+                stringify!($left),
+                stringify!($right),
+                __left,
+                __right
+            )));
+        }
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __left = $left;
+        let __right = $right;
+        if !(__left != __right) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}` (both {:?})",
+                stringify!($left),
+                stringify!($right),
+                __left
+            )));
+        }
+    }};
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $( $crate::strategy::boxed($strategy), )+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(a in 1_usize..10, b in 0.5_f64..2.0, c in 3_u64..=5) {
+            prop_assert!((1..10).contains(&a));
+            prop_assert!((0.5..2.0).contains(&b));
+            prop_assert!((3..=5).contains(&c));
+        }
+
+        #[test]
+        fn oneof_picks_from_options(v in prop_oneof![Just(2_usize), Just(4), Just(8)]) {
+            prop_assert!(v == 2 || v == 4 || v == 8);
+            prop_assert_eq!(v % 2, 0);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_works(x in any::<u64>()) {
+            prop_assert_eq!(x, x);
+            prop_assert_ne!(x.wrapping_add(1), x);
+        }
+    }
+}

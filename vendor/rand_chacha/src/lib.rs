@@ -1,0 +1,164 @@
+//! Vendored, offline ChaCha-based generator for the vendored `rand` traits.
+//!
+//! A faithful ChaCha8 keystream implementation (D. J. Bernstein's ChaCha with
+//! 8 rounds).  The output stream is *not* bit-compatible with the real
+//! `rand_chacha` crate (which uses rand's block-buffer plumbing), but it is a
+//! real cryptographic-quality PRNG, fully deterministic per seed, `Clone`,
+//! and platform independent — everything the simulators rely on.
+
+use rand::{splitmix64, RngCore, SeedableRng};
+
+/// A ChaCha keystream generator with 8 rounds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaCha8Rng {
+    /// The 16-word ChaCha input block (constants, key, counter, nonce).
+    state: [u32; 16],
+    /// The current output block.
+    block: [u32; 16],
+    /// Next unread word in `block`; 16 means "refill".
+    index: usize,
+}
+
+const CHACHA_CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+const ROUNDS: usize = 8;
+
+impl ChaCha8Rng {
+    /// Creates a generator from a 32-byte key (the ChaCha key schedule with a
+    /// zero nonce and zero counter).
+    #[must_use]
+    pub fn from_key(key: [u32; 8]) -> Self {
+        let mut state = [0_u32; 16];
+        state[..4].copy_from_slice(&CHACHA_CONSTANTS);
+        state[4..12].copy_from_slice(&key);
+        // state[12..14] is the 64-bit block counter, state[14..16] the nonce.
+        Self {
+            state,
+            block: [0; 16],
+            index: 16,
+        }
+    }
+
+    fn refill(&mut self) {
+        let mut working = self.state;
+        for _ in 0..ROUNDS / 2 {
+            // Column round.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (out, (w, s)) in self
+            .block
+            .iter_mut()
+            .zip(working.iter().zip(self.state.iter()))
+        {
+            *out = w.wrapping_add(*s);
+        }
+        // 64-bit block counter increment.
+        let (low, carry) = self.state[12].overflowing_add(1);
+        self.state[12] = low;
+        if carry {
+            self.state[13] = self.state[13].wrapping_add(1);
+        }
+        self.index = 0;
+    }
+
+    fn next_word(&mut self) -> u32 {
+        if self.index >= 16 {
+            self.refill();
+        }
+        let word = self.block[self.index];
+        self.index += 1;
+        word
+    }
+}
+
+#[inline]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // Expand the 64-bit seed into a 256-bit key with SplitMix64, the same
+        // approach rand's `seed_from_u64` takes.
+        let mut state = seed;
+        let mut key = [0_u32; 8];
+        for pair in key.chunks_mut(2) {
+            let wide = splitmix64(&mut state);
+            pair[0] = wide as u32;
+            if pair.len() > 1 {
+                pair[1] = (wide >> 32) as u32;
+            }
+        }
+        Self::from_key(key)
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        self.next_word()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let low = u64::from(self.next_word());
+        let high = u64::from(self.next_word());
+        (high << 32) | low
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = ChaCha8Rng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn clone_preserves_stream_position() {
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..10 {
+            a.next_u64();
+        }
+        let mut b = a.clone();
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn unit_floats_are_roughly_uniform() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn chacha_known_answer_zero_key() {
+        // ChaCha8 block 0 for the all-zero key/nonce: the reference keystream
+        // begins with bytes 3e 00 ef 2f, i.e. 0x2fef003e as a LE word.
+        let mut rng = ChaCha8Rng::from_key([0; 8]);
+        let first = rng.next_u32();
+        assert_eq!(first, 0x2fef_003e);
+    }
+}

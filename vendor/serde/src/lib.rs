@@ -1,0 +1,517 @@
+//! Vendored, offline stand-in for the `serde` crate.
+//!
+//! The build environment has no network access, so the workspace vendors a
+//! minimal serialization framework under the `serde` package name.  Instead of
+//! serde's visitor-based data model, this implementation routes everything
+//! through an owned [`Value`] tree (the subset of the JSON data model the
+//! workspace needs), which keeps the derive macro small enough to hand-write
+//! without `syn`/`quote`.
+//!
+//! Supported surface (everything the `fabric-power` crates use):
+//!
+//! * `#[derive(Serialize, Deserialize)]` on named-field structs, tuple
+//!   structs, unit structs, and enums with unit/newtype/tuple/struct variants
+//!   (externally tagged, like real serde);
+//! * `#[serde(transparent)]` on newtype structs;
+//! * impls for the primitive types, `String`, `Vec<T>`, `Option<T>`, arrays
+//!   of serializable values, and 2/3-tuples.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::fmt;
+
+/// The self-describing value tree every type serializes into.
+///
+/// Object keys keep insertion order (a `Vec`, not a map) so that emitted JSON
+/// is deterministic: the same data always renders to the same bytes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A non-negative integer (u64 range, lossless).
+    UInt(u64),
+    /// A negative integer.
+    Int(i64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Array(Vec<Value>),
+    /// An ordered set of key/value entries.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Returns the entries if the value is an object.
+    #[must_use]
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Returns the elements if the value is an array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(elements) => Some(elements),
+            _ => None,
+        }
+    }
+
+    /// Returns the string if the value is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as an `f64` if it is any kind of number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::UInt(u) => Some(u as f64),
+            Value::Int(i) => Some(i as f64),
+            Value::Float(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as a `u64` if it is a non-negative integer.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::UInt(u) => Some(u),
+            Value::Int(i) if i >= 0 => Some(i as u64),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as an `i64` if it is an integer in range.
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::UInt(u) => i64::try_from(u).ok(),
+            Value::Int(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean if the value is a boolean.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Looks up a key in an object value.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()
+            .and_then(|entries| entries.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+
+    /// A short description of the value's kind, for error messages.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "boolean",
+            Value::UInt(_) | Value::Int(_) => "integer",
+            Value::Float(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Creates an error with a custom message.
+    #[must_use]
+    pub fn custom(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can render themselves into a [`Value`].
+pub trait Serialize {
+    /// Converts `self` into the serialization data model.
+    fn serialize(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from the serialization data model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when the value's shape does not match `Self`.
+    fn deserialize(value: &Value) -> Result<Self, Error>;
+}
+
+/// Helper used by generated code: looks up a required struct field.
+///
+/// # Errors
+///
+/// Returns [`Error`] when the field is missing.
+pub fn field<'a>(
+    entries: &'a [(String, Value)],
+    name: &str,
+    type_name: &str,
+) -> Result<&'a Value, Error> {
+    entries
+        .iter()
+        .find(|(key, _)| key == name)
+        .map(|(_, value)| value)
+        .ok_or_else(|| Error::custom(format!("missing field `{name}` for `{type_name}`")))
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_bool()
+            .ok_or_else(|| Error::custom(format!("expected boolean, found {}", value.kind())))
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn serialize(&self) -> Value {
+                Value::UInt(u64::from(*self))
+            }
+        }
+        impl Deserialize for $ty {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                let raw = value.as_u64().ok_or_else(|| {
+                    Error::custom(format!(
+                        "expected unsigned integer, found {}",
+                        value.kind()
+                    ))
+                })?;
+                <$ty>::try_from(raw)
+                    .map_err(|_| Error::custom(format!("integer {raw} out of range")))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn serialize(&self) -> Value {
+        Value::UInt(*self as u64)
+    }
+}
+
+impl Deserialize for usize {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let raw = value
+            .as_u64()
+            .ok_or_else(|| Error::custom(format!("expected integer, found {}", value.kind())))?;
+        usize::try_from(raw).map_err(|_| Error::custom(format!("integer {raw} out of range")))
+    }
+}
+
+macro_rules! impl_signed {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn serialize(&self) -> Value {
+                let wide = i64::from(*self);
+                if wide >= 0 {
+                    Value::UInt(wide as u64)
+                } else {
+                    Value::Int(wide)
+                }
+            }
+        }
+        impl Deserialize for $ty {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                let raw = value.as_i64().ok_or_else(|| {
+                    Error::custom(format!("expected integer, found {}", value.kind()))
+                })?;
+                <$ty>::try_from(raw)
+                    .map_err(|_| Error::custom(format!("integer {raw} out of range")))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64);
+
+impl Serialize for isize {
+    fn serialize(&self) -> Value {
+        (*self as i64).serialize()
+    }
+}
+
+impl Deserialize for isize {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let raw = i64::deserialize(value)?;
+        isize::try_from(raw).map_err(|_| Error::custom(format!("integer {raw} out of range")))
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        if self.is_finite() {
+            Value::Float(*self)
+        } else {
+            Value::Null
+        }
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_f64()
+            .ok_or_else(|| Error::custom(format!("expected number, found {}", value.kind())))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        f64::from(*self).serialize()
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        Ok(f64::deserialize(value)? as f32)
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| Error::custom(format!("expected string, found {}", value.kind())))
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Deserialize for &'static str {
+    /// Real serde borrows `&'de str` from the input; this owned data model
+    /// cannot, so the string is leaked instead.  Only diagnostic types (error
+    /// enums with `&'static str` parameter names) use this, and only in
+    /// tests, so the leak is bounded and acceptable for an offline stub.
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_str()
+            .map(|s| &*Box::leak(s.to_owned().into_boxed_str()))
+            .ok_or_else(|| Error::custom(format!("expected string, found {}", value.kind())))
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value
+            .as_array()
+            .ok_or_else(|| Error::custom(format!("expected array, found {}", value.kind())))?
+            .iter()
+            .map(T::deserialize)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(inner) => inner.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize(&self) -> Value {
+        // Maps whose keys serialize to strings render as objects (like
+        // serde_json); any other key type falls back to an array of pairs.
+        let keys: Vec<Value> = self.keys().map(Serialize::serialize).collect();
+        if keys.iter().all(|k| matches!(k, Value::Str(_))) {
+            Value::Object(
+                keys.into_iter()
+                    .zip(self.values())
+                    .map(|(k, v)| {
+                        let Value::Str(key) = k else { unreachable!() };
+                        (key, v.serialize())
+                    })
+                    .collect(),
+            )
+        } else {
+            Value::Array(
+                self.iter()
+                    .map(|(k, v)| Value::Array(vec![k.serialize(), v.serialize()]))
+                    .collect(),
+            )
+        }
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((K::deserialize(&Value::Str(k.clone()))?, V::deserialize(v)?)))
+                .collect(),
+            Value::Array(elements) => elements.iter().map(<(K, V)>::deserialize).collect(),
+            other => Err(Error::custom(format!(
+                "expected map, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize(&self) -> Value {
+        Value::Array(vec![self.0.serialize(), self.1.serialize()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value.as_array() {
+            Some([a, b]) => Ok((A::deserialize(a)?, B::deserialize(b)?)),
+            _ => Err(Error::custom("expected 2-element array")),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn serialize(&self) -> Value {
+        Value::Array(vec![
+            self.0.serialize(),
+            self.1.serialize(),
+            self.2.serialize(),
+        ])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value.as_array() {
+            Some([a, b, c]) => Ok((A::deserialize(a)?, B::deserialize(b)?, C::deserialize(c)?)),
+            _ => Err(Error::custom("expected 3-element array")),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::deserialize(&42_u64.serialize()).unwrap(), 42);
+        assert_eq!(i32::deserialize(&(-7_i32).serialize()).unwrap(), -7);
+        assert_eq!(f64::deserialize(&1.5_f64.serialize()).unwrap(), 1.5);
+        assert!(bool::deserialize(&true.serialize()).unwrap());
+        let v: Vec<u64> = vec![1, 2, 3];
+        assert_eq!(Vec::<u64>::deserialize(&v.serialize()).unwrap(), v);
+        assert_eq!(Option::<u64>::deserialize(&Value::Null).unwrap(), None);
+    }
+
+    #[test]
+    fn object_field_lookup() {
+        let value = Value::Object(vec![("a".into(), Value::UInt(1))]);
+        assert!(value.get("a").is_some());
+        assert!(value.get("b").is_none());
+    }
+
+    #[test]
+    fn u64_precision_is_lossless() {
+        let big = u64::MAX - 3;
+        assert_eq!(u64::deserialize(&big.serialize()).unwrap(), big);
+    }
+}

@@ -1,0 +1,485 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros for
+//! the vendored `serde` stand-in.
+//!
+//! The offline build environment has neither `syn` nor `quote`, so this crate
+//! parses the item's token stream directly and emits the generated impls by
+//! formatting Rust source strings.  It supports the shapes the workspace
+//! actually uses:
+//!
+//! * structs with named fields;
+//! * tuple structs (newtypes serialize as their inner value, like serde;
+//!   wider tuples as arrays) and `#[serde(transparent)]`;
+//! * unit structs;
+//! * enums with unit, newtype, tuple and struct variants, externally tagged
+//!   (`"Variant"` / `{"Variant": ...}`), like serde's default representation.
+//!
+//! Generics are intentionally unsupported: the macro panics with a clear
+//! message rather than emitting wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of the item the derive is attached to.
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// One enum variant.
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+/// Derives the vendored `serde::Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate_serialize(&item)
+        .parse()
+        .expect("serde_derive generated invalid Serialize impl")
+}
+
+/// Derives the vendored `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    generate_deserialize(&item)
+        .parse()
+        .expect("serde_derive generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut index = 0;
+
+    // Outer attributes (doc comments arrive as `#[doc = ...]`).  Note that
+    // `#[serde(transparent)]` needs no special handling: newtype structs
+    // already serialize as their inner value, which is exactly what the
+    // transparent representation means for the shapes this workspace uses.
+    skip_attributes(&tokens, &mut index);
+
+    skip_visibility(&tokens, &mut index);
+
+    let keyword = expect_ident(&tokens, &mut index);
+    let name = expect_ident(&tokens, &mut index);
+
+    if matches!(&tokens.get(index), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive (vendored) does not support generic types: `{name}`");
+    }
+
+    match keyword.as_str() {
+        "struct" => match tokens.get(index) {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                Item::NamedStruct {
+                    name,
+                    fields: parse_named_fields(group.stream()),
+                }
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(group.stream()),
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::UnitStruct { name },
+            other => panic!("serde_derive: unexpected token after `struct {name}`: {other:?}"),
+        },
+        "enum" => match tokens.get(index) {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(group.stream()),
+            },
+            other => panic!("serde_derive: unexpected token after `enum {name}`: {other:?}"),
+        },
+        other => panic!("serde_derive: expected `struct` or `enum`, found `{other}`"),
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], index: &mut usize) {
+    if matches!(&tokens.get(*index), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        *index += 1;
+        if matches!(
+            &tokens.get(*index),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            *index += 1;
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], index: &mut usize) -> String {
+    match tokens.get(*index) {
+        Some(TokenTree::Ident(ident)) => {
+            *index += 1;
+            ident.to_string()
+        }
+        other => panic!("serde_derive: expected identifier, found {other:?}"),
+    }
+}
+
+/// Skips any number of `#[...]` attributes starting at `index`.
+fn skip_attributes(tokens: &[TokenTree], index: &mut usize) {
+    while matches!(&tokens.get(*index), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *index += 2;
+    }
+}
+
+/// Skips tokens until a top-level comma (angle-bracket depth aware), leaving
+/// `index` just past the comma (or at the end).
+fn skip_past_comma(tokens: &[TokenTree], index: &mut usize) {
+    let mut angle_depth = 0_i32;
+    while let Some(token) = tokens.get(*index) {
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    *index += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *index += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut index = 0;
+    let mut fields = Vec::new();
+    while index < tokens.len() {
+        skip_attributes(&tokens, &mut index);
+        if index >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut index);
+        fields.push(expect_ident(&tokens, &mut index));
+        // `:` then the type, up to the next top-level comma.
+        skip_past_comma(&tokens, &mut index);
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut index = 0;
+    let mut arity = 0;
+    while index < tokens.len() {
+        skip_attributes(&tokens, &mut index);
+        if index >= tokens.len() {
+            break;
+        }
+        arity += 1;
+        skip_past_comma(&tokens, &mut index);
+    }
+    arity
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut index = 0;
+    let mut variants = Vec::new();
+    while index < tokens.len() {
+        skip_attributes(&tokens, &mut index);
+        if index >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut index);
+        let kind = match tokens.get(index) {
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Brace => {
+                index += 1;
+                VariantKind::Struct(parse_named_fields(group.stream()))
+            }
+            Some(TokenTree::Group(group)) if group.delimiter() == Delimiter::Parenthesis => {
+                index += 1;
+                VariantKind::Tuple(count_tuple_fields(group.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an optional discriminant (`= expr`) and the trailing comma.
+        skip_past_comma(&tokens, &mut index);
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn generate_serialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let mut pushes = String::new();
+            for field in fields {
+                pushes.push_str(&format!(
+                    "__entries.push((::std::string::String::from(\"{field}\"), \
+                     ::serde::Serialize::serialize(&self.{field})));\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Value {{\n\
+                         let mut __entries: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                             ::std::vec::Vec::new();\n\
+                         {pushes}\
+                         ::serde::Value::Object(__entries)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity } if *arity == 1 => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize(&self) -> ::serde::Value {{\n\
+                     ::serde::Serialize::serialize(&self.0)\n\
+                 }}\n\
+             }}"
+        ),
+        Item::TupleStruct { name, arity } => {
+            let mut pushes = String::new();
+            for i in 0..*arity {
+                pushes.push_str(&format!(
+                    "__elements.push(::serde::Serialize::serialize(&self.{i}));\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Value {{\n\
+                         let mut __elements: ::std::vec::Vec<::serde::Value> = ::std::vec::Vec::new();\n\
+                         {pushes}\
+                         ::serde::Value::Array(__elements)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n\
+             }}"
+        ),
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for variant in variants {
+                let v = &variant.name;
+                match &variant.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "Self::{v} => ::serde::Value::Str(::std::string::String::from(\"{v}\")),\n"
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let binders: Vec<String> = (0..*arity).map(|i| format!("__f{i}")).collect();
+                        let pattern = binders.join(", ");
+                        let inner = if *arity == 1 {
+                            "::serde::Serialize::serialize(__f0)".to_string()
+                        } else {
+                            let elements: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::serialize({b})"))
+                                .collect();
+                            format!(
+                                "::serde::Value::Array(::std::vec![{}])",
+                                elements.join(", ")
+                            )
+                        };
+                        arms.push_str(&format!(
+                            "Self::{v}({pattern}) => ::serde::Value::Object(::std::vec![\
+                             (::std::string::String::from(\"{v}\"), {inner})]),\n"
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let pattern = fields.join(", ");
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{f}\"), \
+                                     ::serde::Serialize::serialize({f}))"
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "Self::{v} {{ {pattern} }} => ::serde::Value::Object(::std::vec![\
+                             (::std::string::String::from(\"{v}\"), \
+                             ::serde::Value::Object(::std::vec![{}]))]),\n",
+                            entries.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Value {{\n\
+                         match self {{\n{arms}}}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn generate_deserialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let mut inits = String::new();
+            for field in fields {
+                inits.push_str(&format!(
+                    "{field}: ::serde::Deserialize::deserialize(\
+                     ::serde::field(__entries, \"{field}\", \"{name}\")?)?,\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(__value: &::serde::Value) -> \
+                         ::std::result::Result<Self, ::serde::Error> {{\n\
+                         let __entries = __value.as_object().ok_or_else(|| \
+                             ::serde::Error::custom(::std::format!(\
+                                 \"expected object for `{name}`, found {{}}\", __value.kind())))?;\n\
+                         ::std::result::Result::Ok(Self {{\n{inits}}})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity } if *arity == 1 => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn deserialize(__value: &::serde::Value) -> \
+                     ::std::result::Result<Self, ::serde::Error> {{\n\
+                     ::std::result::Result::Ok(Self(::serde::Deserialize::deserialize(__value)?))\n\
+                 }}\n\
+             }}"
+        ),
+        Item::TupleStruct { name, arity } => {
+            let inits: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::deserialize(&__elements[{i}])?"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(__value: &::serde::Value) -> \
+                         ::std::result::Result<Self, ::serde::Error> {{\n\
+                         let __elements = __value.as_array().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected array for `{name}`\"))?;\n\
+                         if __elements.len() != {arity} {{\n\
+                             return ::std::result::Result::Err(::serde::Error::custom(\
+                                 \"wrong tuple length for `{name}`\"));\n\
+                         }}\n\
+                         ::std::result::Result::Ok(Self({}))\n\
+                     }}\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn deserialize(_: &::serde::Value) -> \
+                     ::std::result::Result<Self, ::serde::Error> {{\n\
+                     ::std::result::Result::Ok(Self)\n\
+                 }}\n\
+             }}"
+        ),
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for variant in variants {
+                let v = &variant.name;
+                match &variant.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!(
+                            "\"{v}\" => ::std::result::Result::Ok(Self::{v}),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(arity) if *arity == 1 => {
+                        tagged_arms.push_str(&format!(
+                            "\"{v}\" => ::std::result::Result::Ok(Self::{v}(\
+                             ::serde::Deserialize::deserialize(__inner)?)),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(arity) => {
+                        let inits: Vec<String> = (0..*arity)
+                            .map(|i| {
+                                format!("::serde::Deserialize::deserialize(&__elements[{i}])?")
+                            })
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{v}\" => {{\n\
+                                 let __elements = __inner.as_array().ok_or_else(|| \
+                                     ::serde::Error::custom(\"expected array for `{name}::{v}`\"))?;\n\
+                                 if __elements.len() != {arity} {{\n\
+                                     return ::std::result::Result::Err(::serde::Error::custom(\
+                                         \"wrong tuple length for `{name}::{v}`\"));\n\
+                                 }}\n\
+                                 ::std::result::Result::Ok(Self::{v}({}))\n\
+                             }}\n",
+                            inits.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::deserialize(\
+                                     ::serde::field(__entries, \"{f}\", \"{name}::{v}\")?)?"
+                                )
+                            })
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{v}\" => {{\n\
+                                 let __entries = __inner.as_object().ok_or_else(|| \
+                                     ::serde::Error::custom(\"expected object for `{name}::{v}`\"))?;\n\
+                                 ::std::result::Result::Ok(Self::{v} {{ {} }})\n\
+                             }}\n",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(__value: &::serde::Value) -> \
+                         ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match __value {{\n\
+                             ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                                 {unit_arms}\
+                                 __other => ::std::result::Result::Err(::serde::Error::custom(\
+                                     ::std::format!(\"unknown variant `{{}}` of `{name}`\", __other))),\n\
+                             }},\n\
+                             ::serde::Value::Object(__o) if __o.len() == 1 => {{\n\
+                                 let (__tag, __inner) = &__o[0];\n\
+                                 let _ = __inner;\n\
+                                 match __tag.as_str() {{\n\
+                                     {tagged_arms}\
+                                     __other => ::std::result::Result::Err(::serde::Error::custom(\
+                                         ::std::format!(\"unknown variant `{{}}` of `{name}`\", __other))),\n\
+                                 }}\n\
+                             }},\n\
+                             __other => ::std::result::Result::Err(::serde::Error::custom(\
+                                 ::std::format!(\"expected enum `{name}`, found {{}}\", __other.kind()))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
