@@ -4,10 +4,11 @@
 //! narrowing to 20 % at 32×32).
 //!
 //! Run with `cargo run --release -p fabric-power-bench --bin figure10`.
-//! Pass `--quick` for a reduced grid and `--threads N` to bound the sweep
-//! engine's worker threads.
+//! Pass `--quick` for a reduced grid, `--threads N` to bound the sweep
+//! engine's worker threads and `--model-cache DIR` to persist energy models
+//! in the shared on-disk cache.
 
-use fabric_power_bench::{export_json, parse_threads};
+use fabric_power_bench::{export_json, parse_threads, process_provider};
 use fabric_power_core::experiment::{ExperimentConfig, PortSweep, SweepEngine};
 use fabric_power_core::report::format_figure10;
 use fabric_power_tech::constants::FIGURE10_THROUGHPUT;
@@ -20,7 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ExperimentConfig::paper()
     };
 
-    let mut engine = SweepEngine::new();
+    let mut engine = SweepEngine::new().with_provider(process_provider()?);
     if let Some(threads) = parse_threads()? {
         engine = engine.with_threads(threads);
     }

@@ -5,9 +5,10 @@
 //! Run with `cargo run --release -p fabric-power-bench --bin figure9`.
 //! Pass `--quick` for a reduced grid that finishes in a couple of seconds and
 //! `--threads N` to bound the sweep engine's worker threads (the default
-//! uses every core; results are identical either way).
+//! uses every core; results are identical either way).  `--model-cache DIR`
+//! persists energy models in the shared on-disk cache.
 
-use fabric_power_bench::{export_json, parse_threads};
+use fabric_power_bench::{export_json, parse_threads, process_provider};
 use fabric_power_core::experiment::{ExperimentConfig, SweepEngine, ThroughputSweep};
 use fabric_power_core::report::format_figure9_panel;
 
@@ -19,7 +20,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ExperimentConfig::paper()
     };
 
-    let mut engine = SweepEngine::new();
+    let mut engine = SweepEngine::new().with_provider(process_provider()?);
     if let Some(threads) = parse_threads()? {
         engine = engine.with_threads(threads);
     }

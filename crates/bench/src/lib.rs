@@ -18,7 +18,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::sync::Arc;
+
 use serde::Serialize;
+
+use fabric_power_fabric::provider::ModelProvider;
 
 /// Writes any serializable result as pretty JSON next to the textual output,
 /// so downstream tooling (plotting scripts, CI diffs) can consume the data.
@@ -43,6 +47,30 @@ pub fn export_json<T: Serialize>(name: &str, value: &T) {
         }
         Err(error) => eprintln!("warning: could not serialize {name}: {error}"),
     }
+}
+
+/// The energy-model provider every experiment binary in this crate shares:
+/// one per process, so the figure/table binaries never build the same model
+/// twice, backed by a content-addressed on-disk cache when `--model-cache
+/// <DIR>` is passed (or the `FABRIC_POWER_MODEL_CACHE` environment variable
+/// is set) — with a warmed cache, derived-model runs skip gate-level
+/// characterization entirely.
+///
+/// # Errors
+///
+/// Returns a message when the flag is present without a value or the cache
+/// directory cannot be created.
+pub fn process_provider() -> Result<Arc<ModelProvider>, String> {
+    let args: Vec<String> = std::env::args().collect();
+    let dir = match args.iter().position(|a| a == "--model-cache") {
+        Some(position) => Some(
+            args.get(position + 1)
+                .cloned()
+                .ok_or_else(|| "`--model-cache` needs a value".to_string())?,
+        ),
+        None => std::env::var("FABRIC_POWER_MODEL_CACHE").ok(),
+    };
+    ModelProvider::from_cache_dir_arg(dir.as_deref())
 }
 
 /// Parses an optional `--threads N` flag from the process arguments, shared
@@ -75,5 +103,15 @@ mod tests {
     fn parse_threads_without_flag_is_none() {
         // The test harness's argv has no `--threads`.
         assert_eq!(super::parse_threads().unwrap(), None);
+    }
+
+    #[test]
+    fn process_provider_defaults_to_the_shared_in_memory_one() {
+        // The test harness's argv has no `--model-cache` (and the test
+        // environment does not set FABRIC_POWER_MODEL_CACHE).
+        if std::env::var("FABRIC_POWER_MODEL_CACHE").is_err() {
+            let provider = super::process_provider().unwrap();
+            assert!(provider.cache_dir().is_none());
+        }
     }
 }

@@ -7,13 +7,17 @@
 //! `PortSweep::run` now expand the grid into cells and evaluate them on the
 //! parallel [`fabric_power_sweep::SweepEngine`] (one shared energy model per
 //! fabric size, deterministic per-cell seeds, results in canonical grid
-//! order).  This module re-exports the public types so every pre-existing
-//! `fabric_power_core::experiment::...` path keeps working, with identical
-//! results point for point.
+//! order).  Energy models are acquired through the model-provider layer
+//! ([`ModelProvider`]): pass an engine built with
+//! `SweepEngine::new().with_provider(...)` to `run_with` to share one
+//! provider — and optionally a content-addressed on-disk model cache —
+//! across many experiments.  This module re-exports the public types so
+//! every pre-existing `fabric_power_core::experiment::...` path keeps
+//! working, with identical results point for point.
 
 pub use fabric_power_sweep::{
-    ExperimentConfig, ExperimentError, ModelSource, PortSweep, SeedStrategy, SweepCell,
-    SweepEngine, SweepPoint, ThroughputSweep,
+    ExperimentConfig, ExperimentError, ModelKind, ModelProvider, ModelSource, ModelSpec, PortSweep,
+    ProviderStats, SeedStrategy, SweepCell, SweepEngine, SweepPoint, ThroughputSweep,
 };
 
 #[cfg(test)]
@@ -79,5 +83,25 @@ mod tests {
     fn experiment_errors_display() {
         let err = ExperimentError::from(EnergyModelError::InvalidPortCount { ports: 7 });
         assert!(err.to_string().contains('7'));
+    }
+
+    #[test]
+    fn sweeps_share_models_through_an_explicit_provider() {
+        use std::sync::Arc;
+
+        let provider = Arc::new(ModelProvider::in_memory());
+        let engine = SweepEngine::new()
+            .with_threads(1)
+            .with_provider(Arc::clone(&provider));
+        let config = ExperimentConfig::quick();
+        let throughput = ThroughputSweep::run_with(&config, &engine).unwrap();
+        let port = PortSweep::run_with(&config, 0.5, &engine).unwrap();
+        assert!(!throughput.points.is_empty());
+        assert!(!port.points.is_empty());
+        // Both sweeps cover the same two fabric sizes: two builds total, the
+        // rest served from the shared memo.
+        let stats = provider.stats();
+        assert_eq!(stats.builds, 2);
+        assert!(stats.memory_hits >= 2);
     }
 }

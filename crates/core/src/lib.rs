@@ -43,7 +43,8 @@ pub mod paper;
 pub mod report;
 
 pub use experiment::{
-    ExperimentConfig, ExperimentError, ModelSource, PortSweep, SweepPoint, ThroughputSweep,
+    ExperimentConfig, ExperimentError, ModelProvider, ModelSource, ModelSpec, PortSweep,
+    SweepPoint, ThroughputSweep,
 };
 pub use fabric_power_sweep::{
     Scenario, ScenarioRegistry, SeedStrategy, SweepCell, SweepDocument, SweepEngine,
@@ -64,7 +65,8 @@ pub mod prelude {
     pub use fabric_power_tech::{Energy, Power, Technology, WireModel};
 
     pub use crate::experiment::{
-        ExperimentConfig, ModelSource, PortSweep, SweepPoint, ThroughputSweep,
+        ExperimentConfig, ModelProvider, ModelSource, ModelSpec, PortSweep, SweepPoint,
+        ThroughputSweep,
     };
     pub use crate::paper::PaperClaims;
     pub use fabric_power_sweep::{

@@ -104,7 +104,8 @@ pub struct AnalyticRow {
 }
 
 /// Computes the analytic comparison for a list of port counts using the
-/// paper-reference energy model.
+/// paper-reference energy model, obtained through the process-wide shared
+/// [`crate::provider::ModelProvider`].
 ///
 /// # Errors
 ///
@@ -113,10 +114,25 @@ pub struct AnalyticRow {
 pub fn analytic_table(
     port_counts: &[usize],
 ) -> Result<Vec<AnalyticRow>, crate::energy_model::EnergyModelError> {
+    analytic_table_with_provider(port_counts, &crate::provider::ModelProvider::shared())
+}
+
+/// [`analytic_table`] with an explicit model provider — the entry point for
+/// callers that share a provider (and possibly an on-disk model cache)
+/// across several experiments.
+///
+/// # Errors
+///
+/// Propagates [`crate::energy_model::EnergyModelError`] for invalid port
+/// counts.
+pub fn analytic_table_with_provider(
+    port_counts: &[usize],
+    provider: &crate::provider::ModelProvider,
+) -> Result<Vec<AnalyticRow>, crate::energy_model::EnergyModelError> {
     port_counts
         .iter()
         .map(|&ports| {
-            let model = FabricEnergyModel::paper(ports)?;
+            let model = provider.get(&crate::provider::ModelSpec::paper(ports))?;
             let stages = wirelength::banyan_stages(ports);
             Ok(AnalyticRow {
                 ports,
@@ -251,6 +267,17 @@ mod tests {
             assert!(row.fully_connected < row.batcher_banyan);
         }
         assert!(analytic_table(&[5]).is_err());
+    }
+
+    #[test]
+    fn analytic_table_reuses_one_model_per_size_via_the_provider() {
+        let provider = crate::provider::ModelProvider::in_memory();
+        let first = analytic_table_with_provider(&[4, 8], &provider).unwrap();
+        let second = analytic_table_with_provider(&[4, 8], &provider).unwrap();
+        assert_eq!(first, second);
+        let stats = provider.stats();
+        assert_eq!(stats.builds, 2, "one build per unique size");
+        assert_eq!(stats.memory_hits, 2, "the second table is all memo hits");
     }
 
     #[test]

@@ -178,6 +178,31 @@ impl FabricEnergyModel {
         })
     }
 
+    /// Serializes the model to its canonical compact JSON form.
+    ///
+    /// The serializer keeps field declaration order and renders floats with
+    /// shortest-round-trip formatting, so the same model always produces the
+    /// same bytes — the property the content-addressed on-disk cache in
+    /// [`crate::provider`] relies on.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serializer errors.
+    pub fn to_canonical_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string(self)
+    }
+
+    /// Rebuilds a model from its canonical JSON form
+    /// ([`FabricEnergyModel::to_canonical_json`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse errors (a corrupt cache file surfaces here and makes
+    /// the provider fall back to re-derivation).
+    pub fn from_canonical_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
     fn check_ports(ports: usize) -> Result<(), EnergyModelError> {
         if ports >= 2 && ports.is_power_of_two() {
             Ok(())
@@ -342,6 +367,16 @@ mod tests {
         );
         assert!(model.buffer_bit_energy() > model.wire_bit_energy(1) * 10.0);
         assert!(model.grid_bit_energy().as_femtojoules() > 10.0);
+    }
+
+    #[test]
+    fn canonical_json_round_trips_and_is_deterministic() {
+        let model = FabricEnergyModel::paper(8).unwrap();
+        let json = model.to_canonical_json().unwrap();
+        assert_eq!(json, model.to_canonical_json().unwrap());
+        let back = FabricEnergyModel::from_canonical_json(&json).unwrap();
+        assert_eq!(model, back);
+        assert!(FabricEnergyModel::from_canonical_json("{ not json").is_err());
     }
 
     #[test]

@@ -12,7 +12,13 @@
 //!   packet traverses, which interconnects it drives and where interconnect
 //!   contention can occur (consumed by the `fabric-power-router` simulator);
 //! * [`analytic`] — the closed-form worst-case bit-energy equations
-//!   (paper Eq. 3–6).
+//!   (paper Eq. 3–6);
+//! * [`provider`] — the model-provider layer: every energy-model acquisition
+//!   goes through a [`ModelProvider`] (in-memory memo plus an optional
+//!   content-addressed on-disk cache), so expensive gate-level
+//!   characterization happens once per `(ports, bus width, technology,
+//!   characterization config, model source)` and every downstream consumer
+//!   shares the result.
 //!
 //! # Examples
 //!
@@ -39,11 +45,13 @@
 pub mod analytic;
 pub mod architecture;
 pub mod energy_model;
+pub mod provider;
 pub mod topology;
 
 pub use analytic::{worst_case_bit_energy, AnalyticRow};
 pub use architecture::Architecture;
 pub use energy_model::{EnergyModelError, FabricEnergyModel};
+pub use provider::{ModelKind, ModelProvider, ModelSpec, ProviderStats};
 pub use topology::{ElementId, FabricTopology, PathHop, RoutePath, TopologyError};
 
 #[cfg(test)]
@@ -57,5 +65,7 @@ mod tests {
         assert_send_sync::<FabricEnergyModel>();
         assert_send_sync::<FabricTopology>();
         assert_send_sync::<RoutePath>();
+        assert_send_sync::<ModelProvider>();
+        assert_send_sync::<ModelSpec>();
     }
 }

@@ -19,7 +19,8 @@
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
-use fabric_power_fabric::energy_model::FabricEnergyModel;
+use fabric_power_fabric::energy_model::{EnergyModelError, FabricEnergyModel};
+use fabric_power_fabric::provider::{ModelProvider, ModelSpec};
 use fabric_power_fabric::topology::{ElementId, FabricTopology, RoutePath, TopologyError};
 use fabric_power_tech::wire::polarity_flips;
 
@@ -62,6 +63,8 @@ impl ActiveFlow {
 pub enum SimulationError {
     /// The topology could not be built (bad port count).
     Topology(TopologyError),
+    /// Acquiring the energy model from a provider failed.
+    Model(EnergyModelError),
     /// The energy model was built for a different port count than the
     /// configuration requests.
     PortMismatch {
@@ -76,6 +79,7 @@ impl std::fmt::Display for SimulationError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Self::Topology(e) => write!(f, "topology: {e}"),
+            Self::Model(e) => write!(f, "energy model: {e}"),
             Self::PortMismatch {
                 config_ports,
                 model_ports,
@@ -87,11 +91,25 @@ impl std::fmt::Display for SimulationError {
     }
 }
 
-impl std::error::Error for SimulationError {}
+impl std::error::Error for SimulationError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Topology(e) => Some(e),
+            Self::Model(e) => Some(e),
+            Self::PortMismatch { .. } => None,
+        }
+    }
+}
 
 impl From<TopologyError> for SimulationError {
     fn from(e: TopologyError) -> Self {
         Self::Topology(e)
+    }
+}
+
+impl From<EnergyModelError> for SimulationError {
+    fn from(e: EnergyModelError) -> Self {
+        Self::Model(e)
     }
 }
 
@@ -155,6 +173,28 @@ impl RouterSimulator {
         model: FabricEnergyModel,
     ) -> Result<Self, SimulationError> {
         Self::with_shared_model(config, Arc::new(model))
+    }
+
+    /// Creates a simulator whose energy model is acquired through a
+    /// [`ModelProvider`] — the standard construction path since the
+    /// model-provider layer owns all model acquisition (memoized in memory,
+    /// optionally persisted in a content-addressed on-disk cache).
+    ///
+    /// The model stays [`Arc`]-shared: repeated simulations of the same spec
+    /// reuse one allocation, whether or not they share a thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimulationError`] if the model cannot be built, the port
+    /// count is invalid, or the spec's port count does not match the
+    /// configuration's.
+    pub fn from_provider(
+        config: SimulationConfig,
+        provider: &ModelProvider,
+        spec: &ModelSpec,
+    ) -> Result<Self, SimulationError> {
+        let model = provider.get(spec)?;
+        Self::with_shared_model(config, model)
     }
 
     /// Creates a simulator from a configuration and a shared energy model.
@@ -504,8 +544,9 @@ impl RouterSimulator {
     }
 }
 
-/// Convenience wrapper: build the paper-reference energy model for the
-/// configuration's port count, run the simulation and return the report.
+/// Convenience wrapper: obtain the paper-reference energy model for the
+/// configuration's port count from the process-wide shared
+/// [`ModelProvider`], run the simulation and return the report.
 ///
 /// # Errors
 ///
@@ -513,8 +554,9 @@ impl RouterSimulator {
 pub fn simulate(
     config: SimulationConfig,
 ) -> Result<SimulationReport, Box<dyn std::error::Error + Send + Sync>> {
-    let model = FabricEnergyModel::paper(config.ports)?;
-    Ok(RouterSimulator::new(config, model)?.run())
+    let spec = ModelSpec::paper(config.ports);
+    let simulator = RouterSimulator::from_provider(config, &ModelProvider::shared(), &spec)?;
+    Ok(simulator.run())
 }
 
 #[cfg(test)]
@@ -630,6 +672,34 @@ mod tests {
         let model = FabricEnergyModel::paper(4).unwrap();
         assert!(matches!(
             RouterSimulator::new(config, model),
+            Err(SimulationError::PortMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn provider_constructed_simulator_matches_direct_construction() {
+        let provider = ModelProvider::in_memory();
+        let spec = ModelSpec::paper(4);
+        let config = SimulationConfig::quick(Architecture::Banyan, 4, 0.3);
+        let via_provider = RouterSimulator::from_provider(config.clone(), &provider, &spec)
+            .unwrap()
+            .run();
+        let direct = RouterSimulator::new(config, FabricEnergyModel::paper(4).unwrap())
+            .unwrap()
+            .run();
+        assert_eq!(via_provider.energy, direct.energy);
+        assert_eq!(via_provider.words_delivered, direct.words_delivered);
+
+        // Model failures surface as SimulationError::Model…
+        let bad = SimulationConfig::quick(Architecture::Crossbar, 6, 0.2);
+        assert!(matches!(
+            RouterSimulator::from_provider(bad, &provider, &ModelSpec::paper(6)),
+            Err(SimulationError::Model(_))
+        ));
+        // …and a spec/config port disagreement stays a PortMismatch.
+        let mismatched = SimulationConfig::quick(Architecture::Crossbar, 8, 0.2);
+        assert!(matches!(
+            RouterSimulator::from_provider(mismatched, &provider, &ModelSpec::paper(4)),
             Err(SimulationError::PortMismatch { .. })
         ));
     }

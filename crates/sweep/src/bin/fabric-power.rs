@@ -1,15 +1,23 @@
-//! The `fabric-power` CLI: the user-facing entry point to the sweep engine.
+//! The `fabric-power` CLI: the user-facing entry point to the sweep engine
+//! and the model-provider layer.
 //!
 //! ```text
 //! fabric-power list-scenarios
 //! fabric-power sweep --scenario paper-fig9 --threads 8 --out fig9.json
+//! fabric-power sweep --scenario derived-quick --model-cache ~/.cache/fabric-power
+//! fabric-power cache warm --scenario derived-quick --model-cache ~/.cache/fabric-power
+//! fabric-power diff a.json b.json
 //! fabric-power report --in fig9.json
 //! ```
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 
-use fabric_power_sweep::{report, ScenarioRegistry, SeedStrategy, SweepDocument, SweepEngine};
+use fabric_power_sweep::{
+    diff_documents, report, ModelProvider, Scenario, ScenarioRegistry, SeedStrategy, SweepDocument,
+    SweepEngine,
+};
 
 const USAGE: &str = "\
 fabric-power — switch-fabric power sweeps (DAC 2002 reproduction)
@@ -19,13 +27,27 @@ USAGE:
 
 COMMANDS:
     list-scenarios                 List every registered scenario
-    sweep --scenario <NAME>        Run a scenario's grid
+    export-scenario <NAME>         Print a scenario as JSON (editable, then
+                                   runnable via `sweep --scenario-file`)
+    sweep                          Run a scenario's grid
+        --scenario <NAME>          A registered scenario, or
+        --scenario-file <FILE>     a scenario loaded from JSON
         [--threads <N>]            Worker threads (default: all cores; results
                                    are identical for every thread count)
         [--seed <SEED>]            Override the scenario's base RNG seed
         [--seed-strategy <S>]      `shared` (default) or `per-cell`
+        [--model-cache <DIR>]      Persist derived energy models in a
+                                   content-addressed on-disk cache
         [--out <FILE.json>]        Write the JSON document here
         [--csv <FILE.csv>]         Also write a CSV table here
+    cache <ACTION> --model-cache <DIR>
+        stats                      Summarize the cache directory
+        clear                      Delete every cached model
+        warm --scenario <NAME>     Pre-build every model a scenario needs
+             [--scenario-file <FILE>]
+    diff <A.json> <B.json>         Compare two sweep documents cell by cell
+        [--tolerance <REL>]        Accepted relative deviation (default 0 =
+                                   byte-exact); exits nonzero on mismatch
     report --in <FILE.json>        Summarize a previously emitted document
     help                           Show this message
 ";
@@ -33,7 +55,7 @@ COMMANDS:
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(message) => {
             eprintln!("error: {message}");
             eprintln!("run `fabric-power help` for usage");
@@ -42,15 +64,19 @@ fn main() -> ExitCode {
     }
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let done = |result: Result<(), String>| result.map(|()| ExitCode::SUCCESS);
     match args.first().map(String::as_str) {
         None | Some("help" | "--help" | "-h") => {
             print!("{USAGE}");
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
-        Some("list-scenarios") => list_scenarios(),
-        Some("sweep") => sweep(&args[1..]),
-        Some("report") => report_command(&args[1..]),
+        Some("list-scenarios") => done(list_scenarios()),
+        Some("export-scenario") => done(export_scenario(&args[1..])),
+        Some("sweep") => done(sweep(&args[1..])),
+        Some("cache") => done(cache(&args[1..])),
+        Some("diff") => diff(&args[1..]),
+        Some("report") => done(report_command(&args[1..])),
         Some(other) => Err(format!("unknown command `{other}`")),
     }
 }
@@ -69,6 +95,19 @@ fn list_scenarios() -> Result<(), String> {
     Ok(())
 }
 
+fn export_scenario(args: &[String]) -> Result<(), String> {
+    let [name] = args else {
+        return Err("export-scenario needs exactly one scenario name".into());
+    };
+    let registry = ScenarioRegistry::builtin();
+    let scenario = registry.get(name).ok_or_else(|| unknown_scenario(name))?;
+    println!(
+        "{}",
+        serde_json::to_string_pretty(scenario).map_err(|e| e.to_string())?
+    );
+    Ok(())
+}
+
 /// Pulls the value of `--flag value` out of an argument list.
 fn flag_value(args: &[String], flag: &str) -> Result<Option<String>, String> {
     let mut iter = args.iter();
@@ -83,8 +122,15 @@ fn flag_value(args: &[String], flag: &str) -> Result<Option<String>, String> {
     Ok(None)
 }
 
-fn known_flags(args: &[String], flags: &[&str]) -> Result<(), String> {
+/// Validates that `args` contains only `--flag value` pairs from `flags`,
+/// with up to `positionals` leading positional arguments.
+fn known_flags_with_positionals(
+    args: &[String],
+    positionals: usize,
+    flags: &[&str],
+) -> Result<(), String> {
     let mut expect_value = false;
+    let mut seen_positionals = 0;
     for arg in args {
         if expect_value {
             expect_value = false;
@@ -92,6 +138,8 @@ fn known_flags(args: &[String], flags: &[&str]) -> Result<(), String> {
         }
         if flags.contains(&arg.as_str()) {
             expect_value = true;
+        } else if !arg.starts_with('-') && seen_positionals < positionals {
+            seen_positionals += 1;
         } else {
             return Err(format!("unexpected argument `{arg}`"));
         }
@@ -99,34 +147,79 @@ fn known_flags(args: &[String], flags: &[&str]) -> Result<(), String> {
     Ok(())
 }
 
+fn known_flags(args: &[String], flags: &[&str]) -> Result<(), String> {
+    known_flags_with_positionals(args, 0, flags)
+}
+
+fn unknown_scenario(name: &str) -> String {
+    format!(
+        "unknown scenario `{name}` (available: {})",
+        ScenarioRegistry::builtin().names().join(", ")
+    )
+}
+
+/// Resolves the scenario from `--scenario <NAME>` or `--scenario-file
+/// <FILE>` (exactly one of the two).
+fn resolve_scenario(args: &[String]) -> Result<Scenario, String> {
+    let name = flag_value(args, "--scenario")?;
+    let file = flag_value(args, "--scenario-file")?;
+    match (name, file) {
+        (Some(_), Some(_)) => {
+            Err("`--scenario` and `--scenario-file` are mutually exclusive".into())
+        }
+        (None, None) => Err("need `--scenario <NAME>` or `--scenario-file <FILE>`".into()),
+        (Some(name), None) => {
+            let registry = ScenarioRegistry::builtin();
+            registry
+                .get(&name)
+                .cloned()
+                .ok_or_else(|| unknown_scenario(&name))
+        }
+        (None, Some(path)) => {
+            let json =
+                std::fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?;
+            let scenario: Scenario = serde_json::from_str(json.trim())
+                .map_err(|e| format!("parsing {path}: {e} (expected a scenario object like `fabric-power export-scenario` prints)"))?;
+            Ok(scenario)
+        }
+    }
+}
+
+/// Builds the model provider: disk-backed when `--model-cache` is given,
+/// otherwise the process-wide in-memory one.
+fn resolve_provider(args: &[String]) -> Result<Arc<ModelProvider>, String> {
+    ModelProvider::from_cache_dir_arg(flag_value(args, "--model-cache")?.as_deref())
+}
+
+fn print_cache_stats(provider: &ModelProvider) {
+    if let Some(dir) = provider.cache_dir() {
+        eprintln!("model cache: {} (dir: {})", provider.stats(), dir.display());
+    }
+}
+
 fn sweep(args: &[String]) -> Result<(), String> {
     known_flags(
         args,
         &[
             "--scenario",
+            "--scenario-file",
             "--threads",
             "--seed",
             "--seed-strategy",
+            "--model-cache",
             "--out",
             "--csv",
         ],
     )?;
-    let name = flag_value(args, "--scenario")?
-        .ok_or_else(|| "sweep needs `--scenario <NAME>`".to_string())?;
-    let registry = ScenarioRegistry::builtin();
-    let scenario = registry.get(&name).ok_or_else(|| {
-        format!(
-            "unknown scenario `{name}` (available: {})",
-            registry.names().join(", ")
-        )
-    })?;
+    let scenario = resolve_scenario(args)?;
+    let provider = resolve_provider(args)?;
 
     let mut config = scenario.config.clone();
     if let Some(seed) = flag_value(args, "--seed")? {
         config.seed = parse_seed(&seed)?;
     }
 
-    let mut engine = SweepEngine::new();
+    let mut engine = SweepEngine::new().with_provider(Arc::clone(&provider));
     if let Some(threads) = flag_value(args, "--threads")? {
         engine = engine.with_threads(fabric_power_sweep::executor::parse_thread_count(&threads)?);
     }
@@ -147,6 +240,7 @@ fn sweep(args: &[String]) -> Result<(), String> {
         points.len(),
         started.elapsed()
     );
+    print_cache_stats(&provider);
 
     let document = SweepDocument {
         scenario: scenario.name.clone(),
@@ -176,6 +270,129 @@ fn sweep(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cache(args: &[String]) -> Result<(), String> {
+    let action = args
+        .first()
+        .ok_or_else(|| "cache needs an action: stats, clear or warm".to_string())?;
+    let rest = &args[1..];
+    let require_dir = |rest: &[String]| -> Result<Arc<ModelProvider>, String> {
+        if flag_value(rest, "--model-cache")?.is_none() {
+            return Err(format!("cache {action} needs `--model-cache <DIR>`"));
+        }
+        resolve_provider(rest)
+    };
+    match action.as_str() {
+        "stats" => {
+            known_flags(rest, &["--model-cache"])?;
+            let provider = require_dir(rest)?;
+            let entries = provider.disk_entries().map_err(|e| e.to_string())?;
+            let total_bytes: u64 = entries.iter().map(|e| e.bytes).sum();
+            let corrupt = entries.iter().filter(|e| e.spec.is_none()).count();
+            println!(
+                "{} entries, {} bytes, {} corrupt (dir: {})",
+                entries.len(),
+                total_bytes,
+                corrupt,
+                provider.cache_dir().expect("dir required above").display()
+            );
+            for entry in &entries {
+                let file = entry
+                    .path
+                    .file_name()
+                    .and_then(|n| n.to_str())
+                    .unwrap_or("?");
+                match &entry.spec {
+                    Some(spec) => println!(
+                        "{file}  {:>7} B  {}x{} {} model",
+                        entry.bytes,
+                        spec.ports,
+                        spec.ports,
+                        spec.kind_label()
+                    ),
+                    None => println!("{file}  {:>7} B  CORRUPT", entry.bytes),
+                }
+            }
+            Ok(())
+        }
+        "clear" => {
+            known_flags(rest, &["--model-cache"])?;
+            let provider = require_dir(rest)?;
+            let removed = provider.clear_disk().map_err(|e| e.to_string())?;
+            println!("removed {removed} cached model(s)");
+            Ok(())
+        }
+        "warm" => {
+            known_flags(rest, &["--model-cache", "--scenario", "--scenario-file"])?;
+            let provider = require_dir(rest)?;
+            let scenario = resolve_scenario(rest)?;
+            let mut warmed = Vec::new();
+            for &ports in &scenario.config.port_counts {
+                if warmed.contains(&ports) {
+                    continue;
+                }
+                provider
+                    .get(&scenario.config.model_spec(ports))
+                    .map_err(|e| e.to_string())?;
+                warmed.push(ports);
+            }
+            println!(
+                "warmed {} model(s) for scenario `{}`: {}",
+                warmed.len(),
+                scenario.name,
+                provider.stats()
+            );
+            Ok(())
+        }
+        other => Err(format!(
+            "unknown cache action `{other}` (expected stats, clear or warm)"
+        )),
+    }
+}
+
+fn read_document(path: &str) -> Result<SweepDocument, String> {
+    let json = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    SweepDocument::from_json_str(json.trim_end()).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+/// Compares two documents; a mismatch is a *result* (exit code 1 with the
+/// delta report on stdout), not a usage error.
+fn diff(args: &[String]) -> Result<ExitCode, String> {
+    known_flags_with_positionals(args, 2, &["--tolerance"])?;
+    let tolerance = match flag_value(args, "--tolerance")? {
+        Some(value) => value
+            .parse::<f64>()
+            .ok()
+            .filter(|t| t.is_finite() && *t >= 0.0)
+            .ok_or_else(|| format!("invalid tolerance `{value}`"))?,
+        None => 0.0,
+    };
+    // The two document paths are the arguments left once `--tolerance` and
+    // its value are removed.
+    let mut positionals = Vec::new();
+    let mut skip_next = false;
+    for arg in args {
+        if skip_next {
+            skip_next = false;
+        } else if arg == "--tolerance" {
+            skip_next = true;
+        } else {
+            positionals.push(arg);
+        }
+    }
+    let [a_path, b_path] = positionals.as_slice() else {
+        return Err("diff needs exactly two document paths".into());
+    };
+    let a = read_document(a_path)?;
+    let b = read_document(b_path)?;
+    let result = diff_documents(&a, &b, tolerance);
+    print!("{}", result.format());
+    if result.is_match() {
+        Ok(ExitCode::SUCCESS)
+    } else {
+        Ok(ExitCode::FAILURE)
+    }
+}
+
 fn parse_seed(input: &str) -> Result<u64, String> {
     let parsed = if let Some(hex) = input
         .strip_prefix("0x")
@@ -192,9 +409,7 @@ fn report_command(args: &[String]) -> Result<(), String> {
     known_flags(args, &["--in"])?;
     let path =
         flag_value(args, "--in")?.ok_or_else(|| "report needs `--in <FILE.json>`".to_string())?;
-    let json = std::fs::read_to_string(&path).map_err(|e| format!("reading {path}: {e}"))?;
-    let document = SweepDocument::from_json_str(json.trim_end())
-        .map_err(|e| format!("parsing {path}: {e}"))?;
+    let document = read_document(&path)?;
     print!("{}", report::format_document(&document));
     Ok(())
 }

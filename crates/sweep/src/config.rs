@@ -7,6 +7,7 @@
 use serde::{Deserialize, Serialize};
 
 use fabric_power_fabric::energy_model::{EnergyModelError, FabricEnergyModel};
+use fabric_power_fabric::provider::ModelSpec;
 use fabric_power_fabric::Architecture;
 use fabric_power_netlist::characterize::CharacterizationConfig;
 use fabric_power_netlist::library::CellLibrary;
@@ -117,22 +118,35 @@ impl ExperimentConfig {
         self.port_counts.len() * self.architectures.len() * self.offered_loads.len()
     }
 
+    /// The complete model specification for one fabric size according to
+    /// [`ExperimentConfig::model_source`] — the value the model-provider
+    /// layer memoizes and content-addresses on disk.
+    #[must_use]
+    pub fn model_spec(&self, ports: usize) -> ModelSpec {
+        match self.model_source {
+            ModelSource::Paper => ModelSpec::paper(ports),
+            ModelSource::Derived => ModelSpec::derived(
+                ports,
+                Technology::tsmc180(),
+                CellLibrary::calibrated_018um(),
+                CharacterizationConfig::quick(),
+            ),
+        }
+    }
+
     /// Builds the energy model for one fabric size according to
     /// [`ExperimentConfig::model_source`].
+    ///
+    /// Callers that evaluate more than one operating point should go through
+    /// a [`fabric_power_fabric::provider::ModelProvider`] with
+    /// [`ExperimentConfig::model_spec`] instead, so identical models are
+    /// built once and shared.
     ///
     /// # Errors
     ///
     /// Propagates [`EnergyModelError`].
     pub fn energy_model(&self, ports: usize) -> Result<FabricEnergyModel, EnergyModelError> {
-        match self.model_source {
-            ModelSource::Paper => FabricEnergyModel::paper(ports),
-            ModelSource::Derived => FabricEnergyModel::derived(
-                ports,
-                &Technology::tsmc180(),
-                &CellLibrary::calibrated_018um(),
-                &CharacterizationConfig::quick(),
-            ),
-        }
+        self.model_spec(ports).build()
     }
 
     /// Builds the simulator configuration for one operating point, with an
@@ -182,5 +196,25 @@ mod tests {
     fn experiment_errors_display() {
         let err = ExperimentError::from(EnergyModelError::InvalidPortCount { ports: 7 });
         assert!(err.to_string().contains('7'));
+    }
+
+    #[test]
+    fn model_spec_tracks_the_model_source() {
+        let paper = ExperimentConfig::paper();
+        assert!(!paper.model_spec(8).is_derived());
+        let derived = ExperimentConfig {
+            model_source: ModelSource::Derived,
+            ..ExperimentConfig::paper()
+        };
+        assert!(derived.model_spec(8).is_derived());
+        // The spec is the single source of truth: `energy_model` builds it.
+        assert_eq!(
+            paper.energy_model(8).unwrap(),
+            paper.model_spec(8).build().unwrap()
+        );
+        assert_ne!(
+            paper.model_spec(8).cache_key(),
+            derived.model_spec(8).cache_key()
+        );
     }
 }

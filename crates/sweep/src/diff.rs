@@ -1,0 +1,335 @@
+//! Structural comparison of two [`SweepDocument`]s: the engine behind
+//! `fabric-power diff <a.json> <b.json>`.
+//!
+//! Sweeps are deterministic, so two runs of the same scenario must agree to
+//! the byte — any drift (a model change, a broken cache entry, a
+//! non-deterministic code path) shows up here as per-cell deltas.  The diff
+//! is cell-oriented rather than textual: mismatches name the operating point
+//! and the field, not a line number.
+
+use crate::emit::SweepDocument;
+
+/// One numeric field that differs between the two documents at one cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FieldDelta {
+    /// Field name (matches the JSON/CSV spelling).
+    pub field: &'static str,
+    /// Value in the first document.
+    pub a: f64,
+    /// Value in the second document.
+    pub b: f64,
+}
+
+impl FieldDelta {
+    /// The relative deviation `|a − b| / max(|a|, |b|)` (0 when both are 0).
+    #[must_use]
+    pub fn relative(&self) -> f64 {
+        let scale = self.a.abs().max(self.b.abs());
+        if scale == 0.0 {
+            0.0
+        } else {
+            (self.a - self.b).abs() / scale
+        }
+    }
+}
+
+/// All field deltas of one grid cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellDiff {
+    /// Cell position in canonical grid order.
+    pub index: usize,
+    /// The cell's operating point, for the report (`architecture`, ports,
+    /// offered load come from the first document).
+    pub label: String,
+    /// Every differing numeric field.
+    pub fields: Vec<FieldDelta>,
+}
+
+/// The full comparison result.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DocumentDiff {
+    /// Mismatches in the documents' shape or metadata (scenario name,
+    /// configuration, seed strategy, point counts, cell coordinates).  Any
+    /// entry here means the per-cell comparison below is best-effort.
+    pub structural: Vec<String>,
+    /// Cells whose measured values differ beyond the tolerance.
+    pub cells: Vec<CellDiff>,
+}
+
+impl DocumentDiff {
+    /// `true` when the two documents agree (within the tolerance used).
+    #[must_use]
+    pub fn is_match(&self) -> bool {
+        self.structural.is_empty() && self.cells.is_empty()
+    }
+
+    /// Renders the human-readable report `fabric-power diff` prints.
+    #[must_use]
+    pub fn format(&self) -> String {
+        if self.is_match() {
+            return "documents match\n".to_owned();
+        }
+        let mut out = String::new();
+        for note in &self.structural {
+            out.push_str(&format!("structural: {note}\n"));
+        }
+        for cell in &self.cells {
+            out.push_str(&format!("cell {} [{}]:\n", cell.index, cell.label));
+            for delta in &cell.fields {
+                out.push_str(&format!(
+                    "  {:<22} a={:.6e}  b={:.6e}  rel={:.3e}\n",
+                    delta.field,
+                    delta.a,
+                    delta.b,
+                    delta.relative()
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "{} structural note(s), {} differing cell(s)\n",
+            self.structural.len(),
+            self.cells.len()
+        ));
+        out
+    }
+}
+
+/// Compares two sweep documents cell by cell.
+///
+/// `tolerance` is the accepted relative deviation per field (`0.0` demands
+/// exact equality — the right setting for two runs of the same deterministic
+/// scenario; a small tolerance like `1e-9` compares results across
+/// platforms or refactors).
+#[must_use]
+pub fn diff_documents(a: &SweepDocument, b: &SweepDocument, tolerance: f64) -> DocumentDiff {
+    let mut diff = DocumentDiff::default();
+
+    if a.scenario != b.scenario {
+        diff.structural
+            .push(format!("scenario `{}` vs `{}`", a.scenario, b.scenario));
+    }
+    if a.config != b.config {
+        diff.structural
+            .push("experiment configurations differ".to_owned());
+    }
+    if a.seed_strategy != b.seed_strategy {
+        diff.structural.push("seed strategies differ".to_owned());
+    }
+    if a.points.len() != b.points.len() {
+        diff.structural.push(format!(
+            "{} point(s) vs {} point(s)",
+            a.points.len(),
+            b.points.len()
+        ));
+    }
+
+    for (index, (pa, pb)) in a.points.iter().zip(&b.points).enumerate() {
+        if pa.architecture != pb.architecture
+            || pa.ports != pb.ports
+            || pa.offered_load.to_bits() != pb.offered_load.to_bits()
+        {
+            diff.structural.push(format!(
+                "cell {index}: coordinates differ ({} {}x{} @{} vs {} {}x{} @{})",
+                pa.architecture.slug(),
+                pa.ports,
+                pa.ports,
+                pa.offered_load,
+                pb.architecture.slug(),
+                pb.ports,
+                pb.ports,
+                pb.offered_load,
+            ));
+            continue;
+        }
+
+        let candidates = [
+            (
+                "measured_throughput",
+                pa.measured_throughput,
+                pb.measured_throughput,
+            ),
+            (
+                "power_mw",
+                pa.power.as_milliwatts(),
+                pb.power.as_milliwatts(),
+            ),
+            (
+                "switch_energy_j",
+                pa.switch_energy.as_joules(),
+                pb.switch_energy.as_joules(),
+            ),
+            (
+                "buffer_energy_j",
+                pa.buffer_energy.as_joules(),
+                pb.buffer_energy.as_joules(),
+            ),
+            (
+                "wire_energy_j",
+                pa.wire_energy.as_joules(),
+                pb.wire_energy.as_joules(),
+            ),
+            (
+                "buffered_words",
+                pa.buffered_words as f64,
+                pb.buffered_words as f64,
+            ),
+            (
+                "average_latency_cycles",
+                pa.average_latency_cycles,
+                pb.average_latency_cycles,
+            ),
+        ];
+        let fields: Vec<FieldDelta> = candidates
+            .into_iter()
+            .map(|(field, a, b)| FieldDelta { field, a, b })
+            // A NaN deviation (one side NaN) must report as a difference,
+            // not vanish through a false `>` comparison.
+            .filter(|delta| {
+                let relative = delta.relative();
+                delta.a.to_bits() != delta.b.to_bits()
+                    && (relative.is_nan() || relative > tolerance)
+            })
+            .collect();
+        if !fields.is_empty() {
+            diff.cells.push(CellDiff {
+                index,
+                label: format!(
+                    "{} {}x{} @{:.0}%",
+                    pa.architecture.slug(),
+                    pa.ports,
+                    pa.ports,
+                    pa.offered_load * 100.0
+                ),
+                fields,
+            });
+        }
+    }
+
+    diff
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::SeedStrategy;
+    use crate::config::ExperimentConfig;
+    use crate::engine::SweepEngine;
+
+    fn document() -> SweepDocument {
+        let config = ExperimentConfig {
+            port_counts: vec![4],
+            offered_loads: vec![0.2, 0.4],
+            warmup_cycles: 50,
+            measure_cycles: 200,
+            ..ExperimentConfig::quick()
+        };
+        let points = SweepEngine::new().with_threads(1).run(&config).unwrap();
+        SweepDocument {
+            scenario: "diff-test".into(),
+            config,
+            seed_strategy: SeedStrategy::Shared,
+            points,
+        }
+    }
+
+    #[test]
+    fn identical_documents_match() {
+        let doc = document();
+        let diff = diff_documents(&doc, &doc.clone(), 0.0);
+        assert!(diff.is_match());
+        assert_eq!(diff.format(), "documents match\n");
+    }
+
+    #[test]
+    fn value_drift_is_reported_per_cell_and_field() {
+        let a = document();
+        let mut b = a.clone();
+        b.points[1].measured_throughput *= 1.5;
+        b.points[1].average_latency_cycles += 1.0;
+        let diff = diff_documents(&a, &b, 0.0);
+        assert!(!diff.is_match());
+        assert!(diff.structural.is_empty());
+        assert_eq!(diff.cells.len(), 1);
+        assert_eq!(diff.cells[0].index, 1);
+        let fields: Vec<&str> = diff.cells[0].fields.iter().map(|d| d.field).collect();
+        assert_eq!(
+            fields,
+            vec!["measured_throughput", "average_latency_cycles"]
+        );
+        let report = diff.format();
+        assert!(report.contains("cell 1"));
+        assert!(report.contains("measured_throughput"));
+        assert!(report.contains("1 differing cell(s)"));
+    }
+
+    #[test]
+    fn tolerance_absorbs_small_relative_drift() {
+        let a = document();
+        let mut b = a.clone();
+        b.points[0].measured_throughput *= 1.0 + 1e-12;
+        assert!(!diff_documents(&a, &b, 0.0).is_match());
+        assert!(diff_documents(&a, &b, 1e-9).is_match());
+    }
+
+    #[test]
+    fn shape_and_metadata_mismatches_are_structural() {
+        let a = document();
+
+        let mut renamed = a.clone();
+        renamed.scenario = "other".into();
+        let diff = diff_documents(&a, &renamed, 0.0);
+        assert_eq!(diff.structural.len(), 1);
+        assert!(diff.structural[0].contains("scenario"));
+
+        let mut truncated = a.clone();
+        truncated.points.pop();
+        assert!(diff_documents(&a, &truncated, 0.0)
+            .structural
+            .iter()
+            .any(|n| n.contains("point(s)")));
+
+        let mut shuffled = a.clone();
+        shuffled.points.swap(0, 1);
+        let diff = diff_documents(&a, &shuffled, 0.0);
+        assert!(diff
+            .structural
+            .iter()
+            .any(|n| n.contains("coordinates differ")));
+    }
+
+    #[test]
+    fn nan_on_one_side_is_a_difference_not_a_match() {
+        let a = document();
+        let mut b = a.clone();
+        b.points[0].average_latency_cycles = f64::NAN;
+        for tolerance in [0.0, 1e-3] {
+            let diff = diff_documents(&a, &b, tolerance);
+            assert!(!diff.is_match(), "NaN must never hide (tol {tolerance})");
+            assert_eq!(diff.cells[0].fields[0].field, "average_latency_cycles");
+        }
+    }
+
+    #[test]
+    fn field_delta_relative_handles_zero() {
+        assert_eq!(
+            FieldDelta {
+                field: "x",
+                a: 0.0,
+                b: 0.0
+            }
+            .relative(),
+            0.0
+        );
+        assert!(
+            (FieldDelta {
+                field: "x",
+                a: 1.0,
+                b: 2.0
+            }
+            .relative()
+                - 0.5)
+                .abs()
+                < 1e-12
+        );
+    }
+}

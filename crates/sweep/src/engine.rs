@@ -5,6 +5,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use fabric_power_fabric::energy_model::FabricEnergyModel;
+use fabric_power_fabric::provider::ModelProvider;
 use fabric_power_router::sim::RouterSimulator;
 
 use crate::cell::{SeedStrategy, SweepCell, SweepPoint};
@@ -17,6 +18,12 @@ use crate::executor;
 /// count**: cell seeds are fixed at expansion time, every cell's simulation
 /// is independent, and results are assembled in canonical grid order rather
 /// than completion order.
+///
+/// Energy models are acquired through a [`ModelProvider`] (by default the
+/// process-wide shared one), so repeated sweeps of the same configuration
+/// reuse already-built models, and a provider with an on-disk cache makes
+/// derived-model sweeps start without re-running gate-level
+/// characterization.
 ///
 /// # Examples
 ///
@@ -34,6 +41,7 @@ use crate::executor;
 pub struct SweepEngine {
     threads: usize,
     seed_strategy: SeedStrategy,
+    provider: Arc<ModelProvider>,
 }
 
 impl Default for SweepEngine {
@@ -43,13 +51,14 @@ impl Default for SweepEngine {
 }
 
 impl SweepEngine {
-    /// Creates an engine with automatic thread count and the
-    /// seed-compatible [`SeedStrategy::Shared`].
+    /// Creates an engine with automatic thread count, the seed-compatible
+    /// [`SeedStrategy::Shared`] and the process-wide shared model provider.
     #[must_use]
     pub fn new() -> Self {
         Self {
             threads: 0,
             seed_strategy: SeedStrategy::Shared,
+            provider: ModelProvider::shared(),
         }
     }
 
@@ -65,6 +74,21 @@ impl SweepEngine {
     pub fn with_seed_strategy(mut self, strategy: SeedStrategy) -> Self {
         self.seed_strategy = strategy;
         self
+    }
+
+    /// Overrides the model provider — e.g. one backed by an on-disk cache
+    /// (`fabric-power sweep --model-cache <dir>`), or a fresh in-memory
+    /// provider when a test wants isolated hit/miss statistics.
+    #[must_use]
+    pub fn with_provider(mut self, provider: Arc<ModelProvider>) -> Self {
+        self.provider = provider;
+        self
+    }
+
+    /// The model provider this engine acquires energy models through.
+    #[must_use]
+    pub fn provider(&self) -> &Arc<ModelProvider> {
+        &self.provider
     }
 
     /// The resolved worker thread count this engine will run with.
@@ -112,17 +136,20 @@ impl SweepEngine {
         cells
     }
 
-    /// Builds one immutable energy model per fabric size, shared across all
-    /// cells (and worker threads) of that size via [`Arc`].
+    /// Acquires one immutable energy model per fabric size through the
+    /// provider, shared across all cells (and worker threads) of that size
+    /// via [`Arc`].
     ///
-    /// Models for distinct sizes are independent, so they build on the same
-    /// parallel executor as the cells — with `ModelSource::Derived`, the
-    /// per-size gate-level characterization is the most expensive step of
-    /// the whole sweep and would otherwise serialize before any cell runs.
+    /// Models for distinct sizes are independent, so cache misses build on
+    /// the same parallel executor as the cells — with `ModelSource::Derived`,
+    /// the per-size gate-level characterization is the most expensive step
+    /// of the whole sweep and would otherwise serialize before any cell
+    /// runs.  Models the provider already holds (or finds in its on-disk
+    /// store) are returned without any characterization at all.
     ///
     /// # Errors
     ///
-    /// Propagates the first model-construction failure, in port order.
+    /// Propagates the first model-acquisition failure, in port order.
     fn build_models(
         &self,
         config: &ExperimentConfig,
@@ -134,7 +161,7 @@ impl SweepEngine {
             }
         }
         let built = executor::parallel_map(&unique_ports, self.threads().max(1), |&ports| {
-            config.energy_model(ports).map(Arc::new)
+            self.provider.get(&config.model_spec(ports))
         });
         let mut models = HashMap::new();
         for (&ports, result) in unique_ports.iter().zip(built) {
@@ -250,6 +277,28 @@ mod tests {
         };
         let err = SweepEngine::new().run(&config).unwrap_err();
         assert!(err.to_string().contains('3'));
+    }
+
+    #[test]
+    fn repeated_runs_reuse_models_through_the_provider() {
+        let provider = Arc::new(ModelProvider::in_memory());
+        let engine = SweepEngine::new()
+            .with_threads(2)
+            .with_provider(Arc::clone(&provider));
+        let config = ExperimentConfig::quick();
+        let first = engine.run(&config).unwrap();
+        let second = engine.run(&config).unwrap();
+        assert_eq!(first, second);
+        let stats = provider.stats();
+        assert_eq!(stats.builds, 2, "one build per unique fabric size");
+        assert_eq!(stats.memory_hits, 2, "the second run is all memo hits");
+        // Results are identical to an engine on the default shared provider.
+        let default_engine = SweepEngine::new().with_threads(2);
+        assert!(Arc::ptr_eq(
+            default_engine.provider(),
+            &ModelProvider::shared()
+        ));
+        assert_eq!(default_engine.run(&config).unwrap(), first);
     }
 
     #[test]

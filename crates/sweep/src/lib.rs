@@ -16,10 +16,14 @@
 //! * [`executor`] — a self-scheduling parallel map over cells: worker
 //!   threads pull the next unclaimed cell from a shared cursor, so load
 //!   balances dynamically and the result order never depends on scheduling;
-//! * [`engine`] — [`SweepEngine`]: expands a config into cells, builds one
-//!   immutable [`fabric_power_fabric::FabricEnergyModel`] per fabric size and
-//!   shares it across threads via [`std::sync::Arc`], then runs the cells in
-//!   parallel.  Results are **bit-identical regardless of thread count**;
+//! * [`engine`] — [`SweepEngine`]: expands a config into cells, acquires one
+//!   immutable [`fabric_power_fabric::FabricEnergyModel`] per fabric size
+//!   through a [`fabric_power_fabric::ModelProvider`] (in-memory memo plus
+//!   an optional content-addressed on-disk cache) and shares it across
+//!   threads via [`std::sync::Arc`], then runs the cells in parallel.
+//!   Results are **bit-identical regardless of thread count**;
+//! * [`diff`] — cell-oriented comparison of two result documents
+//!   (`fabric-power diff`);
 //! * [`sweeps`] — [`ThroughputSweep`] / [`PortSweep`]: the Figure 9/10
 //!   datasets, now thin views over the engine;
 //! * [`registry`] — [`ScenarioRegistry`]: named, JSON-round-trippable
@@ -32,6 +36,9 @@
 //! ```text
 //! fabric-power list-scenarios
 //! fabric-power sweep --scenario paper-fig9 --threads 8 --out fig9.json
+//! fabric-power sweep --scenario derived-quick --model-cache ~/.cache/fabric-power
+//! fabric-power cache warm --scenario derived-quick --model-cache ~/.cache/fabric-power
+//! fabric-power diff fig9-a.json fig9-b.json
 //! fabric-power report --in fig9.json
 //! ```
 //!
@@ -52,6 +59,7 @@
 
 pub mod cell;
 pub mod config;
+pub mod diff;
 pub mod emit;
 pub mod engine;
 pub mod executor;
@@ -61,7 +69,9 @@ pub mod sweeps;
 
 pub use cell::{SeedStrategy, SweepCell, SweepPoint};
 pub use config::{ExperimentConfig, ExperimentError, ModelSource};
+pub use diff::{diff_documents, DocumentDiff};
 pub use emit::SweepDocument;
 pub use engine::SweepEngine;
+pub use fabric_power_fabric::provider::{ModelKind, ModelProvider, ModelSpec, ProviderStats};
 pub use registry::{Scenario, ScenarioRegistry};
 pub use sweeps::{PortSweep, ThroughputSweep};

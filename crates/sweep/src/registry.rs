@@ -10,7 +10,7 @@ use serde::{Deserialize, Serialize};
 
 use fabric_power_router::traffic::TrafficPattern;
 
-use crate::config::ExperimentConfig;
+use crate::config::{ExperimentConfig, ModelSource};
 
 /// One named workload: a full experiment configuration plus a summary line.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -61,6 +61,16 @@ impl ScenarioRegistry {
             name: "quick".into(),
             summary: "Reduced smoke grid ({4,8} ports, 3 loads, short windows)".into(),
             config: ExperimentConfig::quick(),
+        });
+        registry.register(Scenario {
+            name: "derived-quick".into(),
+            summary: "Quick grid with fully derived energy models (gate-level characterization; \
+                 pairs with `--model-cache`)"
+                .into(),
+            config: ExperimentConfig {
+                model_source: ModelSource::Derived,
+                ..ExperimentConfig::quick()
+            },
         });
         registry.register(Scenario {
             name: "hotspot-ablation".into(),
@@ -168,6 +178,7 @@ mod tests {
             "paper-fig9",
             "paper-fig10",
             "quick",
+            "derived-quick",
             "hotspot-ablation",
             "tornado",
             "bit-complement",
@@ -175,6 +186,10 @@ mod tests {
         ] {
             assert!(registry.get(name).is_some(), "missing scenario `{name}`");
         }
+        assert_eq!(
+            registry.get("derived-quick").unwrap().config.model_source,
+            ModelSource::Derived
+        );
         assert_eq!(
             registry.get("paper-fig9").unwrap().config.grid_size(),
             4 * 4 * 5
