@@ -50,6 +50,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             lowest_high.map_or("-".into(), |a| a.to_string()),
         );
     }
+    // Tail behavior at the heaviest load — the distribution-aware view the
+    // paper's mean curves cannot show.
+    let heaviest = *config.offered_loads.last().unwrap();
+    println!(
+        "Tail latency at {:.0}% load (cycles, mean p50/p95/p99):",
+        heaviest * 100.0
+    );
+    for &ports in &config.port_counts {
+        for &architecture in &config.architectures {
+            if let Some(point) = sweep.point(architecture, ports, heaviest) {
+                println!(
+                    "  {ports}x{ports} {:<16} {:>7.1} {:>5.0}/{:.0}/{:.0}",
+                    architecture.slug(),
+                    point.average_latency_cycles,
+                    point.latency_p50,
+                    point.latency_p95,
+                    point.latency_p99,
+                );
+            }
+        }
+    }
     export_json("figure9", &sweep);
     Ok(())
 }

@@ -14,10 +14,17 @@
 //! across many experiments.  This module re-exports the public types so
 //! every pre-existing `fabric_power_core::experiment::...` path keeps
 //! working, with identical results point for point.
+//!
+//! Execution goes through the plan → execute → merge pipeline: `SweepEngine::
+//! run` expands the grid into a single-shard [`SweepPlan`] internally, and the
+//! same plan split into N [`Shard`]s (`fabric-power plan --shards N`) runs as
+//! N independent worker processes whose partial documents
+//! [`merge_documents`] recombines byte-identically.
 
 pub use fabric_power_sweep::{
-    ExperimentConfig, ExperimentError, ModelKind, ModelProvider, ModelSource, ModelSpec, PortSweep,
-    ProviderStats, SeedStrategy, SweepCell, SweepEngine, SweepPoint, ThroughputSweep,
+    merge_documents, ExperimentConfig, ExperimentError, MergeError, ModelKind, ModelProvider,
+    ModelSource, ModelSpec, PlanError, PortSweep, ProviderStats, SeedStrategy, Shard,
+    ShardDocument, ShardStrategy, SweepCell, SweepEngine, SweepPlan, SweepPoint, ThroughputSweep,
 };
 
 #[cfg(test)]

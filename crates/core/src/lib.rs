@@ -47,7 +47,8 @@ pub use experiment::{
     SweepPoint, ThroughputSweep,
 };
 pub use fabric_power_sweep::{
-    Scenario, ScenarioRegistry, SeedStrategy, SweepCell, SweepDocument, SweepEngine,
+    Scenario, ScenarioRegistry, SeedStrategy, ShardStrategy, SweepCell, SweepDocument, SweepEngine,
+    SweepPlan,
 };
 
 /// Convenient re-exports of the most frequently used types from the whole
@@ -70,7 +71,8 @@ pub mod prelude {
     };
     pub use crate::paper::PaperClaims;
     pub use fabric_power_sweep::{
-        Scenario, ScenarioRegistry, SeedStrategy, SweepDocument, SweepEngine,
+        merge_documents, Scenario, ScenarioRegistry, SeedStrategy, Shard, ShardDocument,
+        ShardStrategy, SweepDocument, SweepEngine, SweepPlan,
     };
 }
 

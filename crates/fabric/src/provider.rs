@@ -253,6 +253,29 @@ pub struct DiskEntryInfo {
     pub spec: Option<ModelSpec>,
 }
 
+/// What [`ModelProvider::prune_disk`] did (see `fabric-power cache prune`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PruneReport {
+    /// Entries deleted.
+    pub removed: usize,
+    /// Bytes those entries occupied.
+    pub removed_bytes: u64,
+    /// Entries still in the store afterwards.
+    pub kept: usize,
+    /// Bytes the store occupies afterwards.
+    pub kept_bytes: u64,
+}
+
+impl std::fmt::Display for PruneReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "removed {} entry(ies) ({} bytes), kept {} ({} bytes)",
+            self.removed, self.removed_bytes, self.kept, self.kept_bytes
+        )
+    }
+}
+
 /// Owns all energy-model acquisition: an in-memory memo over immutable
 /// [`Arc`]-shared models, optionally backed by a content-addressed on-disk
 /// store.
@@ -441,7 +464,87 @@ impl ModelProvider {
             std::fs::remove_file(&entry.path)?;
             removed += 1;
         }
+        self.remove_stale_tmp_files(std::time::SystemTime::now())?;
         Ok(removed)
+    }
+
+    /// Evicts cache entries by age and/or total size — the policy behind
+    /// `fabric-power cache prune` (where `cache clear` is all-or-nothing).
+    ///
+    /// Entries whose modification time is older than `max_age` are removed
+    /// first; if the surviving entries still exceed `max_bytes`, the oldest
+    /// are evicted (ties broken by path, deterministically) until the store
+    /// fits.  Corrupt entries get no special treatment: they age out and
+    /// count toward the size cap like any other file.  Passing `None` for a
+    /// limit disables that criterion; passing `None` for both is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-read and file-removal errors; an empty report is
+    /// returned when no store is configured.
+    pub fn prune_disk(
+        &self,
+        max_age: Option<std::time::Duration>,
+        max_bytes: Option<u64>,
+    ) -> std::io::Result<PruneReport> {
+        let Some(dir) = &self.disk_dir else {
+            return Ok(PruneReport::default());
+        };
+        let now = std::time::SystemTime::now();
+        let mut report = PruneReport {
+            removed_bytes: self.remove_stale_tmp_files(now)?,
+            ..PruneReport::default()
+        };
+        // One metadata call per file — unlike `disk_entries`, pruning never
+        // needs to read or parse entry contents, only stat them.
+        let mut entries: Vec<(std::time::SystemTime, PathBuf, u64)> = Vec::new();
+        for entry in std::fs::read_dir(dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            if !Self::is_cache_file(&path) {
+                continue;
+            }
+            let metadata = entry.metadata()?;
+            let modified = metadata.modified().unwrap_or(std::time::UNIX_EPOCH);
+            entries.push((modified, path, metadata.len()));
+        }
+        // Oldest first, ties broken by path, deterministically.
+        entries.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+
+        let mut survivors: Vec<(PathBuf, u64)> = Vec::new();
+        for (modified, path, bytes) in entries {
+            let expired = max_age.is_some_and(|limit| {
+                now.duration_since(modified)
+                    .map(|age| age > limit)
+                    .unwrap_or(false)
+            });
+            if expired {
+                std::fs::remove_file(&path)?;
+                report.removed += 1;
+                report.removed_bytes += bytes;
+            } else {
+                survivors.push((path, bytes));
+            }
+        }
+
+        if let Some(limit) = max_bytes {
+            let mut total: u64 = survivors.iter().map(|(_, bytes)| bytes).sum();
+            for (path, bytes) in survivors {
+                if total <= limit {
+                    report.kept += 1;
+                    report.kept_bytes += bytes;
+                    continue;
+                }
+                std::fs::remove_file(&path)?;
+                report.removed += 1;
+                report.removed_bytes += bytes;
+                total -= bytes;
+            }
+        } else {
+            report.kept = survivors.len();
+            report.kept_bytes = survivors.iter().map(|(_, bytes)| bytes).sum();
+        }
+        Ok(report)
     }
 
     fn memoize(&self, key: String, model: FabricEnergyModel) -> Arc<FabricEnergyModel> {
@@ -464,6 +567,48 @@ impl ModelProvider {
         path.extension().and_then(|e| e.to_str()) == Some("json")
             && stem.len() == 32
             && stem.bytes().all(|b| b.is_ascii_hexdigit())
+    }
+
+    /// Whether `path` is a write-temp file of this store
+    /// (`{32-hex-key}.tmp.{pid}.{nonce}` — see [`ModelProvider::write_disk`]).
+    /// A tmp file normally lives for milliseconds between write and rename;
+    /// one that persists was orphaned by a killed process or a failed rename.
+    fn is_tmp_file(path: &Path) -> bool {
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            return false;
+        };
+        let Some((key, rest)) = name.split_once('.') else {
+            return false;
+        };
+        key.len() == 32 && key.bytes().all(|b| b.is_ascii_hexdigit()) && rest.starts_with("tmp.")
+    }
+
+    /// Deletes orphaned write-temp files older than one minute (young ones
+    /// may belong to a live writer racing us).  Shared by `clear` and
+    /// `prune`, which would otherwise never see these files: they are not
+    /// content-addressed entries, so `disk_entries` ignores them, yet they
+    /// hold full-model-sized payloads.
+    fn remove_stale_tmp_files(&self, now: std::time::SystemTime) -> std::io::Result<u64> {
+        let Some(dir) = &self.disk_dir else {
+            return Ok(0);
+        };
+        let mut removed_bytes = 0;
+        for entry in std::fs::read_dir(dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            if !Self::is_tmp_file(&path) {
+                continue;
+            }
+            let metadata = entry.metadata()?;
+            let age = now
+                .duration_since(metadata.modified().unwrap_or(std::time::UNIX_EPOCH))
+                .unwrap_or_default();
+            if age > std::time::Duration::from_secs(60) {
+                std::fs::remove_file(&path)?;
+                removed_bytes += metadata.len();
+            }
+        }
+        Ok(removed_bytes)
     }
 
     /// Reads and validates the on-disk entry for `key`, or `None` (counting
@@ -703,11 +848,108 @@ mod tests {
     }
 
     #[test]
+    fn prune_by_size_evicts_oldest_first() {
+        let dir = temp_store("prune-size");
+        let provider = ModelProvider::with_disk_cache(&dir).unwrap();
+        provider.get(&ModelSpec::paper(4)).unwrap();
+        provider.get(&ModelSpec::paper(8)).unwrap();
+        provider.get(&ModelSpec::paper(16)).unwrap();
+        let entries = provider.disk_entries().unwrap();
+        assert_eq!(entries.len(), 3);
+        // Make the 4-port entry unambiguously the oldest.
+        let oldest = dir.join(format!("{}.json", ModelSpec::paper(4).cache_key()));
+        let old_time = std::time::SystemTime::now() - std::time::Duration::from_secs(3600);
+        let file = std::fs::File::options().write(true).open(&oldest).unwrap();
+        let _ = file.set_modified(old_time);
+        drop(file);
+
+        let total: u64 = entries.iter().map(|e| e.bytes).sum();
+        let largest = entries.iter().map(|e| e.bytes).max().unwrap();
+        // A cap that forces out at least one entry but keeps at least one.
+        let report = provider.prune_disk(None, Some(total - 1)).unwrap();
+        assert!(report.removed >= 1);
+        assert!(report.kept >= 1);
+        assert!(report.kept_bytes <= total - 1 + largest);
+        assert!(!oldest.exists(), "oldest entry must go first");
+        assert_eq!(
+            report.kept + report.removed,
+            3,
+            "every entry accounted for: {report}"
+        );
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn prune_by_age_only_touches_expired_entries() {
+        let dir = temp_store("prune-age");
+        let provider = ModelProvider::with_disk_cache(&dir).unwrap();
+        provider.get(&ModelSpec::paper(4)).unwrap();
+        provider.get(&ModelSpec::paper(8)).unwrap();
+        let expired = dir.join(format!("{}.json", ModelSpec::paper(8).cache_key()));
+        let old_time = std::time::SystemTime::now() - std::time::Duration::from_secs(7200);
+        let file = std::fs::File::options().write(true).open(&expired).unwrap();
+        let _ = file.set_modified(old_time);
+        drop(file);
+
+        let report = provider
+            .prune_disk(Some(std::time::Duration::from_secs(3600)), None)
+            .unwrap();
+        assert_eq!(report.removed, 1);
+        assert_eq!(report.kept, 1);
+        assert!(!expired.exists());
+        // No limits at all is a no-op that still reports the store size.
+        let untouched = provider.prune_disk(None, None).unwrap();
+        assert_eq!(untouched.removed, 0);
+        assert_eq!(untouched.kept, 1);
+        assert!(untouched.kept_bytes > 0);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn clear_and_prune_sweep_up_orphaned_tmp_files() {
+        let dir = temp_store("tmp-orphans");
+        let provider = ModelProvider::with_disk_cache(&dir).unwrap();
+        provider.get(&ModelSpec::paper(4)).unwrap();
+        let key = ModelSpec::paper(4).cache_key();
+        // An orphan from a killed writer, old enough to be unambiguous, and
+        // a fresh one that may belong to a live writer.
+        let stale = dir.join(format!("{key}.tmp.12345.0"));
+        let fresh = dir.join(format!("{key}.tmp.12345.1"));
+        std::fs::write(&stale, "half-written").unwrap();
+        std::fs::write(&fresh, "half-written").unwrap();
+        let old_time = std::time::SystemTime::now() - std::time::Duration::from_secs(600);
+        let file = std::fs::File::options().write(true).open(&stale).unwrap();
+        let _ = file.set_modified(old_time);
+        drop(file);
+
+        let report = provider.prune_disk(None, Some(u64::MAX)).unwrap();
+        assert!(!stale.exists(), "stale tmp file must be swept");
+        assert!(fresh.exists(), "fresh tmp file may be a live writer's");
+        assert!(report.removed_bytes >= "half-written".len() as u64);
+        assert_eq!(report.kept, 1, "the real entry survives");
+
+        // clear sweeps them too (after aging the fresh one).
+        let file = std::fs::File::options().write(true).open(&fresh).unwrap();
+        let _ = file.set_modified(old_time);
+        drop(file);
+        assert_eq!(provider.clear_disk().unwrap(), 1);
+        assert!(!fresh.exists());
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn in_memory_provider_has_no_disk_surface() {
         let provider = ModelProvider::in_memory();
         assert!(provider.cache_dir().is_none());
         assert!(provider.disk_entries().unwrap().is_empty());
         assert_eq!(provider.clear_disk().unwrap(), 0);
+        assert_eq!(
+            provider.prune_disk(None, Some(0)).unwrap(),
+            PruneReport::default()
+        );
     }
 
     #[test]

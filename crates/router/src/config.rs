@@ -127,6 +127,18 @@ pub struct SimulationReport {
     pub buffer_overflow_cycles: u64,
     /// Mean packet latency (arrival to last word delivered), in cycles.
     pub average_latency_cycles: f64,
+    /// Median (50th-percentile) packet latency in cycles, from the
+    /// simulator's fixed-bin latency histogram (nearest-rank method).
+    /// Defaults keep reports serialized before the percentile fields
+    /// existed parseable (they read back as 0).
+    #[serde(default)]
+    pub latency_p50: f64,
+    /// 95th-percentile packet latency in cycles.
+    #[serde(default)]
+    pub latency_p95: f64,
+    /// 99th-percentile packet latency in cycles.
+    #[serde(default)]
+    pub latency_p99: f64,
     /// Accumulated energy, by component.
     pub energy: EnergyAccount,
     /// Duration of one clock cycle (for power computation).
@@ -207,6 +219,9 @@ mod tests {
             buffered_words: 0,
             buffer_overflow_cycles: 0,
             average_latency_cycles: 20.0,
+            latency_p50: 19.0,
+            latency_p95: 28.0,
+            latency_p99: 31.0,
             energy: EnergyAccount {
                 switches: Energy::from_nanojoules(1.0),
                 buffers: Energy::ZERO,
@@ -232,6 +247,9 @@ mod tests {
             buffered_words: 0,
             buffer_overflow_cycles: 0,
             average_latency_cycles: 0.0,
+            latency_p50: 0.0,
+            latency_p95: 0.0,
+            latency_p99: 0.0,
             energy: EnergyAccount::new(),
             cycle_time: TimeSpan::from_nanoseconds(10.0),
         };

@@ -11,6 +11,8 @@
 //!   hot-spot and permutation destination patterns);
 //! * [`energy`] — the three-component energy account (switches, buffers,
 //!   wires);
+//! * [`metrics`] — streaming latency-distribution metrics: a deterministic
+//!   fixed-bin histogram behind the report's p50/p95/p99 fields;
 //! * [`config`] — simulation configuration and the per-run report;
 //! * [`sim`] — the simulator itself.
 //!
@@ -42,12 +44,14 @@
 
 pub mod config;
 pub mod energy;
+pub mod metrics;
 pub mod packet;
 pub mod sim;
 pub mod traffic;
 
 pub use config::{SimulationConfig, SimulationReport};
 pub use energy::EnergyAccount;
+pub use metrics::LatencyHistogram;
 pub use packet::Packet;
 pub use sim::{simulate, RouterSimulator, SimulationError};
 pub use traffic::{TrafficGenerator, TrafficPattern};

@@ -26,6 +26,7 @@ use fabric_power_tech::wire::polarity_flips;
 
 use crate::config::{SimulationConfig, SimulationReport};
 use crate::energy::EnergyAccount;
+use crate::metrics::LatencyHistogram;
 use crate::packet::Packet;
 use crate::traffic::TrafficGenerator;
 
@@ -157,7 +158,7 @@ pub struct RouterSimulator {
     packets_delivered: u64,
     buffered_words: u64,
     buffer_overflow_cycles: u64,
-    latency_sum: f64,
+    latency: LatencyHistogram,
     energy: EnergyAccount,
 }
 
@@ -240,7 +241,7 @@ impl RouterSimulator {
             packets_delivered: 0,
             buffered_words: 0,
             buffer_overflow_cycles: 0,
-            latency_sum: 0.0,
+            latency: LatencyHistogram::new(),
             energy: EnergyAccount::new(),
             topology,
             traffic,
@@ -283,6 +284,7 @@ impl RouterSimulator {
     /// Builds the report for everything measured so far.
     #[must_use]
     pub fn report(&self) -> SimulationReport {
+        let [latency_p50, latency_p95, latency_p99] = self.latency.summary();
         SimulationReport {
             architecture: self.config.architecture,
             ports: self.config.ports,
@@ -292,14 +294,20 @@ impl RouterSimulator {
             packets_delivered: self.packets_delivered,
             buffered_words: self.buffered_words,
             buffer_overflow_cycles: self.buffer_overflow_cycles,
-            average_latency_cycles: if self.packets_delivered == 0 {
-                0.0
-            } else {
-                self.latency_sum / self.packets_delivered as f64
-            },
+            average_latency_cycles: self.latency.mean(),
+            latency_p50,
+            latency_p95,
+            latency_p99,
             energy: self.energy,
             cycle_time: self.config.cycle_time(),
         }
+    }
+
+    /// The latency distribution recorded so far (one sample per packet
+    /// delivered during the measurement window).
+    #[must_use]
+    pub fn latency_histogram(&self) -> &LatencyHistogram {
+        &self.latency
     }
 
     fn begin_measurement(&mut self) {
@@ -309,7 +317,7 @@ impl RouterSimulator {
         self.packets_delivered = 0;
         self.buffered_words = 0;
         self.buffer_overflow_cycles = 0;
-        self.latency_sum = 0.0;
+        self.latency = LatencyHistogram::new();
         self.energy = EnergyAccount::new();
     }
 
@@ -538,7 +546,7 @@ impl RouterSimulator {
             self.output_busy[destination] = false;
             if measuring {
                 self.packets_delivered += 1;
-                self.latency_sum += latency as f64;
+                self.latency.record(latency);
             }
         }
     }
@@ -664,6 +672,33 @@ mod tests {
         let report = run(Architecture::Crossbar, 4, 0.3);
         assert!(report.packets_delivered > 0);
         assert!(report.average_latency_cycles >= 16.0);
+    }
+
+    #[test]
+    fn latency_percentiles_are_ordered_and_bracket_the_mean() {
+        let report = run(Architecture::Crossbar, 8, 0.4);
+        assert!(report.packets_delivered > 0);
+        // A packet needs at least its 16 transfer cycles.
+        assert!(report.latency_p50 >= 16.0);
+        assert!(report.latency_p50 <= report.latency_p95);
+        assert!(report.latency_p95 <= report.latency_p99);
+        // The mean of a right-skewed queueing distribution sits between the
+        // median and the extreme tail.
+        assert!(report.average_latency_cycles <= report.latency_p99);
+    }
+
+    #[test]
+    fn latency_histogram_count_matches_delivered_packets() {
+        let config = SimulationConfig::quick(Architecture::Banyan, 4, 0.4);
+        let model = FabricEnergyModel::paper(4).unwrap();
+        let mut sim = RouterSimulator::new(config.clone(), model).unwrap();
+        let total = config.warmup_cycles + config.measure_cycles;
+        for _ in 0..total {
+            sim.step();
+        }
+        let report = sim.report();
+        assert_eq!(sim.latency_histogram().count(), report.packets_delivered);
+        assert!((sim.latency_histogram().mean() - report.average_latency_cycles).abs() < 1e-12);
     }
 
     #[test]

@@ -4,8 +4,12 @@
 //! ```text
 //! fabric-power list-scenarios
 //! fabric-power sweep --scenario paper-fig9 --threads 8 --out fig9.json
+//! fabric-power plan paper-fig9 --shards 3 --out plan.json
+//! fabric-power run-shard plan.json --index 0 --out part0.json
+//! fabric-power merge part0.json part1.json part2.json --out fig9.json
 //! fabric-power sweep --scenario derived-quick --model-cache ~/.cache/fabric-power
 //! fabric-power cache warm --scenario derived-quick --model-cache ~/.cache/fabric-power
+//! fabric-power cache prune --model-cache ~/.cache/fabric-power --max-age-days 30
 //! fabric-power diff a.json b.json
 //! fabric-power report --in fig9.json
 //! ```
@@ -15,8 +19,8 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use fabric_power_sweep::{
-    diff_documents, report, ModelProvider, Scenario, ScenarioRegistry, SeedStrategy, SweepDocument,
-    SweepEngine,
+    diff_documents, merge_documents, report, ModelProvider, Scenario, ScenarioRegistry,
+    SeedStrategy, ShardDocument, ShardStrategy, SweepDocument, SweepEngine, SweepPlan,
 };
 
 const USAGE: &str = "\
@@ -40,9 +44,27 @@ COMMANDS:
                                    content-addressed on-disk cache
         [--out <FILE.json>]        Write the JSON document here
         [--csv <FILE.csv>]         Also write a CSV table here
+    plan <SCENARIO> --shards <N>   Expand a scenario once and split it into
+                                   self-describing shards (a JSON plan)
+        [--scenario-file <FILE>]   Plan a scenario loaded from JSON instead
+        [--strategy <S>]           `contiguous` (default) or `round-robin`
+        [--seed <SEED>]            Override the scenario's base RNG seed
+        [--seed-strategy <S>]      `shared` (default) or `per-cell`
+        [--out <FILE.json>]        Write the plan here (default: stdout)
+    run-shard <PLAN.json>          Run one shard of a plan, emitting a
+        --index <I>                partial document for `merge`
+        [--threads <N>] [--model-cache <DIR>] [--out <FILE.json>]
+    merge <PART.json>...           Recombine partial shard documents into the
+                                   full sweep document (byte-identical to a
+                                   single-process run; refuses overlapping or
+                                   missing cells)
+        [--out <FILE.json>] [--csv <FILE.csv>]
     cache <ACTION> --model-cache <DIR>
         stats                      Summarize the cache directory
         clear                      Delete every cached model
+        prune                      Evict entries by age and/or total size
+            [--max-age-days <D>]   Drop entries older than D days
+            [--max-bytes <B>]      Evict oldest-first until under B bytes
         warm --scenario <NAME>     Pre-build every model a scenario needs
              [--scenario-file <FILE>]
     diff <A.json> <B.json>         Compare two sweep documents cell by cell
@@ -74,6 +96,9 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         Some("list-scenarios") => done(list_scenarios()),
         Some("export-scenario") => done(export_scenario(&args[1..])),
         Some("sweep") => done(sweep(&args[1..])),
+        Some("plan") => done(plan(&args[1..])),
+        Some("run-shard") => done(run_shard(&args[1..])),
+        Some("merge") => done(merge(&args[1..])),
         Some("cache") => done(cache(&args[1..])),
         Some("diff") => diff(&args[1..]),
         Some("report") => done(report_command(&args[1..])),
@@ -151,6 +176,22 @@ fn known_flags(args: &[String], flags: &[&str]) -> Result<(), String> {
     known_flags_with_positionals(args, 0, flags)
 }
 
+/// The arguments left once every `--flag value` pair in `flags` is removed.
+fn positional_args<'a>(args: &'a [String], flags: &[&str]) -> Vec<&'a String> {
+    let mut positionals = Vec::new();
+    let mut skip_next = false;
+    for arg in args {
+        if skip_next {
+            skip_next = false;
+        } else if flags.contains(&arg.as_str()) {
+            skip_next = true;
+        } else {
+            positionals.push(arg);
+        }
+    }
+    positionals
+}
+
 fn unknown_scenario(name: &str) -> String {
     format!(
         "unknown scenario `{name}` (available: {})",
@@ -158,16 +199,18 @@ fn unknown_scenario(name: &str) -> String {
     )
 }
 
-/// Resolves the scenario from `--scenario <NAME>` or `--scenario-file
-/// <FILE>` (exactly one of the two).
-fn resolve_scenario(args: &[String]) -> Result<Scenario, String> {
-    let name = flag_value(args, "--scenario")?;
-    let file = flag_value(args, "--scenario-file")?;
+/// Loads a scenario from a registry name or a JSON file (exactly one of the
+/// two) — the single resolution path every subcommand shares, so lookup
+/// behavior and error wording cannot drift between them.
+fn load_scenario(
+    name: Option<String>,
+    file: Option<String>,
+    neither: &str,
+    both: &str,
+) -> Result<Scenario, String> {
     match (name, file) {
-        (Some(_), Some(_)) => {
-            Err("`--scenario` and `--scenario-file` are mutually exclusive".into())
-        }
-        (None, None) => Err("need `--scenario <NAME>` or `--scenario-file <FILE>`".into()),
+        (Some(_), Some(_)) => Err(both.into()),
+        (None, None) => Err(neither.into()),
         (Some(name), None) => {
             let registry = ScenarioRegistry::builtin();
             registry
@@ -183,6 +226,17 @@ fn resolve_scenario(args: &[String]) -> Result<Scenario, String> {
             Ok(scenario)
         }
     }
+}
+
+/// Resolves the scenario from `--scenario <NAME>` or `--scenario-file
+/// <FILE>` (exactly one of the two).
+fn resolve_scenario(args: &[String]) -> Result<Scenario, String> {
+    load_scenario(
+        flag_value(args, "--scenario")?,
+        flag_value(args, "--scenario-file")?,
+        "need `--scenario <NAME>` or `--scenario-file <FILE>`",
+        "`--scenario` and `--scenario-file` are mutually exclusive",
+    )
 }
 
 /// Builds the model provider: disk-backed when `--model-cache` is given,
@@ -249,6 +303,13 @@ fn sweep(args: &[String]) -> Result<(), String> {
         points,
     };
 
+    write_document_outputs(&document, args)
+}
+
+/// The one output policy for subcommands that produce a [`SweepDocument`]
+/// (`sweep`, `merge`): write `--out` and/or `--csv` when given, otherwise
+/// dump the JSON document to stdout.
+fn write_document_outputs(document: &SweepDocument, args: &[String]) -> Result<(), String> {
     let out = flag_value(args, "--out")?.map(PathBuf::from);
     let csv = flag_value(args, "--csv")?.map(PathBuf::from);
     match (&out, &csv) {
@@ -273,7 +334,7 @@ fn sweep(args: &[String]) -> Result<(), String> {
 fn cache(args: &[String]) -> Result<(), String> {
     let action = args
         .first()
-        .ok_or_else(|| "cache needs an action: stats, clear or warm".to_string())?;
+        .ok_or_else(|| "cache needs an action: stats, clear, prune or warm".to_string())?;
     let rest = &args[1..];
     let require_dir = |rest: &[String]| -> Result<Arc<ModelProvider>, String> {
         if flag_value(rest, "--model-cache")?.is_none() {
@@ -321,6 +382,44 @@ fn cache(args: &[String]) -> Result<(), String> {
             println!("removed {removed} cached model(s)");
             Ok(())
         }
+        "prune" => {
+            known_flags(rest, &["--model-cache", "--max-age-days", "--max-bytes"])?;
+            let provider = require_dir(rest)?;
+            let max_age = match flag_value(rest, "--max-age-days")? {
+                Some(value) => {
+                    // try_from_secs_f64 rejects negative, non-finite and
+                    // out-of-range inputs in one place, so absurd day counts
+                    // are a clean error instead of a Duration panic.
+                    let age = value
+                        .parse::<f64>()
+                        .ok()
+                        .and_then(|days| {
+                            std::time::Duration::try_from_secs_f64(days * 86_400.0).ok()
+                        })
+                        .ok_or_else(|| format!("invalid `--max-age-days` value `{value}`"))?;
+                    Some(age)
+                }
+                None => None,
+            };
+            let max_bytes = match flag_value(rest, "--max-bytes")? {
+                Some(value) => Some(
+                    value
+                        .parse::<u64>()
+                        .map_err(|_| format!("invalid `--max-bytes` value `{value}`"))?,
+                ),
+                None => None,
+            };
+            if max_age.is_none() && max_bytes.is_none() {
+                return Err(
+                    "cache prune needs `--max-age-days <D>` and/or `--max-bytes <B>`".into(),
+                );
+            }
+            let report = provider
+                .prune_disk(max_age, max_bytes)
+                .map_err(|e| e.to_string())?;
+            println!("{report}");
+            Ok(())
+        }
         "warm" => {
             known_flags(rest, &["--model-cache", "--scenario", "--scenario-file"])?;
             let provider = require_dir(rest)?;
@@ -344,7 +443,7 @@ fn cache(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         other => Err(format!(
-            "unknown cache action `{other}` (expected stats, clear or warm)"
+            "unknown cache action `{other}` (expected stats, clear, prune or warm)"
         )),
     }
 }
@@ -368,18 +467,7 @@ fn diff(args: &[String]) -> Result<ExitCode, String> {
     };
     // The two document paths are the arguments left once `--tolerance` and
     // its value are removed.
-    let mut positionals = Vec::new();
-    let mut skip_next = false;
-    for arg in args {
-        if skip_next {
-            skip_next = false;
-        } else if arg == "--tolerance" {
-            skip_next = true;
-        } else {
-            positionals.push(arg);
-        }
-    }
-    let [a_path, b_path] = positionals.as_slice() else {
+    let [a_path, b_path] = positional_args(args, &["--tolerance"])[..] else {
         return Err("diff needs exactly two document paths".into());
     };
     let a = read_document(a_path)?;
@@ -391,6 +479,159 @@ fn diff(args: &[String]) -> Result<ExitCode, String> {
     } else {
         Ok(ExitCode::FAILURE)
     }
+}
+
+/// `fabric-power plan <SCENARIO> --shards N`: expand once, split, serialize.
+fn plan(args: &[String]) -> Result<(), String> {
+    const FLAGS: &[&str] = &[
+        "--scenario-file",
+        "--shards",
+        "--strategy",
+        "--seed",
+        "--seed-strategy",
+        "--out",
+    ];
+    known_flags_with_positionals(args, 1, FLAGS)?;
+    let shards =
+        flag_value(args, "--shards")?.ok_or_else(|| "plan needs `--shards <N>`".to_string())?;
+    let shards: usize = shards
+        .parse()
+        .ok()
+        .filter(|&n| n > 0)
+        .ok_or_else(|| format!("invalid shard count `{shards}` (need a positive integer)"))?;
+    let strategy = match flag_value(args, "--strategy")? {
+        Some(value) => ShardStrategy::parse(&value)?,
+        None => ShardStrategy::Contiguous,
+    };
+
+    // The scenario comes from the positional name or `--scenario-file`.
+    let positional_name = match positional_args(args, FLAGS)[..] {
+        [] => None,
+        [name] => Some(name.clone()),
+        _ => return Err("plan takes at most one scenario name".into()),
+    };
+    let Scenario { name, config, .. } = load_scenario(
+        positional_name,
+        flag_value(args, "--scenario-file")?,
+        "plan needs a scenario name or `--scenario-file <FILE>`",
+        "give a scenario name or `--scenario-file`, not both",
+    )?;
+
+    let mut config = config;
+    if let Some(seed) = flag_value(args, "--seed")? {
+        config.seed = parse_seed(&seed)?;
+    }
+    let seed_strategy = match flag_value(args, "--seed-strategy")? {
+        Some(value) => SeedStrategy::parse(&value)?,
+        None => SeedStrategy::Shared,
+    };
+
+    let plan =
+        SweepPlan::new(name, config, seed_strategy, shards, strategy).map_err(|e| e.to_string())?;
+    eprintln!(
+        "planned scenario `{}`: {} cell(s) over {} {} shard(s)",
+        plan.scenario,
+        plan.total_cells(),
+        plan.shard_count(),
+        plan.strategy.slug(),
+    );
+    emit_json(
+        &plan.to_json_string().map_err(|e| e.to_string())?,
+        flag_value(args, "--out")?.as_deref(),
+    )
+}
+
+/// `fabric-power run-shard <PLAN> --index i`: execute one shard of a plan.
+fn run_shard(args: &[String]) -> Result<(), String> {
+    const FLAGS: &[&str] = &["--index", "--threads", "--model-cache", "--out"];
+    known_flags_with_positionals(args, 1, FLAGS)?;
+    let [plan_path] = positional_args(args, FLAGS)[..] else {
+        return Err("run-shard needs exactly one plan file".into());
+    };
+    let index =
+        flag_value(args, "--index")?.ok_or_else(|| "run-shard needs `--index <I>`".to_string())?;
+    let index: usize = index
+        .parse()
+        .map_err(|_| format!("invalid shard index `{index}`"))?;
+
+    let json =
+        std::fs::read_to_string(plan_path).map_err(|e| format!("reading {plan_path}: {e}"))?;
+    let plan = SweepPlan::from_json_str(json.trim_end())
+        .map_err(|e| format!("parsing {plan_path}: {e}"))?;
+
+    let provider = resolve_provider(args)?;
+    let mut engine = SweepEngine::new().with_provider(Arc::clone(&provider));
+    if let Some(threads) = flag_value(args, "--threads")? {
+        engine = engine.with_threads(fabric_power_sweep::executor::parse_thread_count(&threads)?);
+    }
+
+    // Check the index before printing progress, but keep the engine's error
+    // as the single source of the message.
+    let shard = plan.shard(index).ok_or_else(|| {
+        fabric_power_sweep::ExperimentError::InvalidShard {
+            index,
+            shards: plan.shard_count(),
+        }
+        .to_string()
+    })?;
+    eprintln!(
+        "running shard {index}/{} of `{}`: {} cell(s) on {} thread(s)...",
+        plan.shard_count(),
+        plan.scenario,
+        shard.cells.len(),
+        engine.threads()
+    );
+    let started = std::time::Instant::now();
+    let document = engine.run_shard(&plan, index).map_err(|e| e.to_string())?;
+    eprintln!(
+        "completed {} cell(s) in {:.2?}",
+        document.results.len(),
+        started.elapsed()
+    );
+    print_cache_stats(&provider);
+    emit_json(
+        &document.to_json_string().map_err(|e| e.to_string())?,
+        flag_value(args, "--out")?.as_deref(),
+    )
+}
+
+/// `fabric-power merge <PART>...`: recombine partial documents by cell index.
+fn merge(args: &[String]) -> Result<(), String> {
+    const FLAGS: &[&str] = &["--out", "--csv"];
+    known_flags_with_positionals(args, usize::MAX, FLAGS)?;
+    let part_paths = positional_args(args, FLAGS);
+    if part_paths.is_empty() {
+        return Err("merge needs at least one shard document".into());
+    }
+    let mut parts = Vec::with_capacity(part_paths.len());
+    for path in part_paths {
+        let json = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        parts.push(
+            ShardDocument::from_json_str(json.trim_end())
+                .map_err(|e| format!("parsing {path}: {e}"))?,
+        );
+    }
+    let document = merge_documents(&parts).map_err(|e| e.to_string())?;
+    eprintln!(
+        "merged {} shard(s) into {} point(s) of `{}`",
+        parts.len(),
+        document.points.len(),
+        document.scenario
+    );
+    write_document_outputs(&document, args)
+}
+
+/// Writes pretty JSON to `--out` (with a trailing newline) or to stdout.
+fn emit_json(json: &str, out: Option<&str>) -> Result<(), String> {
+    match out {
+        Some(path) => {
+            std::fs::write(path, format!("{json}\n"))
+                .map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!("wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+    Ok(())
 }
 
 fn parse_seed(input: &str) -> Result<u64, String> {

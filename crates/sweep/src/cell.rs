@@ -135,6 +135,19 @@ pub struct SweepCell {
     pub seed: u64,
 }
 
+/// The distinct fabric sizes a cell list touches, in first-seen order — the
+/// sizes an executor must acquire energy models for before running it.
+#[must_use]
+pub fn unique_ports(cells: &[SweepCell]) -> Vec<usize> {
+    let mut ports = Vec::new();
+    for cell in cells {
+        if !ports.contains(&cell.ports) {
+            ports.push(cell.ports);
+        }
+    }
+    ports
+}
+
 /// One simulated operating point: architecture × size × offered load.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SweepPoint {
@@ -158,6 +171,18 @@ pub struct SweepPoint {
     pub buffered_words: u64,
     /// Mean packet latency in cycles.
     pub average_latency_cycles: f64,
+    /// Median (50th-percentile) packet latency in cycles, from the
+    /// simulator's deterministic fixed-bin latency histogram.  Defaults keep
+    /// documents emitted before the percentile columns existed parseable
+    /// (they read back as 0).
+    #[serde(default)]
+    pub latency_p50: f64,
+    /// 95th-percentile packet latency in cycles.
+    #[serde(default)]
+    pub latency_p95: f64,
+    /// 99th-percentile packet latency in cycles.
+    #[serde(default)]
+    pub latency_p99: f64,
 }
 
 #[cfg(test)]

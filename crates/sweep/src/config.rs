@@ -33,6 +33,13 @@ pub enum ExperimentError {
     Model(EnergyModelError),
     /// Building or running the simulator failed.
     Simulation(SimulationError),
+    /// A shard index outside the plan was requested.
+    InvalidShard {
+        /// The requested shard index.
+        index: usize,
+        /// How many shards the plan has.
+        shards: usize,
+    },
 }
 
 impl std::fmt::Display for ExperimentError {
@@ -40,6 +47,10 @@ impl std::fmt::Display for ExperimentError {
         match self {
             Self::Model(e) => write!(f, "energy model: {e}"),
             Self::Simulation(e) => write!(f, "simulation: {e}"),
+            Self::InvalidShard { index, shards } => write!(
+                f,
+                "shard index {index} is out of range: the plan has {shards} shard(s)"
+            ),
         }
     }
 }

@@ -178,6 +178,9 @@ pub fn diff_documents(a: &SweepDocument, b: &SweepDocument, tolerance: f64) -> D
                 pa.average_latency_cycles,
                 pb.average_latency_cycles,
             ),
+            ("latency_p50", pa.latency_p50, pb.latency_p50),
+            ("latency_p95", pa.latency_p95, pb.latency_p95),
+            ("latency_p99", pa.latency_p99, pb.latency_p99),
         ];
         let fields: Vec<FieldDelta> = candidates
             .into_iter()
@@ -260,6 +263,19 @@ mod tests {
         assert!(report.contains("cell 1"));
         assert!(report.contains("measured_throughput"));
         assert!(report.contains("1 differing cell(s)"));
+    }
+
+    #[test]
+    fn latency_percentile_drift_is_reported() {
+        let a = document();
+        let mut b = a.clone();
+        b.points[0].latency_p50 += 1.0;
+        b.points[0].latency_p95 += 2.0;
+        b.points[0].latency_p99 += 3.0;
+        let diff = diff_documents(&a, &b, 0.0);
+        assert!(!diff.is_match());
+        let fields: Vec<&str> = diff.cells[0].fields.iter().map(|d| d.field).collect();
+        assert_eq!(fields, vec!["latency_p50", "latency_p95", "latency_p99"]);
     }
 
     #[test]

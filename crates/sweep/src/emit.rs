@@ -32,7 +32,8 @@ pub struct SweepDocument {
 
 /// The CSV header [`SweepDocument::to_csv_string`] writes.
 pub const CSV_HEADER: &str = "architecture,ports,offered_load,measured_throughput,power_mw,\
-switch_energy_j,buffer_energy_j,wire_energy_j,buffered_words,average_latency_cycles";
+switch_energy_j,buffer_energy_j,wire_energy_j,buffered_words,average_latency_cycles,\
+latency_p50,latency_p95,latency_p99";
 
 impl SweepDocument {
     /// Serializes to pretty JSON (deterministic bytes).
@@ -61,7 +62,7 @@ impl SweepDocument {
         out.push('\n');
         for point in &self.points {
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
                 point.architecture.slug(),
                 point.ports,
                 point.offered_load,
@@ -72,6 +73,9 @@ impl SweepDocument {
                 point.wire_energy.as_joules(),
                 point.buffered_words,
                 point.average_latency_cycles,
+                point.latency_p50,
+                point.latency_p95,
+                point.latency_p99,
             ));
         }
         out
@@ -145,8 +149,34 @@ mod tests {
         assert_eq!(lines[0], CSV_HEADER);
         assert_eq!(lines.len(), 1 + document.points.len());
         let fields: Vec<&str> = lines[1].split(',').collect();
-        assert_eq!(fields.len(), 10);
+        assert_eq!(fields.len(), 13);
         assert_eq!(fields[1], "4");
+        // The three percentile columns sit after the mean latency.
+        assert!(CSV_HEADER.ends_with("latency_p50,latency_p95,latency_p99"));
+    }
+
+    #[test]
+    fn documents_without_percentile_fields_still_parse() {
+        // A point as emitted before the latency-percentile columns existed:
+        // no latency_p50/p95/p99 keys.  `#[serde(default)]` reads them as 0
+        // instead of rejecting the whole document.
+        let legacy = r#"{
+            "architecture": "Crossbar",
+            "ports": 4,
+            "offered_load": 0.2,
+            "measured_throughput": 0.19,
+            "power": 0.0015,
+            "switch_energy": 1e-9,
+            "buffer_energy": 0.0,
+            "wire_energy": 1e-9,
+            "buffered_words": 0,
+            "average_latency_cycles": 17.5
+        }"#;
+        let point: crate::cell::SweepPoint = serde_json::from_str(legacy).expect("legacy parses");
+        assert_eq!(point.average_latency_cycles, 17.5);
+        assert_eq!(point.latency_p50, 0.0);
+        assert_eq!(point.latency_p95, 0.0);
+        assert_eq!(point.latency_p99, 0.0);
     }
 
     #[test]

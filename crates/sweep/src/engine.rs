@@ -1,5 +1,6 @@
-//! The sweep engine: expands an [`ExperimentConfig`] into a flat list of
-//! [`SweepCell`]s and evaluates them on a parallel, deterministic executor.
+//! The sweep engine: the *execute* stage of the plan → execute → merge
+//! pipeline.  Evaluates a whole [`SweepPlan`] or a single [`Shard`] of one on
+//! a parallel, deterministic executor.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -10,7 +11,10 @@ use fabric_power_router::sim::RouterSimulator;
 
 use crate::cell::{SeedStrategy, SweepCell, SweepPoint};
 use crate::config::{ExperimentConfig, ExperimentError};
+use crate::emit::SweepDocument;
 use crate::executor;
+use crate::merge::{ShardCellResult, ShardDocument};
+use crate::plan::{self, PlanError, Shard, ShardStrategy, SweepPlan};
 
 /// Orchestrates the evaluation of an experiment grid.
 ///
@@ -109,31 +113,34 @@ impl SweepEngine {
 
     /// Expands a configuration into its flat cell list, in canonical order
     /// (ports → architecture → offered load — the order the original
-    /// sequential loops visited the grid in).
+    /// sequential loops visited the grid in), using this engine's seed
+    /// strategy.  Delegates to [`plan::expand_cells`], the single grid
+    /// expansion the whole pipeline shares.
     #[must_use]
     pub fn expand(&self, config: &ExperimentConfig) -> Vec<SweepCell> {
-        let mut cells = Vec::with_capacity(config.grid_size());
-        for &ports in &config.port_counts {
-            for &architecture in &config.architectures {
-                for &offered_load in &config.offered_loads {
-                    cells.push(SweepCell {
-                        index: cells.len(),
-                        architecture,
-                        ports,
-                        offered_load,
-                        pattern: config.pattern,
-                        seed: self.seed_strategy.cell_seed(
-                            config.seed,
-                            architecture,
-                            ports,
-                            offered_load,
-                            config.pattern,
-                        ),
-                    });
-                }
-            }
-        }
-        cells
+        plan::expand_cells(config, self.seed_strategy)
+    }
+
+    /// Expands a configuration and splits it into `shards` self-describing
+    /// shards: the *plan* step of `fabric-power plan`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError::ZeroShards`] when `shards` is zero.
+    pub fn plan(
+        &self,
+        scenario: impl Into<String>,
+        config: &ExperimentConfig,
+        shards: usize,
+        strategy: ShardStrategy,
+    ) -> Result<SweepPlan, PlanError> {
+        SweepPlan::new(
+            scenario,
+            config.clone(),
+            self.seed_strategy,
+            shards,
+            strategy,
+        )
     }
 
     /// Acquires one immutable energy model per fabric size through the
@@ -153,13 +160,9 @@ impl SweepEngine {
     fn build_models(
         &self,
         config: &ExperimentConfig,
+        cells: &[SweepCell],
     ) -> Result<HashMap<usize, Arc<FabricEnergyModel>>, ExperimentError> {
-        let mut unique_ports: Vec<usize> = Vec::new();
-        for &ports in &config.port_counts {
-            if !unique_ports.contains(&ports) {
-                unique_ports.push(ports);
-            }
-        }
+        let unique_ports = crate::cell::unique_ports(cells);
         let built = executor::parallel_map(&unique_ports, self.threads().max(1), |&ports| {
             self.provider.get(&config.model_spec(ports))
         });
@@ -170,20 +173,109 @@ impl SweepEngine {
         Ok(models)
     }
 
+    /// Evaluates an explicit cell list (already expanded and seeded) and
+    /// returns one [`SweepPoint`] per cell, in the list's order.  Only the
+    /// fabric sizes the cells actually touch get models built — a shard of a
+    /// contiguous split typically needs one or two, not the whole grid's.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model and simulation errors; when several cells fail, the
+    /// error of the lowest-indexed cell is returned (deterministically).
+    fn run_cells(
+        &self,
+        config: &ExperimentConfig,
+        cells: &[SweepCell],
+    ) -> Result<Vec<SweepPoint>, ExperimentError> {
+        let models = self.build_models(config, cells)?;
+        let results = executor::parallel_map(cells, self.threads().max(1), |cell| {
+            self.run_cell(config, cell, &models[&cell.ports])
+        });
+        results.into_iter().collect()
+    }
+
     /// Runs the full grid and returns one [`SweepPoint`] per cell, in
     /// canonical grid order.
+    ///
+    /// Internally this is a single-shard plan pushed through the same
+    /// plan → execute path sharded runs use, so a direct `run` can never
+    /// drift from a plan/run-shard/merge round trip.
     ///
     /// # Errors
     ///
     /// Propagates model and simulation errors; when several cells fail, the
     /// error of the lowest-indexed cell is returned (deterministically).
     pub fn run(&self, config: &ExperimentConfig) -> Result<Vec<SweepPoint>, ExperimentError> {
-        let models = self.build_models(config)?;
-        let cells = self.expand(config);
-        let results = executor::parallel_map(&cells, self.threads().max(1), |cell| {
-            self.run_cell(config, cell, &models[&cell.ports])
-        });
-        results.into_iter().collect()
+        let plan = self
+            .plan("run", config, 1, ShardStrategy::Contiguous)
+            .expect("one shard is always a valid plan");
+        self.run_cells(config, &plan.shards[0].cells)
+    }
+
+    /// Runs every shard of a plan in this process and returns the complete
+    /// document — what `fabric-power sweep` effectively does, and the
+    /// reference a sharded run's merged output must match byte for byte.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model and simulation errors.
+    pub fn run_plan(&self, plan: &SweepPlan) -> Result<SweepDocument, ExperimentError> {
+        let mut cells: Vec<SweepCell> = plan
+            .shards
+            .iter()
+            .flat_map(|shard| shard.cells.iter().copied())
+            .collect();
+        cells.sort_by_key(|cell| cell.index);
+        let points = self.run_cells(&plan.config, &cells)?;
+        Ok(SweepDocument {
+            scenario: plan.scenario.clone(),
+            config: plan.config.clone(),
+            seed_strategy: plan.seed_strategy,
+            points,
+        })
+    }
+
+    /// Runs one shard of a plan and returns the partial document tagged with
+    /// the shard id and the cell-index range it covers — the unit of work a
+    /// sharded fleet ships back for [`crate::merge::merge_documents`].
+    ///
+    /// The cells' seeds were fixed when the plan was built, so the points
+    /// this produces are bit-identical to the same cells evaluated by a
+    /// single-process run, whatever this worker's thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExperimentError::InvalidShard`] when `index` is out of
+    /// range; otherwise propagates model and simulation errors.
+    pub fn run_shard(
+        &self,
+        plan: &SweepPlan,
+        index: usize,
+    ) -> Result<ShardDocument, ExperimentError> {
+        let shard: &Shard = plan
+            .shard(index)
+            .ok_or_else(|| ExperimentError::InvalidShard {
+                index,
+                shards: plan.shard_count(),
+            })?;
+        let points = self.run_cells(&plan.config, &shard.cells)?;
+        Ok(ShardDocument {
+            scenario: plan.scenario.clone(),
+            config: plan.config.clone(),
+            seed_strategy: plan.seed_strategy,
+            shard_index: shard.index,
+            shard_total: shard.total,
+            cell_range: shard.cell_index_range(),
+            results: shard
+                .cells
+                .iter()
+                .zip(points)
+                .map(|(cell, point)| ShardCellResult {
+                    index: cell.index,
+                    point,
+                })
+                .collect(),
+        })
     }
 
     /// Simulates a single cell against a shared energy model.
@@ -213,6 +305,9 @@ impl SweepEngine {
             wire_energy: report.energy.wires,
             buffered_words: report.buffered_words,
             average_latency_cycles: report.average_latency_cycles,
+            latency_p50: report.latency_p50,
+            latency_p95: report.latency_p95,
+            latency_p99: report.latency_p99,
         })
     }
 }
@@ -299,6 +394,104 @@ mod tests {
             &ModelProvider::shared()
         ));
         assert_eq!(default_engine.run(&config).unwrap(), first);
+    }
+
+    #[test]
+    fn run_matches_run_plan_and_merged_shards() {
+        let config = ExperimentConfig {
+            port_counts: vec![4],
+            offered_loads: vec![0.1, 0.3],
+            warmup_cycles: 50,
+            measure_cycles: 200,
+            ..ExperimentConfig::quick()
+        };
+        let engine = SweepEngine::new().with_threads(2);
+        let direct = engine.run(&config).unwrap();
+        let plan = engine
+            .plan("engine-test", &config, 3, ShardStrategy::RoundRobin)
+            .unwrap();
+        let whole = engine.run_plan(&plan).unwrap();
+        assert_eq!(whole.points, direct);
+        let parts: Vec<_> = (0..3)
+            .map(|index| engine.run_shard(&plan, index).unwrap())
+            .collect();
+        let merged = crate::merge::merge_documents(&parts).unwrap();
+        assert_eq!(merged, whole);
+    }
+
+    #[test]
+    fn shard_runs_only_build_the_models_the_shard_needs() {
+        let provider = Arc::new(ModelProvider::in_memory());
+        let engine = SweepEngine::new()
+            .with_threads(1)
+            .with_provider(Arc::clone(&provider));
+        // Contiguous split of the quick grid: shard 0 is all 4-port cells.
+        let plan = engine
+            .plan(
+                "model-scope",
+                &ExperimentConfig::quick(),
+                2,
+                ShardStrategy::Contiguous,
+            )
+            .unwrap();
+        let document = engine.run_shard(&plan, 0).unwrap();
+        assert!(document.results.iter().all(|r| r.point.ports == 4));
+        assert_eq!(
+            provider.stats().builds,
+            1,
+            "only the 4-port model should have been built"
+        );
+        assert_eq!(document.cell_range, Some((0, 11)));
+        assert_eq!(document.shard_index, 0);
+        assert_eq!(document.shard_total, 2);
+    }
+
+    #[test]
+    fn empty_shards_advertise_no_cell_range() {
+        let config = ExperimentConfig {
+            port_counts: vec![4],
+            offered_loads: vec![0.2],
+            architectures: vec![fabric_power_fabric::Architecture::Banyan],
+            warmup_cycles: 20,
+            measure_cycles: 50,
+            ..ExperimentConfig::quick()
+        };
+        let engine = SweepEngine::new().with_threads(1);
+        // 1 cell over 3 shards: shards 1 and 2 are empty.
+        let plan = engine
+            .plan("empty-shards", &config, 3, ShardStrategy::Contiguous)
+            .unwrap();
+        let full = engine.run_shard(&plan, 0).unwrap();
+        assert_eq!(full.cell_range, Some((0, 0)));
+        let empty = engine.run_shard(&plan, 1).unwrap();
+        assert_eq!(empty.cell_range, None);
+        assert!(empty.results.is_empty());
+        // The distinction survives JSON (null vs an array).
+        let round =
+            crate::merge::ShardDocument::from_json_str(&empty.to_json_string().unwrap()).unwrap();
+        assert_eq!(round.cell_range, None);
+    }
+
+    #[test]
+    fn out_of_range_shard_index_is_an_error() {
+        let engine = SweepEngine::new().with_threads(1);
+        let plan = engine
+            .plan(
+                "bad-index",
+                &ExperimentConfig::quick(),
+                2,
+                ShardStrategy::Contiguous,
+            )
+            .unwrap();
+        let err = engine.run_shard(&plan, 5).unwrap_err();
+        assert!(matches!(
+            err,
+            ExperimentError::InvalidShard {
+                index: 5,
+                shards: 2
+            }
+        ));
+        assert!(err.to_string().contains("out of range"));
     }
 
     #[test]

@@ -12,16 +12,26 @@
 //! * [`config`] — [`ExperimentConfig`]: the declarative description of a
 //!   sweep grid (formerly `fabric_power_core::experiment`);
 //! * [`cell`] — [`SweepCell`]: one flattened operating point with its own
-//!   deterministic RNG seed, and [`SweepPoint`], the measured result;
+//!   deterministic RNG seed, and [`SweepPoint`], the measured result —
+//!   including mean **and p50/p95/p99** latency from the simulator's
+//!   streaming latency histogram;
+//! * [`plan`] — the *plan* stage: [`SweepPlan`] expands a scenario into the
+//!   flat seeded cell list once and splits it into self-describing
+//!   [`Shard`]s (contiguous or round-robin), serializable to JSON for
+//!   multi-process fleets;
 //! * [`executor`] — a self-scheduling parallel map over cells: worker
 //!   threads pull the next unclaimed cell from a shared cursor, so load
 //!   balances dynamically and the result order never depends on scheduling;
-//! * [`engine`] — [`SweepEngine`]: expands a config into cells, acquires one
-//!   immutable [`fabric_power_fabric::FabricEnergyModel`] per fabric size
-//!   through a [`fabric_power_fabric::ModelProvider`] (in-memory memo plus
-//!   an optional content-addressed on-disk cache) and shares it across
-//!   threads via [`std::sync::Arc`], then runs the cells in parallel.
-//!   Results are **bit-identical regardless of thread count**;
+//! * [`engine`] — [`SweepEngine`], the *execute* stage: runs a whole plan or
+//!   a single shard, acquiring one immutable
+//!   [`fabric_power_fabric::FabricEnergyModel`] per fabric size through a
+//!   [`fabric_power_fabric::ModelProvider`] (in-memory memo plus an optional
+//!   content-addressed on-disk cache) and sharing it across threads via
+//!   [`std::sync::Arc`].  Results are **bit-identical regardless of thread
+//!   count**;
+//! * [`merge`] — the *merge* stage: recombines partial [`ShardDocument`]s by
+//!   cell index into a document byte-identical to a single-process run,
+//!   refusing overlapping or missing cells;
 //! * [`diff`] — cell-oriented comparison of two result documents
 //!   (`fabric-power diff`);
 //! * [`sweeps`] — [`ThroughputSweep`] / [`PortSweep`]: the Figure 9/10
@@ -36,8 +46,12 @@
 //! ```text
 //! fabric-power list-scenarios
 //! fabric-power sweep --scenario paper-fig9 --threads 8 --out fig9.json
+//! fabric-power plan paper-fig9 --shards 3 --out plan.json
+//! fabric-power run-shard plan.json --index 0 --out part0.json
+//! fabric-power merge part0.json part1.json part2.json --out fig9.json
 //! fabric-power sweep --scenario derived-quick --model-cache ~/.cache/fabric-power
 //! fabric-power cache warm --scenario derived-quick --model-cache ~/.cache/fabric-power
+//! fabric-power cache prune --model-cache ~/.cache/fabric-power --max-age-days 30
 //! fabric-power diff fig9-a.json fig9-b.json
 //! fabric-power report --in fig9.json
 //! ```
@@ -63,6 +77,8 @@ pub mod diff;
 pub mod emit;
 pub mod engine;
 pub mod executor;
+pub mod merge;
+pub mod plan;
 pub mod registry;
 pub mod report;
 pub mod sweeps;
@@ -73,5 +89,7 @@ pub use diff::{diff_documents, DocumentDiff};
 pub use emit::SweepDocument;
 pub use engine::SweepEngine;
 pub use fabric_power_fabric::provider::{ModelKind, ModelProvider, ModelSpec, ProviderStats};
+pub use merge::{merge_documents, MergeError, ShardCellResult, ShardDocument};
+pub use plan::{expand_cells, PlanError, Shard, ShardStrategy, SweepPlan};
 pub use registry::{Scenario, ScenarioRegistry};
 pub use sweeps::{PortSweep, ThroughputSweep};

@@ -1,0 +1,359 @@
+//! Shard execution results and their recombination: the *merge* stage of the
+//! plan → execute → merge pipeline.
+//!
+//! A [`ShardDocument`] is the partial result one worker emits after running a
+//! single [`crate::plan::Shard`]: every measured point rides with its grid
+//! index, and the document is tagged with the shard id, the shard count and
+//! the cell-index range it covers.  [`merge_documents`] recombines partials
+//! by cell index into a [`SweepDocument`] that is byte-identical to what a
+//! single-process run of the same scenario would have emitted — and refuses
+//! anything less: overlapping cells, missing cells, out-of-range cells and
+//! metadata that disagrees between parts are all hard errors, never silent
+//! best effort.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cell::{SeedStrategy, SweepPoint};
+use crate::config::ExperimentConfig;
+use crate::emit::SweepDocument;
+
+/// One measured cell inside a [`ShardDocument`]: the point plus the grid
+/// index that places it in the merged document.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardCellResult {
+    /// The cell's position in the grid's canonical order.
+    pub index: usize,
+    /// The measured result.
+    pub point: SweepPoint,
+}
+
+/// The partial sweep result of one shard, self-describing enough to be
+/// merged without access to the plan that produced it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardDocument {
+    /// The scenario name the plan was built from.
+    pub scenario: String,
+    /// The exact configuration the grid was expanded from.
+    pub config: ExperimentConfig,
+    /// How each cell's seed was derived from `config.seed`.
+    pub seed_strategy: SeedStrategy,
+    /// Which shard of the plan this is (`0..shard_total`).
+    pub shard_index: usize,
+    /// How many shards the plan was split into.
+    pub shard_total: usize,
+    /// The `(lowest, highest)` grid indices this shard covered, or `None`
+    /// when the shard was empty (a plan with more shards than cells).
+    pub cell_range: Option<(usize, usize)>,
+    /// The measured cells, in ascending grid-index order.
+    pub results: Vec<ShardCellResult>,
+}
+
+impl ShardDocument {
+    /// Serializes to pretty JSON (deterministic bytes).
+    ///
+    /// # Errors
+    ///
+    /// Propagates serializer errors.
+    pub fn to_json_string(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Parses a document previously emitted by
+    /// [`ShardDocument::to_json_string`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse errors.
+    pub fn from_json_str(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Writes the JSON form to `path` (with a trailing newline).
+    ///
+    /// # Errors
+    ///
+    /// Propagates serializer and I/O errors.
+    pub fn write_json(&self, path: &std::path::Path) -> Result<(), Box<dyn std::error::Error>> {
+        std::fs::write(path, self.to_json_string()? + "\n")?;
+        Ok(())
+    }
+}
+
+/// Why a set of shard documents could not be merged.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MergeError {
+    /// No documents were given.
+    NoParts,
+    /// Two parts disagree on scenario, configuration, seed strategy or shard
+    /// count; the message names the first disagreement.
+    Mismatch(String),
+    /// A grid cell appears in more than one part.
+    Overlap {
+        /// The duplicated cell index.
+        cell: usize,
+    },
+    /// A grid cell appears in no part.
+    Missing {
+        /// The first uncovered cell index.
+        cell: usize,
+        /// How many cells are uncovered in total.
+        total_missing: usize,
+    },
+    /// A part claims a cell outside the configuration's grid.
+    OutOfRange {
+        /// The offending cell index.
+        cell: usize,
+        /// The grid size the configuration expands to.
+        grid_size: usize,
+    },
+}
+
+impl std::fmt::Display for MergeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NoParts => write!(f, "nothing to merge: no shard documents given"),
+            Self::Mismatch(what) => write!(f, "shard documents disagree: {what}"),
+            Self::Overlap { cell } => {
+                write!(f, "overlapping shards: cell {cell} appears more than once")
+            }
+            Self::Missing {
+                cell,
+                total_missing,
+            } => write!(
+                f,
+                "incomplete merge: cell {cell} is not covered by any shard \
+                 ({total_missing} cell(s) missing)"
+            ),
+            Self::OutOfRange { cell, grid_size } => write!(
+                f,
+                "cell {cell} is outside the configuration's grid of {grid_size} cell(s)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+/// Recombines partial shard documents into the full sweep document, placing
+/// every point by its grid index.
+///
+/// The output is byte-identical to the document a single-process run of the
+/// same scenario emits (JSON and CSV alike), because points are reassembled
+/// into canonical grid order and each point was computed from the same
+/// plan-time seed either way.
+///
+/// # Errors
+///
+/// * [`MergeError::NoParts`] — the slice is empty;
+/// * [`MergeError::Mismatch`] — parts disagree on scenario, configuration,
+///   seed strategy or shard count;
+/// * [`MergeError::OutOfRange`] — a part claims a cell index outside the
+///   configuration's grid;
+/// * [`MergeError::Overlap`] — a cell appears in more than one part;
+/// * [`MergeError::Missing`] — a cell appears in no part.
+pub fn merge_documents(parts: &[ShardDocument]) -> Result<SweepDocument, MergeError> {
+    let Some(first) = parts.first() else {
+        return Err(MergeError::NoParts);
+    };
+    for part in &parts[1..] {
+        if part.scenario != first.scenario {
+            return Err(MergeError::Mismatch(format!(
+                "scenario `{}` vs `{}`",
+                first.scenario, part.scenario
+            )));
+        }
+        if part.config != first.config {
+            return Err(MergeError::Mismatch(
+                "experiment configurations differ".into(),
+            ));
+        }
+        if part.seed_strategy != first.seed_strategy {
+            return Err(MergeError::Mismatch("seed strategies differ".into()));
+        }
+        if part.shard_total != first.shard_total {
+            return Err(MergeError::Mismatch(format!(
+                "shard {} claims {} total shard(s), shard {} claims {}",
+                first.shard_index, first.shard_total, part.shard_index, part.shard_total
+            )));
+        }
+    }
+
+    let grid_size = first.config.grid_size();
+    let mut slots: Vec<Option<SweepPoint>> = vec![None; grid_size];
+    for part in parts {
+        for result in &part.results {
+            if result.index >= grid_size {
+                return Err(MergeError::OutOfRange {
+                    cell: result.index,
+                    grid_size,
+                });
+            }
+            let slot = &mut slots[result.index];
+            if slot.is_some() {
+                return Err(MergeError::Overlap { cell: result.index });
+            }
+            *slot = Some(result.point.clone());
+        }
+    }
+
+    let total_missing = slots.iter().filter(|slot| slot.is_none()).count();
+    if let Some(cell) = slots.iter().position(Option::is_none) {
+        return Err(MergeError::Missing {
+            cell,
+            total_missing,
+        });
+    }
+
+    Ok(SweepDocument {
+        scenario: first.scenario.clone(),
+        config: first.config.clone(),
+        seed_strategy: first.seed_strategy,
+        points: slots
+            .into_iter()
+            .map(|slot| slot.expect("checked"))
+            .collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::SweepEngine;
+    use crate::plan::{ShardStrategy, SweepPlan};
+
+    fn test_config() -> ExperimentConfig {
+        ExperimentConfig {
+            port_counts: vec![4],
+            offered_loads: vec![0.2, 0.4],
+            warmup_cycles: 50,
+            measure_cycles: 200,
+            ..ExperimentConfig::quick()
+        }
+    }
+
+    fn parts(shards: usize, strategy: ShardStrategy) -> (Vec<ShardDocument>, SweepDocument) {
+        let engine = SweepEngine::new().with_threads(2);
+        let plan = SweepPlan::new(
+            "merge-test",
+            test_config(),
+            engine.seed_strategy(),
+            shards,
+            strategy,
+        )
+        .unwrap();
+        let parts: Vec<ShardDocument> = (0..shards)
+            .map(|index| engine.run_shard(&plan, index).unwrap())
+            .collect();
+        let full = engine.run_plan(&plan).unwrap();
+        (parts, full)
+    }
+
+    #[test]
+    fn merge_reassembles_the_single_run_document() {
+        for strategy in [ShardStrategy::Contiguous, ShardStrategy::RoundRobin] {
+            let (parts, full) = parts(3, strategy);
+            let merged = merge_documents(&parts).unwrap();
+            assert_eq!(merged, full, "{strategy:?}");
+            assert_eq!(
+                merged.to_json_string().unwrap(),
+                full.to_json_string().unwrap()
+            );
+            // Merge order must not matter either.
+            let reversed: Vec<ShardDocument> = parts.iter().rev().cloned().collect();
+            assert_eq!(merge_documents(&reversed).unwrap(), full);
+        }
+    }
+
+    #[test]
+    fn empty_input_is_refused() {
+        assert_eq!(merge_documents(&[]), Err(MergeError::NoParts));
+    }
+
+    #[test]
+    fn overlapping_cells_are_refused() {
+        let (mut parts, _) = parts(2, ShardStrategy::Contiguous);
+        // Copy a cell of shard 1 into shard 0.
+        let stolen = parts[1].results[0].clone();
+        parts[0].results.push(stolen.clone());
+        assert_eq!(
+            merge_documents(&parts),
+            Err(MergeError::Overlap { cell: stolen.index })
+        );
+    }
+
+    #[test]
+    fn missing_cells_are_refused() {
+        let (mut parts, _) = parts(2, ShardStrategy::Contiguous);
+        let dropped = parts[1].results.pop().unwrap();
+        let err = merge_documents(&parts).unwrap_err();
+        assert_eq!(
+            err,
+            MergeError::Missing {
+                cell: dropped.index,
+                total_missing: 1
+            }
+        );
+        assert!(err.to_string().contains("not covered"));
+        // Dropping a whole part is the same failure, just larger.
+        let solo = &parts[..1];
+        assert!(matches!(
+            merge_documents(solo),
+            Err(MergeError::Missing { .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_cells_are_refused() {
+        let (mut parts, _) = parts(2, ShardStrategy::Contiguous);
+        let grid_size = parts[0].config.grid_size();
+        parts[0].results[0].index = grid_size + 7;
+        assert_eq!(
+            merge_documents(&parts),
+            Err(MergeError::OutOfRange {
+                cell: grid_size + 7,
+                grid_size
+            })
+        );
+    }
+
+    #[test]
+    fn metadata_disagreements_are_refused() {
+        let (parts, _) = parts(2, ShardStrategy::Contiguous);
+
+        let mut renamed = parts.clone();
+        renamed[1].scenario = "other".into();
+        assert!(matches!(
+            merge_documents(&renamed),
+            Err(MergeError::Mismatch(m)) if m.contains("scenario")
+        ));
+
+        let mut reconfigured = parts.clone();
+        reconfigured[1].config.seed ^= 1;
+        assert!(matches!(
+            merge_documents(&reconfigured),
+            Err(MergeError::Mismatch(m)) if m.contains("configurations")
+        ));
+
+        let mut reseeded = parts.clone();
+        reseeded[1].seed_strategy = SeedStrategy::PerCell;
+        assert!(matches!(
+            merge_documents(&reseeded),
+            Err(MergeError::Mismatch(m)) if m.contains("seed")
+        ));
+
+        let mut recounted = parts;
+        recounted[1].shard_total = 9;
+        assert!(matches!(
+            merge_documents(&recounted),
+            Err(MergeError::Mismatch(m)) if m.contains("total shard")
+        ));
+    }
+
+    #[test]
+    fn shard_document_round_trips_through_json() {
+        let (parts, _) = parts(2, ShardStrategy::RoundRobin);
+        let json = parts[0].to_json_string().unwrap();
+        let back = ShardDocument::from_json_str(&json).unwrap();
+        assert_eq!(parts[0], back);
+    }
+}

@@ -44,6 +44,33 @@ pub fn format_document(document: &SweepDocument) -> String {
             }
             out.push('\n');
         }
+        out.push_str(&format!(
+            "{ports}x{ports} fabric — latency [cycles] (mean p50/p95/p99)\n"
+        ));
+        out.push_str(&format!("{:<16}", "load"));
+        for &load in &document.config.offered_loads {
+            out.push_str(&format!("{:>17.0}%", load * 100.0));
+        }
+        out.push('\n');
+        for &architecture in &document.config.architectures {
+            out.push_str(&format!("{:<16}", architecture.slug()));
+            for &load in &document.config.offered_loads {
+                match sweep.point(architecture, ports, load) {
+                    Some(point) => out.push_str(&format!(
+                        "{:>18}",
+                        format!(
+                            "{:.1} {:.0}/{:.0}/{:.0}",
+                            point.average_latency_cycles,
+                            point.latency_p50,
+                            point.latency_p95,
+                            point.latency_p99
+                        )
+                    )),
+                    None => out.push_str(&format!("{:>18}", "-")),
+                }
+            }
+            out.push('\n');
+        }
         for &load in &document.config.offered_loads {
             if let Some(cheapest) = sweep.cheapest(ports, load) {
                 out.push_str(&format!(
@@ -85,5 +112,31 @@ mod tests {
             assert!(text.contains(architecture.slug()), "{architecture}");
         }
         assert!(text.contains("cheapest at 10% load"));
+    }
+
+    #[test]
+    fn report_prints_latency_columns_with_percentiles() {
+        let config = ExperimentConfig {
+            port_counts: vec![4],
+            offered_loads: vec![0.3],
+            warmup_cycles: 50,
+            measure_cycles: 200,
+            ..ExperimentConfig::quick()
+        };
+        let points = SweepEngine::new().with_threads(1).run(&config).unwrap();
+        let document = SweepDocument {
+            scenario: "latency-report-test".into(),
+            config,
+            seed_strategy: crate::cell::SeedStrategy::Shared,
+            points: points.clone(),
+        };
+        let text = format_document(&document);
+        assert!(text.contains("latency [cycles] (mean p50/p95/p99)"));
+        // The table carries the actual measured values, not placeholders.
+        let point = &points[0];
+        assert!(text.contains(&format!(
+            "{:.1} {:.0}/{:.0}/{:.0}",
+            point.average_latency_cycles, point.latency_p50, point.latency_p95, point.latency_p99
+        )));
     }
 }

@@ -64,6 +64,21 @@ impl ThroughputSweep {
         points
     }
 
+    /// The full measured point at one operating point, if it was simulated.
+    #[must_use]
+    pub fn point(
+        &self,
+        architecture: Architecture,
+        ports: usize,
+        offered_load: f64,
+    ) -> Option<&SweepPoint> {
+        self.points.iter().find(|p| {
+            p.architecture == architecture
+                && p.ports == ports
+                && (p.offered_load - offered_load).abs() < 1e-9
+        })
+    }
+
     /// The power of one operating point, if it was simulated.
     #[must_use]
     pub fn power(
@@ -72,13 +87,7 @@ impl ThroughputSweep {
         ports: usize,
         offered_load: f64,
     ) -> Option<Power> {
-        self.points
-            .iter()
-            .find(|p| {
-                p.architecture == architecture
-                    && p.ports == ports
-                    && (p.offered_load - offered_load).abs() < 1e-9
-            })
+        self.point(architecture, ports, offered_load)
             .map(|p| p.power)
     }
 

@@ -16,8 +16,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         offered_load * 100.0
     );
     println!(
-        "{:<18} {:>12} {:>12} {:>14} {:>12} {:>10}",
-        "architecture", "power (mW)", "throughput", "buffer share", "latency", "worst-case"
+        "{:<18} {:>12} {:>12} {:>14} {:>12} {:>14} {:>10}",
+        "architecture",
+        "power (mW)",
+        "throughput",
+        "buffer share",
+        "latency",
+        "p50/p95/p99",
+        "worst-case"
     );
 
     for architecture in Architecture::ALL {
@@ -25,12 +31,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let report = RouterSimulator::new(config, model.clone())?.run();
         let worst_case = analytic::worst_case_bit_energy(architecture, &model, 1);
         println!(
-            "{:<18} {:>12.2} {:>11.1}% {:>13.0}% {:>12.1} {:>10.1}pJ",
+            "{:<18} {:>12.2} {:>11.1}% {:>13.0}% {:>12.1} {:>14} {:>10.1}pJ",
             architecture.to_string(),
             report.average_power().as_milliwatts(),
             report.measured_throughput() * 100.0,
             report.energy.buffer_fraction() * 100.0,
             report.average_latency_cycles,
+            format!(
+                "{:.0}/{:.0}/{:.0}",
+                report.latency_p50, report.latency_p95, report.latency_p99
+            ),
             worst_case.as_picojoules()
         );
     }

@@ -75,6 +75,9 @@ fn engine_backed_sweep_matches_sequential_reference() {
                     wire_energy: report.energy.wires,
                     buffered_words: report.buffered_words,
                     average_latency_cycles: report.average_latency_cycles,
+                    latency_p50: report.latency_p50,
+                    latency_p95: report.latency_p95,
+                    latency_p99: report.latency_p99,
                 });
             }
         }

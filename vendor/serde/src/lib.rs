@@ -184,11 +184,18 @@ pub fn field<'a>(
     name: &str,
     type_name: &str,
 ) -> Result<&'a Value, Error> {
+    field_opt(entries, name)
+        .ok_or_else(|| Error::custom(format!("missing field `{name}` for `{type_name}`")))
+}
+
+/// Helper used by generated code: looks up a struct field that may be absent
+/// (`#[serde(default)]` fields fall back to `Default::default()`).
+#[must_use]
+pub fn field_opt<'a>(entries: &'a [(String, Value)], name: &str) -> Option<&'a Value> {
     entries
         .iter()
         .find(|(key, _)| key == name)
         .map(|(_, value)| value)
-        .ok_or_else(|| Error::custom(format!("missing field `{name}` for `{type_name}`")))
 }
 
 impl<T: Serialize + ?Sized> Serialize for &T {

@@ -6,7 +6,9 @@
 //! formatting Rust source strings.  It supports the shapes the workspace
 //! actually uses:
 //!
-//! * structs with named fields;
+//! * structs with named fields, including `#[serde(default)]` on individual
+//!   fields (a missing key deserializes via `Default::default()` instead of
+//!   erroring — how documents stay readable after a struct grows fields);
 //! * tuple structs (newtypes serialize as their inner value, like serde;
 //!   wider tuples as arrays) and `#[serde(transparent)]`;
 //! * unit structs;
@@ -18,11 +20,18 @@
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
+/// One named field: its identifier plus the attributes the derive honors.
+struct Field {
+    name: String,
+    /// `#[serde(default)]`: deserialize a missing key as `Default::default()`.
+    default: bool,
+}
+
 /// The parsed shape of the item the derive is attached to.
 enum Item {
     NamedStruct {
         name: String,
-        fields: Vec<String>,
+        fields: Vec<Field>,
     },
     TupleStruct {
         name: String,
@@ -46,7 +55,7 @@ struct Variant {
 enum VariantKind {
     Unit,
     Tuple(usize),
-    Struct(Vec<String>),
+    Struct(Vec<Field>),
 }
 
 /// Derives the vendored `serde::Serialize` trait.
@@ -147,6 +156,35 @@ fn skip_attributes(tokens: &[TokenTree], index: &mut usize) {
     }
 }
 
+/// Skips field attributes like [`skip_attributes`], additionally reporting
+/// whether any of them was `#[serde(default)]`.
+fn take_field_attributes(tokens: &[TokenTree], index: &mut usize) -> bool {
+    let mut default = false;
+    while matches!(&tokens.get(*index), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        if let Some(TokenTree::Group(attribute)) = tokens.get(*index + 1) {
+            default |= is_serde_default(attribute);
+        }
+        *index += 2;
+    }
+    default
+}
+
+/// Whether a bracketed attribute group is `serde(...)` containing `default`.
+fn is_serde_default(attribute: &proc_macro::Group) -> bool {
+    let inner: Vec<TokenTree> = attribute.stream().into_iter().collect();
+    match (inner.first(), inner.get(1)) {
+        (Some(TokenTree::Ident(name)), Some(TokenTree::Group(arguments)))
+            if name.to_string() == "serde" && arguments.delimiter() == Delimiter::Parenthesis =>
+        {
+            arguments
+                .stream()
+                .into_iter()
+                .any(|token| matches!(&token, TokenTree::Ident(i) if i.to_string() == "default"))
+        }
+        _ => false,
+    }
+}
+
 /// Skips tokens until a top-level comma (angle-bracket depth aware), leaving
 /// `index` just past the comma (or at the end).
 fn skip_past_comma(tokens: &[TokenTree], index: &mut usize) {
@@ -167,17 +205,20 @@ fn skip_past_comma(tokens: &[TokenTree], index: &mut usize) {
     }
 }
 
-fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let tokens: Vec<TokenTree> = stream.into_iter().collect();
     let mut index = 0;
     let mut fields = Vec::new();
     while index < tokens.len() {
-        skip_attributes(&tokens, &mut index);
+        let default = take_field_attributes(&tokens, &mut index);
         if index >= tokens.len() {
             break;
         }
         skip_visibility(&tokens, &mut index);
-        fields.push(expect_ident(&tokens, &mut index));
+        fields.push(Field {
+            name: expect_ident(&tokens, &mut index),
+            default,
+        });
         // `:` then the type, up to the next top-level comma.
         skip_past_comma(&tokens, &mut index);
     }
@@ -236,6 +277,7 @@ fn generate_serialize(item: &Item) -> String {
         Item::NamedStruct { name, fields } => {
             let mut pushes = String::new();
             for field in fields {
+                let field = &field.name;
                 pushes.push_str(&format!(
                     "__entries.push((::std::string::String::from(\"{field}\"), \
                      ::serde::Serialize::serialize(&self.{field})));\n"
@@ -310,10 +352,15 @@ fn generate_serialize(item: &Item) -> String {
                         ));
                     }
                     VariantKind::Struct(fields) => {
-                        let pattern = fields.join(", ");
+                        let pattern = fields
+                            .iter()
+                            .map(|f| f.name.as_str())
+                            .collect::<Vec<_>>()
+                            .join(", ");
                         let entries: Vec<String> = fields
                             .iter()
                             .map(|f| {
+                                let f = &f.name;
                                 format!(
                                     "(::std::string::String::from(\"{f}\"), \
                                      ::serde::Serialize::serialize({f}))"
@@ -340,15 +387,33 @@ fn generate_serialize(item: &Item) -> String {
     }
 }
 
+/// The `field_name: <expr>,\n` initializer for one named field of a struct
+/// (or struct variant) being deserialized: required fields error when the
+/// key is missing, `#[serde(default)]` fields fall back to
+/// `Default::default()`.
+fn deserialize_named_field(field: &Field, type_name: &str) -> String {
+    let name = &field.name;
+    if field.default {
+        format!(
+            "{name}: match ::serde::field_opt(__entries, \"{name}\") {{\n\
+                 ::std::option::Option::Some(__v) => ::serde::Deserialize::deserialize(__v)?,\n\
+                 ::std::option::Option::None => ::std::default::Default::default(),\n\
+             }},\n"
+        )
+    } else {
+        format!(
+            "{name}: ::serde::Deserialize::deserialize(\
+             ::serde::field(__entries, \"{name}\", \"{type_name}\")?)?,\n"
+        )
+    }
+}
+
 fn generate_deserialize(item: &Item) -> String {
     match item {
         Item::NamedStruct { name, fields } => {
             let mut inits = String::new();
             for field in fields {
-                inits.push_str(&format!(
-                    "{field}: ::serde::Deserialize::deserialize(\
-                     ::serde::field(__entries, \"{field}\", \"{name}\")?)?,\n"
-                ));
+                inits.push_str(&deserialize_named_field(field, name));
             }
             format!(
                 "impl ::serde::Deserialize for {name} {{\n\
@@ -438,10 +503,9 @@ fn generate_deserialize(item: &Item) -> String {
                         let inits: Vec<String> = fields
                             .iter()
                             .map(|f| {
-                                format!(
-                                    "{f}: ::serde::Deserialize::deserialize(\
-                                     ::serde::field(__entries, \"{f}\", \"{name}::{v}\")?)?"
-                                )
+                                deserialize_named_field(f, &format!("{name}::{v}"))
+                                    .trim_end_matches(",\n")
+                                    .to_owned()
                             })
                             .collect();
                         tagged_arms.push_str(&format!(

@@ -414,6 +414,30 @@ mod tests {
     use super::*;
 
     #[test]
+    fn serde_default_fields_tolerate_missing_keys() {
+        #[derive(Debug, PartialEq, Serialize, Deserialize)]
+        struct Grown {
+            required: u64,
+            #[serde(default)]
+            added_later: f64,
+        }
+        // A document written before `added_later` existed still parses…
+        let legacy: Grown = from_str(r#"{"required": 7}"#).unwrap();
+        assert_eq!(
+            legacy,
+            Grown {
+                required: 7,
+                added_later: 0.0
+            }
+        );
+        // …a present key is honored…
+        let full: Grown = from_str(r#"{"required": 7, "added_later": 1.5}"#).unwrap();
+        assert_eq!(full.added_later, 1.5);
+        // …and required fields still error when absent.
+        assert!(from_str::<Grown>(r#"{"added_later": 1.5}"#).is_err());
+    }
+
+    #[test]
     fn round_trips_scalars() {
         assert_eq!(to_string(&42_u64).unwrap(), "42");
         assert_eq!(from_str::<u64>("42").unwrap(), 42);
