@@ -155,7 +155,12 @@ impl ModelSpec {
 /// 128-bit stable hash as 32 hex chars: two independent 64-bit FNV-1a passes
 /// (forward, and reversed with a different offset basis).  Not cryptographic
 /// — it only needs to address a small closed key space without collisions.
-fn stable_hash_hex(bytes: &[u8]) -> String {
+///
+/// Public because other layers content-address their own artifacts with the
+/// same function (e.g. `SweepPlan::content_hash` in the sweep crate); give
+/// each use its own domain-separation prefix.
+#[must_use]
+pub fn stable_hash_hex(bytes: &[u8]) -> String {
     const PRIME: u64 = 0x0000_0100_0000_01B3;
     let mut forward = 0xcbf2_9ce4_8422_2325_u64;
     for &byte in bytes {

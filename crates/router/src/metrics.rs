@@ -19,6 +19,35 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Two histograms with different bin layouts cannot be merged.
+///
+/// A histogram deserialized from a document that was produced under a
+/// different [`LATENCY_BINS`] (an older build, a foreign worker) carries a
+/// `bins` vector of a different length.  Folding it in bin-by-bin would
+/// silently drop the excess counts while still adding `count` and `sum`,
+/// leaving a histogram whose mean and percentiles disagree — so the mismatch
+/// is a hard error instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramMergeError {
+    /// Bin count of the histogram being merged into.
+    pub ours: usize,
+    /// Bin count of the histogram being merged in.
+    pub theirs: usize,
+}
+
+impl std::fmt::Display for HistogramMergeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cannot merge latency histograms with different bin layouts: \
+             {} bin(s) vs {} bin(s) (recorded under different LATENCY_BINS?)",
+            self.ours, self.theirs
+        )
+    }
+}
+
+impl std::error::Error for HistogramMergeError {}
+
 /// Latencies below this many cycles land in their own exact one-cycle bin;
 /// larger latencies share the overflow bin (represented by the observed
 /// maximum).  4096 cycles comfortably covers every sub-saturation operating
@@ -164,7 +193,21 @@ impl LatencyHistogram {
     /// merges per-cell summary percentiles, not histograms; this is the
     /// primitive for shipping whole distributions in shard documents — see
     /// the ROADMAP follow-on.)
-    pub fn merge(&mut self, other: &Self) {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HistogramMergeError`] — and leaves `self` untouched — when
+    /// the bin layouts differ (e.g. `other` was deserialized from a document
+    /// recorded under a different [`LATENCY_BINS`]).  Truncating instead
+    /// would still add `count` and `sum`, corrupting the histogram so its
+    /// mean and percentiles disagree.
+    pub fn merge(&mut self, other: &Self) -> Result<(), HistogramMergeError> {
+        if self.bins.len() != other.bins.len() {
+            return Err(HistogramMergeError {
+                ours: self.bins.len(),
+                theirs: other.bins.len(),
+            });
+        }
         for (mine, theirs) in self.bins.iter_mut().zip(&other.bins) {
             *mine += theirs;
         }
@@ -172,6 +215,7 @@ impl LatencyHistogram {
         self.count += other.count;
         self.sum += other.sum;
         self.max = self.max.max(other.max);
+        Ok(())
     }
 
     /// The three tail summary values carried by simulation reports and sweep
@@ -270,12 +314,50 @@ mod tests {
             part_b.record(s);
         }
         let mut combined = part_a.clone();
-        combined.merge(&part_b);
+        combined.merge(&part_b).expect("same bin layout");
         assert_eq!(combined, merged);
         // And merge order does not matter.
         let mut reversed = part_b;
-        reversed.merge(&part_a);
+        reversed.merge(&part_a).expect("same bin layout");
         assert_eq!(reversed, merged);
+    }
+
+    #[test]
+    fn merging_mismatched_bin_layouts_is_an_error_and_a_no_op() {
+        // A histogram "recorded under a different LATENCY_BINS": the only way
+        // one reaches this process is deserialization, so forge it that way.
+        let mut foreign = LatencyHistogram::new();
+        foreign.record(3);
+        foreign.record(7);
+        let mut truncated: LatencyHistogram = {
+            let json = serde_json::to_string(&foreign).expect("serialize");
+            // Shrink the bins array to 8 entries (as if LATENCY_BINS = 8).
+            let short_bins: Vec<u64> = foreign.bins[..8].to_vec();
+            let json = json.replace(
+                &serde_json::to_string(&foreign.bins).unwrap(),
+                &serde_json::to_string(&short_bins).unwrap(),
+            );
+            serde_json::from_str(&json).expect("short document still parses")
+        };
+        assert_eq!(truncated.bins.len(), 8);
+
+        let mut ours = LatencyHistogram::new();
+        ours.record(100);
+        let before = ours.clone();
+        let err = ours.merge(&truncated).unwrap_err();
+        assert_eq!(
+            err,
+            HistogramMergeError {
+                ours: LATENCY_BINS,
+                theirs: 8
+            }
+        );
+        assert!(err.to_string().contains("different bin layouts"));
+        // The failed merge must not have half-applied: counts are untouched.
+        assert_eq!(ours, before);
+        // The mirror direction fails symmetrically.
+        assert!(truncated.merge(&before).is_err());
+        assert_eq!(truncated.count(), 2, "foreign histogram also untouched");
     }
 
     #[test]

@@ -7,6 +7,8 @@
 //! fabric-power plan paper-fig9 --shards 3 --out plan.json
 //! fabric-power run-shard plan.json --index 0 --out part0.json
 //! fabric-power merge part0.json part1.json part2.json --out fig9.json
+//! fabric-power serve plan.json --listen 127.0.0.1:7351 --out fig9.json
+//! fabric-power worker --connect 127.0.0.1:7351 --threads 8
 //! fabric-power sweep --scenario derived-quick --model-cache ~/.cache/fabric-power
 //! fabric-power cache warm --scenario derived-quick --model-cache ~/.cache/fabric-power
 //! fabric-power cache prune --model-cache ~/.cache/fabric-power --max-age-days 30
@@ -19,8 +21,9 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use fabric_power_sweep::{
-    diff_documents, merge_documents, report, ModelProvider, Scenario, ScenarioRegistry,
-    SeedStrategy, ShardDocument, ShardStrategy, SweepDocument, SweepEngine, SweepPlan,
+    diff_documents, merge_documents, report, run_worker, ModelProvider, Scenario, ScenarioRegistry,
+    SeedStrategy, ServeOptions, ShardDocument, ShardStrategy, SweepDocument, SweepEngine,
+    SweepPlan, WorkServer, WorkerOptions,
 };
 
 const USAGE: &str = "\
@@ -59,6 +62,18 @@ COMMANDS:
                                    single-process run; refuses overlapping or
                                    missing cells)
         [--out <FILE.json>] [--csv <FILE.csv>]
+    serve <PLAN.json>              Own a plan and lease its shards to workers
+        --listen <ADDR>            over TCP; when the last shard lands, merge
+                                   and emit like `merge` does
+        [--lease-timeout-secs <S>] Re-lease a shard whose worker stays silent
+                                   for S seconds (default: 60)
+        [--out <FILE.json>] [--csv <FILE.csv>]
+    worker                         Claim, execute and submit shards in a loop
+        --connect <ADDR>           until the server drains the fleet
+        [--threads <N>] [--model-cache <DIR>]
+        [--plan-hash <HASH>]       Refuse to work unless the server is
+                                   serving exactly this plan (see `serve`'s
+                                   startup log for the hash)
     cache <ACTION> --model-cache <DIR>
         stats                      Summarize the cache directory
         clear                      Delete every cached model
@@ -99,6 +114,8 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         Some("plan") => done(plan(&args[1..])),
         Some("run-shard") => done(run_shard(&args[1..])),
         Some("merge") => done(merge(&args[1..])),
+        Some("serve") => done(serve(&args[1..])),
+        Some("worker") => done(worker(&args[1..])),
         Some("cache") => done(cache(&args[1..])),
         Some("diff") => diff(&args[1..]),
         Some("report") => done(report_command(&args[1..])),
@@ -245,6 +262,17 @@ fn resolve_provider(args: &[String]) -> Result<Arc<ModelProvider>, String> {
     ModelProvider::from_cache_dir_arg(flag_value(args, "--model-cache")?.as_deref())
 }
 
+/// Builds the provider + engine pair every executing subcommand shares:
+/// `--model-cache` selects the provider, `--threads` the worker count.
+fn resolve_engine(args: &[String]) -> Result<(Arc<ModelProvider>, SweepEngine), String> {
+    let provider = resolve_provider(args)?;
+    let mut engine = SweepEngine::new().with_provider(Arc::clone(&provider));
+    if let Some(threads) = flag_value(args, "--threads")? {
+        engine = engine.with_threads(fabric_power_sweep::executor::parse_thread_count(&threads)?);
+    }
+    Ok((provider, engine))
+}
+
 fn print_cache_stats(provider: &ModelProvider) {
     if let Some(dir) = provider.cache_dir() {
         eprintln!("model cache: {} (dir: {})", provider.stats(), dir.display());
@@ -266,16 +294,11 @@ fn sweep(args: &[String]) -> Result<(), String> {
         ],
     )?;
     let scenario = resolve_scenario(args)?;
-    let provider = resolve_provider(args)?;
+    let (provider, mut engine) = resolve_engine(args)?;
 
     let mut config = scenario.config.clone();
     if let Some(seed) = flag_value(args, "--seed")? {
         config.seed = parse_seed(&seed)?;
-    }
-
-    let mut engine = SweepEngine::new().with_provider(Arc::clone(&provider));
-    if let Some(threads) = flag_value(args, "--threads")? {
-        engine = engine.with_threads(fabric_power_sweep::executor::parse_thread_count(&threads)?);
     }
     if let Some(strategy) = flag_value(args, "--seed-strategy")? {
         engine = engine.with_seed_strategy(SeedStrategy::parse(&strategy)?);
@@ -554,16 +577,8 @@ fn run_shard(args: &[String]) -> Result<(), String> {
         .parse()
         .map_err(|_| format!("invalid shard index `{index}`"))?;
 
-    let json =
-        std::fs::read_to_string(plan_path).map_err(|e| format!("reading {plan_path}: {e}"))?;
-    let plan = SweepPlan::from_json_str(json.trim_end())
-        .map_err(|e| format!("parsing {plan_path}: {e}"))?;
-
-    let provider = resolve_provider(args)?;
-    let mut engine = SweepEngine::new().with_provider(Arc::clone(&provider));
-    if let Some(threads) = flag_value(args, "--threads")? {
-        engine = engine.with_threads(fabric_power_sweep::executor::parse_thread_count(&threads)?);
-    }
+    let plan = read_plan(plan_path)?;
+    let (provider, engine) = resolve_engine(args)?;
 
     // Check the index before printing progress, but keep the engine's error
     // as the single source of the message.
@@ -621,11 +636,85 @@ fn merge(args: &[String]) -> Result<(), String> {
     write_document_outputs(&document, args)
 }
 
+/// Reads and parses a plan file (shared by `run-shard` and `serve`).
+fn read_plan(path: &str) -> Result<SweepPlan, String> {
+    let json = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    SweepPlan::from_json_str(json.trim_end()).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+/// `fabric-power serve <PLAN> --listen <ADDR>`: own a plan, lease shards to
+/// workers, merge and emit when the last shard lands.
+fn serve(args: &[String]) -> Result<(), String> {
+    const FLAGS: &[&str] = &["--listen", "--lease-timeout-secs", "--out", "--csv"];
+    known_flags_with_positionals(args, 1, FLAGS)?;
+    let [plan_path] = positional_args(args, FLAGS)[..] else {
+        return Err("serve needs exactly one plan file".into());
+    };
+    let listen = flag_value(args, "--listen")?
+        .ok_or_else(|| "serve needs `--listen <ADDR>` (e.g. 127.0.0.1:7351)".to_string())?;
+    let mut options = ServeOptions::default();
+    if let Some(secs) = flag_value(args, "--lease-timeout-secs")? {
+        options.lease_timeout = secs
+            .parse::<u64>()
+            .ok()
+            .filter(|&s| s > 0)
+            .map(std::time::Duration::from_secs)
+            .ok_or_else(|| format!("invalid `--lease-timeout-secs` value `{secs}`"))?;
+    }
+    let plan = read_plan(plan_path)?;
+    let scenario = plan.scenario.clone();
+    let shard_count = plan.shard_count();
+    let total_cells = plan.total_cells();
+    let server =
+        WorkServer::bind(&listen, plan, options).map_err(|e| format!("binding {listen}: {e}"))?;
+    eprintln!(
+        "serving plan `{scenario}` (hash {}): {shard_count} shard(s), {total_cells} cell(s) on {}",
+        server.plan_hash(),
+        server.local_addr()
+    );
+    let outcome = server.run().map_err(|e| e.to_string())?;
+    eprintln!(
+        "fleet complete: {} worker(s), {} requeue(s), {} point(s) merged",
+        outcome.workers,
+        outcome.requeues,
+        outcome.document.points.len()
+    );
+    write_document_outputs(&outcome.document, args)
+}
+
+/// `fabric-power worker --connect <ADDR>`: the claim/execute/submit loop.
+fn worker(args: &[String]) -> Result<(), String> {
+    known_flags(
+        args,
+        &["--connect", "--threads", "--model-cache", "--plan-hash"],
+    )?;
+    let addr = flag_value(args, "--connect")?
+        .ok_or_else(|| "worker needs `--connect <ADDR>`".to_string())?;
+    let (provider, engine) = resolve_engine(args)?;
+    let options = WorkerOptions {
+        expect_plan_hash: flag_value(args, "--plan-hash")?,
+        ..WorkerOptions::default()
+    };
+    eprintln!(
+        "worker connecting to {addr} on {} thread(s)...",
+        engine.threads()
+    );
+    let report = run_worker(&addr, &engine, options).map_err(|e| e.to_string())?;
+    eprintln!(
+        "worker {} drained: completed {} shard(s) ({} cell(s))",
+        report.worker, report.shards, report.cells
+    );
+    print_cache_stats(&provider);
+    Ok(())
+}
+
 /// Writes pretty JSON to `--out` (with a trailing newline) or to stdout.
+/// File writes are atomic (write-temp-then-rename), so an interrupted
+/// `plan`/`run-shard` never leaves a truncated artifact behind.
 fn emit_json(json: &str, out: Option<&str>) -> Result<(), String> {
     match out {
         Some(path) => {
-            std::fs::write(path, format!("{json}\n"))
+            fabric_power_sweep::write_atomic(std::path::Path::new(path), &format!("{json}\n"))
                 .map_err(|e| format!("writing {path}: {e}"))?;
             eprintln!("wrote {path}");
         }

@@ -8,13 +8,41 @@
 //! same bytes, whatever the thread count (exercised by the workspace's
 //! determinism tests).
 
-use std::io::Write as _;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use serde::{Deserialize, Serialize};
 
 use crate::cell::{SeedStrategy, SweepPoint};
 use crate::config::ExperimentConfig;
+
+/// Writes `contents` to `path` atomically: the bytes land in a uniquely
+/// named temporary file next to `path`, which is then renamed over it.
+///
+/// A crash mid-write leaves at worst an orphaned `*.tmp.*` file — never a
+/// truncated document that a later `run-shard` / `merge` / `serve` fails on
+/// confusingly.  Same pattern as the model store's persistence
+/// (`fabric_power_fabric::provider`); the temp name is unique per call (pid
+/// plus a process-wide nonce) so two threads writing the same path cannot
+/// truncate each other mid-rename.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the write or the rename; a failed rename
+/// removes the temporary file before returning.
+pub fn write_atomic(path: &Path, contents: &str) -> std::io::Result<()> {
+    static TMP_NONCE: AtomicU64 = AtomicU64::new(0);
+    let nonce = TMP_NONCE.fetch_add(1, Ordering::Relaxed);
+    let tmp = path.with_extension(format!("tmp.{}.{nonce}", std::process::id()));
+    std::fs::write(&tmp, contents)?;
+    match std::fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(error) => {
+            let _ = std::fs::remove_file(&tmp);
+            Err(error)
+        }
+    }
+}
 
 /// A complete, self-describing sweep result.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -81,25 +109,24 @@ impl SweepDocument {
         out
     }
 
-    /// Writes the JSON form to `path` (with a trailing newline).
+    /// Writes the JSON form to `path` (with a trailing newline),
+    /// atomically — see [`write_atomic`].
     ///
     /// # Errors
     ///
     /// Propagates serializer and I/O errors.
     pub fn write_json(&self, path: &Path) -> Result<(), Box<dyn std::error::Error>> {
-        let mut file = std::fs::File::create(path)?;
-        file.write_all(self.to_json_string()?.as_bytes())?;
-        file.write_all(b"\n")?;
+        write_atomic(path, &(self.to_json_string()? + "\n"))?;
         Ok(())
     }
 
-    /// Writes the CSV form to `path`.
+    /// Writes the CSV form to `path`, atomically — see [`write_atomic`].
     ///
     /// # Errors
     ///
     /// Propagates I/O errors.
     pub fn write_csv(&self, path: &Path) -> Result<(), Box<dyn std::error::Error>> {
-        std::fs::write(path, self.to_csv_string())?;
+        write_atomic(path, &self.to_csv_string())?;
         Ok(())
     }
 }
@@ -177,6 +204,29 @@ mod tests {
         assert_eq!(point.latency_p50, 0.0);
         assert_eq!(point.latency_p95, 0.0);
         assert_eq!(point.latency_p99, 0.0);
+    }
+
+    #[test]
+    fn atomic_writes_replace_and_leave_no_temp_files() {
+        let dir =
+            std::env::temp_dir().join(format!("fabric-power-emit-atomic-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("doc.json");
+        write_atomic(&path, "first\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "first\n");
+        // Overwriting an existing file goes through the same rename.
+        write_atomic(&path, "second\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "second\n");
+        // Nothing but the target remains — no stray temp files.
+        let entries: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(entries, vec!["doc.json".to_string()]);
+        // A write into a missing directory fails without inventing files.
+        let missing = dir.join("no-such-dir").join("doc.json");
+        assert!(write_atomic(&missing, "x").is_err());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -14,7 +14,7 @@ use crate::config::{ExperimentConfig, ExperimentError};
 use crate::emit::SweepDocument;
 use crate::executor;
 use crate::merge::{ShardCellResult, ShardDocument};
-use crate::plan::{self, PlanError, Shard, ShardStrategy, SweepPlan};
+use crate::plan::{self, PlanError, PlanHeader, Shard, ShardStrategy, SweepPlan};
 
 /// Orchestrates the evaluation of an experiment grid.
 ///
@@ -258,11 +258,31 @@ impl SweepEngine {
                 index,
                 shards: plan.shard_count(),
             })?;
-        let points = self.run_cells(&plan.config, &shard.cells)?;
+        self.run_shard_detached(&plan.header(), shard)
+    }
+
+    /// Runs one shard *detached from its plan*: the [`PlanHeader`] supplies
+    /// the grid-wide context (scenario, configuration, seed strategy) and the
+    /// [`Shard`] the cells — exactly what a fleet worker holds after the
+    /// work-server handshake handed it the header and a lease handed it the
+    /// shard, without ever shipping the whole plan.
+    ///
+    /// The cells carry their plan-time seeds, so the resulting document is
+    /// bit-identical to [`SweepEngine::run_shard`] on the full plan.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model and simulation errors.
+    pub fn run_shard_detached(
+        &self,
+        header: &PlanHeader,
+        shard: &Shard,
+    ) -> Result<ShardDocument, ExperimentError> {
+        let points = self.run_cells(&header.config, &shard.cells)?;
         Ok(ShardDocument {
-            scenario: plan.scenario.clone(),
-            config: plan.config.clone(),
-            seed_strategy: plan.seed_strategy,
+            scenario: header.scenario.clone(),
+            config: header.config.clone(),
+            seed_strategy: header.seed_strategy,
             shard_index: shard.index,
             shard_total: shard.total,
             cell_range: shard.cell_index_range(),
@@ -470,6 +490,29 @@ mod tests {
         let round =
             crate::merge::ShardDocument::from_json_str(&empty.to_json_string().unwrap()).unwrap();
         assert_eq!(round.cell_range, None);
+    }
+
+    #[test]
+    fn detached_shard_execution_matches_the_plan_bound_one() {
+        let config = ExperimentConfig {
+            port_counts: vec![4],
+            offered_loads: vec![0.2, 0.4],
+            warmup_cycles: 50,
+            measure_cycles: 200,
+            ..ExperimentConfig::quick()
+        };
+        let engine = SweepEngine::new().with_threads(2);
+        let plan = engine
+            .plan("detached", &config, 2, ShardStrategy::RoundRobin)
+            .unwrap();
+        let header = plan.header();
+        for index in 0..plan.shard_count() {
+            let bound = engine.run_shard(&plan, index).unwrap();
+            let detached = engine
+                .run_shard_detached(&header, plan.shard(index).unwrap())
+                .unwrap();
+            assert_eq!(bound, detached);
+        }
     }
 
     #[test]

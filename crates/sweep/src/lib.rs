@@ -31,7 +31,14 @@
 //!   count**;
 //! * [`merge`] — the *merge* stage: recombines partial [`ShardDocument`]s by
 //!   cell index into a document byte-identical to a single-process run,
-//!   refusing overlapping or missing cells;
+//!   refusing overlapping or missing cells — and any part whose own
+//!   self-description (shard index, cell range) does not hold up;
+//! * [`protocol`] / [`server`] / [`worker`] — the work-server fleet:
+//!   `fabric-power serve` owns a plan and leases shard indices to
+//!   `fabric-power worker` processes over line-delimited JSON on plain TCP,
+//!   requeues shards whose worker dies or goes silent past its lease
+//!   deadline, validates every submission against the plan (content hash,
+//!   shard identity, cell coverage), and merges when the last shard lands;
 //! * [`diff`] — cell-oriented comparison of two result documents
 //!   (`fabric-power diff`);
 //! * [`sweeps`] — [`ThroughputSweep`] / [`PortSweep`]: the Figure 9/10
@@ -49,6 +56,8 @@
 //! fabric-power plan paper-fig9 --shards 3 --out plan.json
 //! fabric-power run-shard plan.json --index 0 --out part0.json
 //! fabric-power merge part0.json part1.json part2.json --out fig9.json
+//! fabric-power serve plan.json --listen 127.0.0.1:7351 --out fig9.json
+//! fabric-power worker --connect 127.0.0.1:7351 --threads 8
 //! fabric-power sweep --scenario derived-quick --model-cache ~/.cache/fabric-power
 //! fabric-power cache warm --scenario derived-quick --model-cache ~/.cache/fabric-power
 //! fabric-power cache prune --model-cache ~/.cache/fabric-power --max-age-days 30
@@ -79,17 +88,22 @@ pub mod engine;
 pub mod executor;
 pub mod merge;
 pub mod plan;
+pub mod protocol;
 pub mod registry;
 pub mod report;
+pub mod server;
 pub mod sweeps;
+pub mod worker;
 
 pub use cell::{SeedStrategy, SweepCell, SweepPoint};
 pub use config::{ExperimentConfig, ExperimentError, ModelSource};
 pub use diff::{diff_documents, DocumentDiff};
-pub use emit::SweepDocument;
+pub use emit::{write_atomic, SweepDocument};
 pub use engine::SweepEngine;
 pub use fabric_power_fabric::provider::{ModelKind, ModelProvider, ModelSpec, ProviderStats};
 pub use merge::{merge_documents, MergeError, ShardCellResult, ShardDocument};
-pub use plan::{expand_cells, PlanError, Shard, ShardStrategy, SweepPlan};
+pub use plan::{expand_cells, PlanError, PlanHeader, Shard, ShardStrategy, SweepPlan};
 pub use registry::{Scenario, ScenarioRegistry};
+pub use server::{ServeError, ServeOptions, ServeOutcome, WorkServer};
 pub use sweeps::{PortSweep, ThroughputSweep};
+pub use worker::{run_worker, WorkerError, WorkerOptions, WorkerReport};

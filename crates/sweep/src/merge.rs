@@ -68,13 +68,16 @@ impl ShardDocument {
         serde_json::from_str(json)
     }
 
-    /// Writes the JSON form to `path` (with a trailing newline).
+    /// Writes the JSON form to `path` (with a trailing newline),
+    /// atomically — a crash mid-write can orphan a temp file but never leave
+    /// a truncated partial document for a later `merge` to trip over (see
+    /// [`crate::emit::write_atomic`]).
     ///
     /// # Errors
     ///
     /// Propagates serializer and I/O errors.
     pub fn write_json(&self, path: &std::path::Path) -> Result<(), Box<dyn std::error::Error>> {
-        std::fs::write(path, self.to_json_string()? + "\n")?;
+        crate::emit::write_atomic(path, &(self.to_json_string()? + "\n"))?;
         Ok(())
     }
 }
@@ -106,6 +109,28 @@ pub enum MergeError {
         /// The grid size the configuration expands to.
         grid_size: usize,
     },
+    /// A part's claimed shard index does not fit its claimed shard count.
+    ShardIndexOutOfRange {
+        /// The claimed shard index.
+        shard_index: usize,
+        /// The claimed shard count it must be below.
+        shard_total: usize,
+    },
+    /// Two parts claim the same shard index.
+    DuplicateShard {
+        /// The shard index claimed more than once.
+        shard_index: usize,
+    },
+    /// A part's declared `cell_range` disagrees with the results it actually
+    /// carries.
+    CellRangeMismatch {
+        /// The shard whose self-description is inconsistent.
+        shard_index: usize,
+        /// The `(lowest, highest)` range the part declares.
+        declared: Option<(usize, usize)>,
+        /// The range its results actually span.
+        actual: Option<(usize, usize)>,
+    },
 }
 
 impl std::fmt::Display for MergeError {
@@ -128,6 +153,25 @@ impl std::fmt::Display for MergeError {
                 f,
                 "cell {cell} is outside the configuration's grid of {grid_size} cell(s)"
             ),
+            Self::ShardIndexOutOfRange {
+                shard_index,
+                shard_total,
+            } => write!(
+                f,
+                "a part claims shard index {shard_index} of only {shard_total} shard(s)"
+            ),
+            Self::DuplicateShard { shard_index } => {
+                write!(f, "two parts both claim shard index {shard_index}")
+            }
+            Self::CellRangeMismatch {
+                shard_index,
+                declared,
+                actual,
+            } => write!(
+                f,
+                "shard {shard_index} declares cell range {declared:?} but its results span \
+                 {actual:?}"
+            ),
         }
     }
 }
@@ -147,6 +191,11 @@ impl std::error::Error for MergeError {}
 /// * [`MergeError::NoParts`] — the slice is empty;
 /// * [`MergeError::Mismatch`] — parts disagree on scenario, configuration,
 ///   seed strategy or shard count;
+/// * [`MergeError::ShardIndexOutOfRange`] — a part's claimed shard index
+///   does not fit the shard count;
+/// * [`MergeError::DuplicateShard`] — two parts claim the same shard index;
+/// * [`MergeError::CellRangeMismatch`] — a part's declared `cell_range`
+///   disagrees with the results it actually carries;
 /// * [`MergeError::OutOfRange`] — a part claims a cell index outside the
 ///   configuration's grid;
 /// * [`MergeError::Overlap`] — a cell appears in more than one part;
@@ -175,6 +224,45 @@ pub fn merge_documents(parts: &[ShardDocument]) -> Result<SweepDocument, MergeEr
                 "shard {} claims {} total shard(s), shard {} claims {}",
                 first.shard_index, first.shard_total, part.shard_index, part.shard_total
             )));
+        }
+    }
+
+    // Every part's *own* self-description must hold up before its cells are
+    // trusted: parts arrive from independent worker processes, so a claimed
+    // shard id or cell range is an assertion to verify, not a fact.  (A set,
+    // not a bitmap: `shard_total` is itself untrusted input, and sizing an
+    // allocation by it would let a forged part crash the merge instead of
+    // failing it.)
+    let mut claimed = std::collections::HashSet::with_capacity(parts.len());
+    for part in parts {
+        if part.shard_index >= part.shard_total {
+            return Err(MergeError::ShardIndexOutOfRange {
+                shard_index: part.shard_index,
+                shard_total: part.shard_total,
+            });
+        }
+        if !claimed.insert(part.shard_index) {
+            return Err(MergeError::DuplicateShard {
+                shard_index: part.shard_index,
+            });
+        }
+        // Min/max over the results as they are — don't assume they arrived
+        // sorted, that is part of what is being checked.
+        let actual = part
+            .results
+            .iter()
+            .fold(None, |span: Option<(usize, usize)>, result| {
+                Some(match span {
+                    None => (result.index, result.index),
+                    Some((lo, hi)) => (lo.min(result.index), hi.max(result.index)),
+                })
+            });
+        if part.cell_range != actual {
+            return Err(MergeError::CellRangeMismatch {
+                shard_index: part.shard_index,
+                declared: part.cell_range,
+                actual,
+            });
         }
     }
 
@@ -272,12 +360,13 @@ mod tests {
     #[test]
     fn overlapping_cells_are_refused() {
         let (mut parts, _) = parts(2, ShardStrategy::Contiguous);
-        // Copy a cell of shard 1 into shard 0.
-        let stolen = parts[1].results[0].clone();
-        parts[0].results.push(stolen.clone());
+        // Duplicate an interior cell of shard 0 without perturbing its
+        // declared cell range, so the overlap itself is what gets caught.
+        parts[0].results[1].index = parts[0].results[0].index;
+        let duplicated = parts[0].results[0].index;
         assert_eq!(
             merge_documents(&parts),
-            Err(MergeError::Overlap { cell: stolen.index })
+            Err(MergeError::Overlap { cell: duplicated })
         );
     }
 
@@ -285,6 +374,12 @@ mod tests {
     fn missing_cells_are_refused() {
         let (mut parts, _) = parts(2, ShardStrategy::Contiguous);
         let dropped = parts[1].results.pop().unwrap();
+        // Keep the part's self-description truthful about what it now holds,
+        // so the *grid-level* gap is what gets reported.
+        parts[1].cell_range = Some((
+            parts[1].results.first().unwrap().index,
+            parts[1].results.last().unwrap().index,
+        ));
         let err = merge_documents(&parts).unwrap_err();
         assert_eq!(
             err,
@@ -307,6 +402,13 @@ mod tests {
         let (mut parts, _) = parts(2, ShardStrategy::Contiguous);
         let grid_size = parts[0].config.grid_size();
         parts[0].results[0].index = grid_size + 7;
+        // A self-consistent but out-of-grid claim: the declared range agrees
+        // with the results, the grid bound is what rejects it.
+        let indices: Vec<usize> = parts[0].results.iter().map(|r| r.index).collect();
+        parts[0].cell_range = Some((
+            indices.iter().copied().min().unwrap(),
+            indices.iter().copied().max().unwrap(),
+        ));
         assert_eq!(
             merge_documents(&parts),
             Err(MergeError::OutOfRange {
@@ -314,6 +416,103 @@ mod tests {
                 grid_size
             })
         );
+    }
+
+    #[test]
+    fn shard_index_beyond_the_shard_count_is_refused() {
+        let (mut parts, _) = parts(2, ShardStrategy::Contiguous);
+        parts[1].shard_index = 5;
+        let err = merge_documents(&parts).unwrap_err();
+        assert_eq!(
+            err,
+            MergeError::ShardIndexOutOfRange {
+                shard_index: 5,
+                shard_total: 2
+            }
+        );
+        assert!(err.to_string().contains("shard index 5"));
+    }
+
+    #[test]
+    fn absurd_shard_totals_never_drive_an_allocation() {
+        // Parts claiming usize::MAX shards must be processed without sizing
+        // anything by that untrusted number — no capacity-overflow panic, no
+        // OOM-sized bitmap.  With the cells themselves consistent, the merge
+        // simply proceeds on the evidence it can verify.
+        let (mut parts, _) = parts(2, ShardStrategy::Contiguous);
+        for part in &mut parts {
+            part.shard_total = usize::MAX;
+        }
+        parts[1].shard_index = usize::MAX - 1;
+        assert!(merge_documents(&parts).is_ok());
+        // And a duplicate claim under the absurd total is still caught.
+        parts[1].shard_index = parts[0].shard_index;
+        assert!(matches!(
+            merge_documents(&parts),
+            Err(MergeError::DuplicateShard { .. })
+        ));
+    }
+
+    #[test]
+    fn two_parts_claiming_the_same_shard_are_refused() {
+        let (mut parts, _) = parts(2, ShardStrategy::Contiguous);
+        parts[1].shard_index = 0;
+        let err = merge_documents(&parts).unwrap_err();
+        assert_eq!(err, MergeError::DuplicateShard { shard_index: 0 });
+        assert!(err.to_string().contains("both claim"));
+        // The duplicate-shard check fires even when the duplicated part is
+        // empty (no cell overlap to fall back on).
+        let (originals, _) = self::parts(2, ShardStrategy::Contiguous);
+        let mut cloned = originals.clone();
+        cloned[1] = ShardDocument {
+            shard_index: 0,
+            cell_range: None,
+            results: Vec::new(),
+            ..originals[1].clone()
+        };
+        assert_eq!(
+            merge_documents(&cloned),
+            Err(MergeError::DuplicateShard { shard_index: 0 })
+        );
+    }
+
+    #[test]
+    fn declared_cell_range_must_match_the_results_present() {
+        // Declared range is None while results exist.
+        let (mut parts, _) = parts(2, ShardStrategy::Contiguous);
+        let honest = parts[0].cell_range;
+        parts[0].cell_range = None;
+        let err = merge_documents(&parts).unwrap_err();
+        assert_eq!(
+            err,
+            MergeError::CellRangeMismatch {
+                shard_index: 0,
+                declared: None,
+                actual: honest,
+            }
+        );
+        assert!(err.to_string().contains("declares cell range"));
+
+        // Declared range is wider than the results.
+        let (mut parts, _) = self::parts(2, ShardStrategy::Contiguous);
+        let honest = parts[1].cell_range;
+        parts[1].cell_range = honest.map(|(lo, hi)| (lo, hi + 3));
+        assert!(matches!(
+            merge_documents(&parts),
+            Err(MergeError::CellRangeMismatch { shard_index: 1, .. })
+        ));
+
+        // A range declared on an empty part is just as inconsistent.
+        let (mut parts, _) = self::parts(2, ShardStrategy::Contiguous);
+        parts[1].results.clear();
+        assert!(matches!(
+            merge_documents(&parts),
+            Err(MergeError::CellRangeMismatch {
+                shard_index: 1,
+                actual: None,
+                ..
+            })
+        ));
     }
 
     #[test]

@@ -22,6 +22,10 @@ use serde::{Deserialize, Serialize};
 use crate::cell::{SeedStrategy, SweepCell};
 use crate::config::ExperimentConfig;
 
+/// Domain-separation prefix for [`SweepPlan::content_hash`]; bump the
+/// version when the plan's serialized form changes incompatibly.
+const PLAN_HASH_DOMAIN: &str = "fabric-power sweep-plan v1";
+
 /// Expands a configuration into its flat cell list, in canonical order
 /// (ports → architecture → offered load — the order the original sequential
 /// loops visited the grid in), with every cell's seed fixed up front.
@@ -142,6 +146,23 @@ impl Shard {
     }
 }
 
+/// The grid-wide context of a plan, without the shards: everything a worker
+/// needs besides the cells themselves to execute a [`Shard`] and tag the
+/// resulting document.
+///
+/// This is what the work server ships to every worker at handshake time —
+/// shards then travel individually per lease, so a worker's traffic scales
+/// with the shards it executes, not with the whole grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanHeader {
+    /// The scenario name the plan was built from (or a free-form label).
+    pub scenario: String,
+    /// The exact configuration the cells were expanded from.
+    pub config: ExperimentConfig,
+    /// How each cell's seed was derived from `config.seed`.
+    pub seed_strategy: SeedStrategy,
+}
+
 /// A fully expanded, sharded sweep: the serializable artifact the `plan`
 /// subcommand writes and `run-shard` consumes.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -232,6 +253,33 @@ impl SweepPlan {
         self.shards.get(index)
     }
 
+    /// The grid-wide context of this plan (scenario, configuration, seed
+    /// strategy), without the shards.
+    #[must_use]
+    pub fn header(&self) -> PlanHeader {
+        PlanHeader {
+            scenario: self.scenario.clone(),
+            config: self.config.clone(),
+            seed_strategy: self.seed_strategy,
+        }
+    }
+
+    /// A stable 128-bit content hash of the whole plan (32 lowercase hex
+    /// digits), over its canonical JSON form with a version prefix.
+    ///
+    /// Two processes holding the same plan bytes agree on the hash, and any
+    /// difference — a re-plan with another seed, shard count or strategy —
+    /// changes it.  The work-server protocol uses it as the fleet's session
+    /// identity: a worker holding a stale plan is refused at handshake, and
+    /// every submission is checked against it before entering the merge.
+    #[must_use]
+    pub fn content_hash(&self) -> String {
+        let json = serde_json::to_string(self).expect("plans always serialize");
+        fabric_power_fabric::provider::stable_hash_hex(
+            format!("{PLAN_HASH_DOMAIN}:{json}").as_bytes(),
+        )
+    }
+
     /// Serializes to pretty JSON (deterministic bytes).
     ///
     /// # Errors
@@ -250,13 +298,16 @@ impl SweepPlan {
         serde_json::from_str(json)
     }
 
-    /// Writes the JSON form to `path` (with a trailing newline).
+    /// Writes the JSON form to `path` (with a trailing newline),
+    /// atomically — a crash mid-write can orphan a temp file but never leave
+    /// a truncated plan for a later `run-shard` to trip over (see
+    /// [`crate::emit::write_atomic`]).
     ///
     /// # Errors
     ///
     /// Propagates serializer and I/O errors.
     pub fn write_json(&self, path: &std::path::Path) -> Result<(), Box<dyn std::error::Error>> {
-        std::fs::write(path, self.to_json_string()? + "\n")?;
+        crate::emit::write_atomic(path, &(self.to_json_string()? + "\n"))?;
         Ok(())
     }
 }
@@ -365,6 +416,65 @@ mod tests {
         };
         assert_eq!(empty.cell_index_range(), None);
         assert!(empty.unique_ports().is_empty());
+    }
+
+    #[test]
+    fn header_carries_the_grid_wide_context() {
+        let plan = quick_plan(3, ShardStrategy::Contiguous);
+        let header = plan.header();
+        assert_eq!(header.scenario, plan.scenario);
+        assert_eq!(header.config, plan.config);
+        assert_eq!(header.seed_strategy, plan.seed_strategy);
+        // The header round-trips through JSON (it travels over the wire).
+        let json = serde_json::to_string(&header).unwrap();
+        let back: PlanHeader = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, header);
+    }
+
+    #[test]
+    fn content_hash_is_stable_and_discriminating() {
+        let plan = quick_plan(3, ShardStrategy::Contiguous);
+        let hash = plan.content_hash();
+        assert_eq!(hash.len(), 32);
+        assert!(hash.bytes().all(|b| b.is_ascii_hexdigit()));
+        // The same plan bytes hash identically, including after a round trip
+        // through JSON (the worker-vs-server agreement the protocol needs).
+        let round = SweepPlan::from_json_str(&plan.to_json_string().unwrap()).unwrap();
+        assert_eq!(round.content_hash(), hash);
+        // Any re-plan changes it.
+        assert_ne!(
+            quick_plan(2, ShardStrategy::Contiguous).content_hash(),
+            hash
+        );
+        assert_ne!(
+            quick_plan(3, ShardStrategy::RoundRobin).content_hash(),
+            hash
+        );
+        let mut relabeled = plan;
+        relabeled.scenario = "something-else".into();
+        assert_ne!(relabeled.content_hash(), hash);
+    }
+
+    #[test]
+    fn plans_write_atomically_with_no_temp_droppings() {
+        let dir =
+            std::env::temp_dir().join(format!("fabric-power-plan-write-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("plan.json");
+        let plan = quick_plan(2, ShardStrategy::Contiguous);
+        plan.write_json(&path).unwrap();
+        // Overwrite with a different plan: readers only ever see a whole one.
+        let replacement = quick_plan(3, ShardStrategy::RoundRobin);
+        replacement.write_json(&path).unwrap();
+        let read = std::fs::read_to_string(&path).unwrap();
+        let back = SweepPlan::from_json_str(read.trim_end()).unwrap();
+        assert_eq!(back, replacement);
+        let entries: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(entries, vec!["plan.json".to_string()]);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,0 +1,320 @@
+//! The work-server wire protocol: how a `fabric-power serve` dispatcher and
+//! its `fabric-power worker` fleet talk.
+//!
+//! Line-delimited JSON over TCP: every message is one compact, externally
+//! tagged JSON object terminated by a single `\n` (string escapes keep
+//! payload newlines out of the framing).  The conversation is strictly
+//! request/response, always initiated by the worker:
+//!
+//! ```text
+//! worker                          server
+//! ------                          ------
+//! Hello  {protocol, plan_hash?}
+//!                                 Welcome {worker, plan_hash, header, shard_count}
+//! Claim  {worker}
+//!                                 Lease {lease, shard} | Wait {retry_ms} | Drain
+//! Submit {worker, lease, plan_hash, document}
+//!                                 Accepted {remaining} | Stale {reason} | Rejected {reason}
+//! Goodbye {worker}
+//! ```
+//!
+//! `Error` can replace any server response (protocol violation, version or
+//! plan-hash mismatch) and ends the session.  The `plan_hash` rides on both
+//! the handshake and every submission: the server never merges a document
+//! it cannot tie to the exact plan it is serving.
+//!
+//! Bump [`PROTOCOL_VERSION`] on any incompatible change; the server refuses
+//! mismatched workers at `Hello` time instead of mis-parsing them later.
+
+use std::io::{BufRead, Write};
+
+use serde::{Deserialize, Serialize};
+
+use crate::merge::ShardDocument;
+use crate::plan::{PlanHeader, Shard};
+
+/// The protocol revision this build speaks.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Messages a worker sends to the server.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// The mandatory first message on a fresh connection.
+    Hello {
+        /// The worker's [`PROTOCOL_VERSION`]; the server refuses mismatches.
+        protocol: u32,
+        /// When set, the server refuses the handshake unless it is serving
+        /// exactly the plan with this [`crate::plan::SweepPlan::content_hash`]
+        /// — how a worker pinned to a specific plan detects a stale or wrong
+        /// server.
+        plan_hash: Option<String>,
+    },
+    /// Ask for a shard to execute.
+    Claim {
+        /// The id the server assigned in `Welcome`.
+        worker: u64,
+    },
+    /// Deliver the result of a leased shard.
+    Submit {
+        /// The id the server assigned in `Welcome`.
+        worker: u64,
+        /// The lease id the shard was granted under.
+        lease: u64,
+        /// The plan hash from `Welcome`, echoed back so a submission can
+        /// never cross plans.
+        plan_hash: String,
+        /// The executed shard (boxed: a result document dwarfs every other
+        /// message, and boxing keeps the request enum itself small).
+        document: Box<ShardDocument>,
+    },
+    /// Polite end of session (closing the connection means the same).
+    Goodbye {
+        /// The id the server assigned in `Welcome`.
+        worker: u64,
+    },
+}
+
+/// Messages the server sends back.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// Handshake accepted.
+    Welcome {
+        /// The id this worker must cite in every later request.
+        worker: u64,
+        /// Content hash of the plan being served.
+        plan_hash: String,
+        /// How many shards the plan has in total.
+        shard_count: usize,
+        /// The grid-wide context every shard of this plan shares.
+        header: PlanHeader,
+    },
+    /// A shard to execute, under a lease.
+    Lease {
+        /// Identifies this grant; cite it in the `Submit`.
+        lease: u64,
+        /// The cells to run, complete with plan-time seeds.
+        shard: Shard,
+    },
+    /// Nothing to lease right now (every remaining shard is out on lease);
+    /// sleep and claim again.
+    Wait {
+        /// Suggested sleep before the next claim, in milliseconds.
+        retry_ms: u64,
+    },
+    /// Every shard has been merged; the worker can exit.
+    Drain,
+    /// Submission validated and recorded.
+    Accepted {
+        /// Shards still outstanding after this one (0 = the plan is done).
+        remaining: usize,
+    },
+    /// Submission ignored without prejudice (e.g. the shard was already
+    /// completed by another worker after this one's lease was requeued).
+    /// The worker keeps claiming.
+    Stale {
+        /// Why the submission was ignored.
+        reason: String,
+    },
+    /// Submission failed validation — the worker's data cannot be trusted
+    /// and it should stop.
+    Rejected {
+        /// The first validation failure.
+        reason: String,
+    },
+    /// Protocol violation, version mismatch or plan-hash mismatch; the
+    /// session is over.
+    Error {
+        /// What went wrong.
+        message: String,
+    },
+}
+
+/// Writes one message as a single JSON line and flushes.
+///
+/// # Errors
+///
+/// Propagates I/O errors; serializer failures surface as
+/// [`std::io::ErrorKind::InvalidData`].
+pub fn write_message<T: Serialize>(writer: &mut impl Write, message: &T) -> std::io::Result<()> {
+    let json = serde_json::to_string(message)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    writer.write_all(json.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
+/// Reads one JSON-line message; `Ok(None)` means the peer closed the
+/// connection cleanly.
+///
+/// # Errors
+///
+/// Propagates I/O errors (including read timeouts); an unparseable or empty
+/// line surfaces as [`std::io::ErrorKind::InvalidData`].
+pub fn read_message<T: Deserialize>(reader: &mut impl BufRead) -> std::io::Result<Option<T>> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Ok(None);
+    }
+    parse_line(&line).map(Some)
+}
+
+/// Parses one complete protocol line — the shared back half of
+/// [`read_message`], also used by readers that manage their own line
+/// buffering (the server's timeout-tolerant read loop).
+///
+/// # Errors
+///
+/// An empty or unparseable line surfaces as
+/// [`std::io::ErrorKind::InvalidData`].
+pub fn parse_line<T: Deserialize>(line: &str) -> std::io::Result<T> {
+    let trimmed = line.trim();
+    if trimmed.is_empty() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "empty protocol line",
+        ));
+    }
+    serde_json::from_str(trimmed).map_err(|e| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("invalid protocol message: {e}"),
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::SeedStrategy;
+    use crate::config::ExperimentConfig;
+    use crate::plan::{expand_cells, ShardStrategy, SweepPlan};
+
+    fn sample_header() -> PlanHeader {
+        SweepPlan::new(
+            "protocol-test",
+            ExperimentConfig::quick(),
+            SeedStrategy::Shared,
+            2,
+            ShardStrategy::Contiguous,
+        )
+        .unwrap()
+        .header()
+    }
+
+    fn sample_shard() -> Shard {
+        let cells = expand_cells(&ExperimentConfig::quick(), SeedStrategy::Shared);
+        Shard {
+            index: 1,
+            total: 2,
+            cells: cells[..3].to_vec(),
+        }
+    }
+
+    fn sample_document() -> ShardDocument {
+        let header = sample_header();
+        ShardDocument {
+            scenario: header.scenario,
+            config: header.config,
+            seed_strategy: header.seed_strategy,
+            shard_index: 1,
+            shard_total: 2,
+            cell_range: None,
+            results: Vec::new(),
+        }
+    }
+
+    fn requests() -> Vec<Request> {
+        vec![
+            Request::Hello {
+                protocol: PROTOCOL_VERSION,
+                plan_hash: Some("aa".repeat(16)),
+            },
+            Request::Hello {
+                protocol: PROTOCOL_VERSION,
+                plan_hash: None,
+            },
+            Request::Claim { worker: 3 },
+            Request::Submit {
+                worker: 3,
+                lease: 17,
+                plan_hash: "bb".repeat(16),
+                document: Box::new(sample_document()),
+            },
+            Request::Goodbye { worker: 3 },
+        ]
+    }
+
+    fn responses() -> Vec<Response> {
+        vec![
+            Response::Welcome {
+                worker: 3,
+                plan_hash: "cc".repeat(16),
+                shard_count: 2,
+                header: sample_header(),
+            },
+            Response::Lease {
+                lease: 17,
+                shard: sample_shard(),
+            },
+            Response::Wait { retry_ms: 100 },
+            Response::Drain,
+            Response::Accepted { remaining: 1 },
+            Response::Stale {
+                reason: "shard 1 was already submitted".into(),
+            },
+            Response::Rejected {
+                reason: "cell range mismatch".into(),
+            },
+            Response::Error {
+                message: "protocol version 9 not supported".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn every_request_round_trips_as_one_json_line() {
+        for request in requests() {
+            let json = serde_json::to_string(&request).expect("serialize");
+            assert!(!json.contains('\n'), "framing requires one line: {json}");
+            let back: Request = serde_json::from_str(&json).expect("parse");
+            assert_eq!(back, request);
+        }
+    }
+
+    #[test]
+    fn every_response_round_trips_as_one_json_line() {
+        for response in responses() {
+            let json = serde_json::to_string(&response).expect("serialize");
+            assert!(!json.contains('\n'), "framing requires one line: {json}");
+            let back: Response = serde_json::from_str(&json).expect("parse");
+            assert_eq!(back, response);
+        }
+    }
+
+    #[test]
+    fn a_whole_conversation_streams_through_one_buffer() {
+        let mut wire: Vec<u8> = Vec::new();
+        for request in requests() {
+            write_message(&mut wire, &request).expect("write");
+        }
+        let mut reader = std::io::Cursor::new(wire);
+        let mut read_back = Vec::new();
+        while let Some(request) = read_message::<Request>(&mut reader).expect("read") {
+            read_back.push(request);
+        }
+        assert_eq!(read_back, requests());
+    }
+
+    #[test]
+    fn garbage_and_blank_lines_are_errors_not_hangs() {
+        let mut reader = std::io::Cursor::new(b"not json at all\n".to_vec());
+        let err = read_message::<Request>(&mut reader).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        let mut blank = std::io::Cursor::new(b"\n".to_vec());
+        let err = read_message::<Request>(&mut blank).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        // EOF is a clean None, distinguishable from both.
+        let mut empty = std::io::Cursor::new(Vec::new());
+        assert!(read_message::<Request>(&mut empty).unwrap().is_none());
+    }
+}

@@ -1,0 +1,586 @@
+//! The dispatcher side of a `fabric-power` work-server fleet.
+//!
+//! A [`WorkServer`] owns one [`SweepPlan`] and leases its shard indices to
+//! workers over the line-delimited JSON protocol in [`crate::protocol`]
+//! (plain [`std::net::TcpListener`] — no framework, no new dependencies).
+//! Workers claim, execute and submit shards until the last one lands, at
+//! which point the server merges the collected [`ShardDocument`]s with
+//! [`merge_documents`] and returns — the merged document is byte-identical
+//! to a single-process [`crate::engine::SweepEngine::run`], whatever the
+//! fleet's size or scheduling, because every cell's seed was fixed at plan
+//! time and merge reassembles by cell index.
+//!
+//! # Partial failure
+//!
+//! A lease is a promise, not a fact.  When a worker's connection drops, or a
+//! leased shard outlives [`ServeOptions::lease_timeout`] without a
+//! submission, the shard goes back in the queue and the next claim re-leases
+//! it.  Because shard execution is deterministic, a late submission from a
+//! presumed-dead worker is still the correct bytes — while the server is up
+//! it is accepted if the shard is still open, and answered with a harmless
+//! `Stale` if someone else got there first.  Once the plan completes the
+//! server only lingers briefly (a short drain grace) before exiting, so a
+//! worker still grinding on a long-requeued shard at that point loses its
+//! connection and reports an error — size the lease timeout to comfortably
+//! exceed the slowest shard and that situation cannot arise.
+//!
+//! # Trust boundary
+//!
+//! Submissions come from independent processes, so their self-descriptions
+//! are claims to verify, never facts: the plan hash, the shard index, the
+//! scenario/configuration/seed-strategy tags, the declared cell range and
+//! the per-cell indices are all checked against the server's own plan before
+//! a document is admitted to the merge.  (The merge layer re-validates —
+//! defense in depth, see [`crate::merge`].)
+
+use std::io::{BufRead as _, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use crate::emit::SweepDocument;
+use crate::merge::{merge_documents, MergeError, ShardDocument};
+use crate::plan::{PlanHeader, SweepPlan};
+use crate::protocol::{write_message, Request, Response, PROTOCOL_VERSION};
+
+/// Tunables for a [`WorkServer`].
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// How long a leased shard may stay unsubmitted before the server
+    /// assumes its worker died and re-leases it.  Must comfortably exceed
+    /// the longest single-shard execution time.
+    pub lease_timeout: Duration,
+    /// What `Wait` responses tell an idle worker to sleep before claiming
+    /// again, in milliseconds.
+    pub retry_ms: u64,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            lease_timeout: Duration::from_secs(60),
+            retry_ms: 100,
+        }
+    }
+}
+
+/// What a completed serve run produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeOutcome {
+    /// The merged sweep document — byte-identical to a single-process run of
+    /// the same plan.
+    pub document: SweepDocument,
+    /// How many workers completed the handshake over the run's lifetime.
+    pub workers: u64,
+    /// How many leases were revoked (worker disconnected, or missed its
+    /// deadline) and their shards requeued.
+    pub requeues: u64,
+}
+
+/// Why a serve run failed.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Accepting connections failed.
+    Io(std::io::Error),
+    /// The collected shard documents did not merge.  Submission-time
+    /// validation makes this unreachable for documents that arrived over the
+    /// protocol; it guards the merge layer's own invariants.
+    Merge(MergeError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "work server I/O: {e}"),
+            Self::Merge(e) => write!(f, "merging collected shards: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// One shard's place in the fleet's lifecycle.
+#[derive(Debug)]
+enum ShardSlot {
+    /// Not yet leased (or requeued after a failed lease).
+    Pending,
+    /// Out with a worker.
+    Leased { worker: u64, deadline: Instant },
+    /// Validated result in hand.
+    Done(Box<ShardDocument>),
+}
+
+#[derive(Debug)]
+struct State {
+    shards: Vec<ShardSlot>,
+    /// Monotonic worker-id allocator; its final value is also the count of
+    /// workers that completed the handshake.
+    next_worker: u64,
+    next_lease: u64,
+    requeues: u64,
+    done: bool,
+}
+
+#[derive(Debug)]
+struct Shared {
+    plan: SweepPlan,
+    header: PlanHeader,
+    plan_hash: String,
+    options: ServeOptions,
+    local_addr: SocketAddr,
+    state: Mutex<State>,
+}
+
+/// Poison-tolerant lock: a panicked connection thread must not wedge the
+/// whole fleet.
+fn lock(mutex: &Mutex<State>) -> MutexGuard<'_, State> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// A bound, not-yet-running work server.
+#[derive(Debug)]
+pub struct WorkServer {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl WorkServer {
+    /// Binds the listener and prepares the lease table; `addr` is anything
+    /// [`TcpListener::bind`] accepts (`127.0.0.1:0` picks a free port —
+    /// read it back with [`WorkServer::local_addr`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.  A plan with no shards is refused up front
+    /// ([`std::io::ErrorKind::InvalidInput`]): completion is signalled by
+    /// the last submission, which a shardless plan would never produce —
+    /// serving it would hang forever instead.  (`SweepPlan::new` cannot
+    /// build one, but a hand-edited plan *file* can claim anything.)
+    pub fn bind(addr: &str, plan: SweepPlan, options: ServeOptions) -> std::io::Result<Self> {
+        if plan.shard_count() == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "the plan has no shards: nothing to serve",
+            ));
+        }
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shard_count = plan.shard_count();
+        let shared = Arc::new(Shared {
+            header: plan.header(),
+            plan_hash: plan.content_hash(),
+            plan,
+            options,
+            local_addr,
+            state: Mutex::new(State {
+                shards: (0..shard_count).map(|_| ShardSlot::Pending).collect(),
+                next_worker: 0,
+                next_lease: 0,
+                requeues: 0,
+                done: false,
+            }),
+        });
+        Ok(Self { listener, shared })
+    }
+
+    /// The address the server is actually listening on.
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.local_addr
+    }
+
+    /// The content hash of the plan being served — what workers pin with
+    /// `--plan-hash` and every submission must echo.
+    #[must_use]
+    pub fn plan_hash(&self) -> &str {
+        &self.shared.plan_hash
+    }
+
+    /// Serves until every shard has been submitted, then merges and returns.
+    ///
+    /// Blocks the calling thread; each worker connection is handled on its
+    /// own thread.  Returns once the merged document exists and every
+    /// connection thread has wound down.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept-loop I/O errors and merge failures.
+    pub fn run(self) -> Result<ServeOutcome, ServeError> {
+        // Poll rather than block in accept: completion is signalled by the
+        // `done` flag, and depending on a self-connect "poke" to unblock a
+        // blocking accept would hang the merge whenever that connect fails
+        // (e.g. `--listen 0.0.0.0:...`, where the local address is not a
+        // connectable one).
+        self.listener.set_nonblocking(true)?;
+        let mut handles = Vec::new();
+        while !lock(&self.shared.state).done {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    // The accepted stream may inherit non-blocking mode on
+                    // some platforms; connection handling expects blocking
+                    // reads with a timeout.
+                    stream.set_nonblocking(false)?;
+                    let shared = Arc::clone(&self.shared);
+                    handles.push(std::thread::spawn(move || {
+                        serve_connection(&stream, &shared);
+                    }));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+                Err(e) => return Err(ServeError::Io(e)),
+            }
+        }
+        drop(self.listener);
+        // Connection threads exit once their worker drains or disconnects
+        // (bounded by the read timeout), so this join terminates.
+        for handle in handles {
+            let _ = handle.join();
+        }
+        let mut state = lock(&self.shared.state);
+        // Every connection thread has been joined, so the state is ours
+        // alone: move the documents out instead of cloning the entire
+        // result set a second time.
+        let parts: Vec<ShardDocument> = state
+            .shards
+            .iter_mut()
+            .map(|slot| match std::mem::replace(slot, ShardSlot::Pending) {
+                ShardSlot::Done(document) => *document,
+                ShardSlot::Pending | ShardSlot::Leased { .. } => {
+                    unreachable!("done is only set once every shard is submitted")
+                }
+            })
+            .collect();
+        let document = merge_documents(&parts).map_err(ServeError::Merge)?;
+        Ok(ServeOutcome {
+            document,
+            workers: state.next_worker,
+            requeues: state.requeues,
+        })
+    }
+}
+
+/// Runs one worker connection to completion, then requeues whatever leases
+/// the worker still held — its disconnection means those shards will never
+/// be submitted on this session.  (A merely *silent* worker keeps its
+/// connection; its leases fall to the deadline check in [`claim`] instead.)
+fn serve_connection(stream: &TcpStream, shared: &Shared) {
+    let mut worker_id = None;
+    let _ = handle_connection(stream, shared, &mut worker_id);
+    if let Some(worker) = worker_id {
+        let mut state = lock(&shared.state);
+        if !state.done {
+            let State {
+                shards, requeues, ..
+            } = &mut *state;
+            for slot in shards.iter_mut() {
+                if matches!(slot, ShardSlot::Leased { worker: w, .. } if *w == worker) {
+                    *slot = ShardSlot::Pending;
+                    *requeues += 1;
+                }
+            }
+        }
+    }
+}
+
+/// How long the server keeps answering lingering connections after the plan
+/// completes, so a worker mid `Wait`-sleep still gets its `Drain` instead of
+/// a slammed door.  Comfortably above the worker's clamped 1 s retry sleep.
+const DRAIN_GRACE: Duration = Duration::from_secs(2);
+
+/// The per-`recv` timeout on worker connections.  Deliberately short and
+/// independent of the lease timeout: a timeout is not a verdict on the
+/// worker (that is the lease deadline's job, enforced at claim time) but a
+/// chance to notice `done` and wind the connection down.
+const READ_POLL: Duration = Duration::from_secs(1);
+
+/// Reads the next request, tolerating read timeouts while the fleet is
+/// still running — a worker is legitimately silent for the whole execution
+/// of a leased shard.  The line buffer persists across timeouts, so a
+/// message split by a timeout mid-line is reassembled, never dropped.
+///
+/// Returns `Ok(None)` when the worker closed the connection, or when the
+/// plan has been done for longer than [`DRAIN_GRACE`].
+fn read_request_patiently(
+    reader: &mut BufReader<TcpStream>,
+    shared: &Shared,
+) -> std::io::Result<Option<Request>> {
+    let mut line = String::new();
+    let mut drain_deadline: Option<Instant> = None;
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => {
+                return if line.is_empty() {
+                    Ok(None)
+                } else {
+                    Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        "connection closed mid-message",
+                    ))
+                };
+            }
+            Ok(_) => return crate::protocol::parse_line(&line).map(Some),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if lock(&shared.state).done {
+                    let deadline =
+                        *drain_deadline.get_or_insert_with(|| Instant::now() + DRAIN_GRACE);
+                    if Instant::now() >= deadline {
+                        return Ok(None);
+                    }
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn handle_connection(
+    stream: &TcpStream,
+    shared: &Shared,
+    worker_out: &mut Option<u64>,
+) -> std::io::Result<()> {
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(READ_POLL))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+
+    // Handshake: the first message must be a compatible Hello.
+    let (protocol, claimed_hash) = match read_request_patiently(&mut reader, shared)? {
+        Some(Request::Hello {
+            protocol,
+            plan_hash,
+        }) => (protocol, plan_hash),
+        Some(_) => {
+            return write_message(
+                &mut writer,
+                &Response::Error {
+                    message: "expected Hello as the first message".into(),
+                },
+            );
+        }
+        None => return Ok(()),
+    };
+    if protocol != PROTOCOL_VERSION {
+        return write_message(
+            &mut writer,
+            &Response::Error {
+                message: format!(
+                    "protocol version {protocol} not supported \
+                     (this server speaks {PROTOCOL_VERSION})"
+                ),
+            },
+        );
+    }
+    if let Some(hash) = claimed_hash {
+        if hash != shared.plan_hash {
+            return write_message(
+                &mut writer,
+                &Response::Error {
+                    message: format!(
+                        "stale plan hash {hash}: this server is serving plan {}",
+                        shared.plan_hash
+                    ),
+                },
+            );
+        }
+    }
+    let worker = {
+        let mut state = lock(&shared.state);
+        state.next_worker += 1;
+        state.next_worker
+    };
+    *worker_out = Some(worker);
+    write_message(
+        &mut writer,
+        &Response::Welcome {
+            worker,
+            plan_hash: shared.plan_hash.clone(),
+            shard_count: shared.plan.shard_count(),
+            header: shared.header.clone(),
+        },
+    )?;
+
+    loop {
+        let request = match read_request_patiently(&mut reader, shared)? {
+            Some(request) => request,
+            None => return Ok(()), // worker closed; caller requeues leases
+        };
+        let response = match request {
+            Request::Hello { .. } => {
+                return write_message(
+                    &mut writer,
+                    &Response::Error {
+                        message: "already greeted on this connection".into(),
+                    },
+                );
+            }
+            Request::Goodbye { .. } => return Ok(()),
+            Request::Claim { .. } => claim(shared, worker),
+            Request::Submit {
+                worker: claimed_worker,
+                lease,
+                plan_hash,
+                document,
+            } => {
+                if claimed_worker == worker {
+                    submit(shared, lease, &plan_hash, document)
+                } else {
+                    Response::Rejected {
+                        reason: format!(
+                            "submission claims worker {claimed_worker} on \
+                             worker {worker}'s connection"
+                        ),
+                    }
+                }
+            }
+        };
+        write_message(&mut writer, &response)?;
+    }
+}
+
+/// Grants the lowest pending shard, after requeueing any lease whose
+/// deadline has passed.
+fn claim(shared: &Shared, worker: u64) -> Response {
+    let mut state = lock(&shared.state);
+    if state.done {
+        return Response::Drain;
+    }
+    let now = Instant::now();
+    {
+        let State {
+            shards, requeues, ..
+        } = &mut *state;
+        for slot in shards.iter_mut() {
+            if matches!(slot, ShardSlot::Leased { deadline, .. } if *deadline <= now) {
+                *slot = ShardSlot::Pending;
+                *requeues += 1;
+            }
+        }
+    }
+    match state
+        .shards
+        .iter()
+        .position(|slot| matches!(slot, ShardSlot::Pending))
+    {
+        Some(index) => {
+            state.next_lease += 1;
+            let lease = state.next_lease;
+            state.shards[index] = ShardSlot::Leased {
+                worker,
+                deadline: now + shared.options.lease_timeout,
+            };
+            Response::Lease {
+                lease,
+                shard: shared.plan.shards[index].clone(),
+            }
+        }
+        // Everything outstanding is leased to live workers: come back later.
+        None => Response::Wait {
+            retry_ms: shared.options.retry_ms,
+        },
+    }
+}
+
+/// Validates and records one submission; the last one flips `done`, which
+/// the polling accept loop and every patient read observe on their own.
+fn submit(shared: &Shared, lease: u64, plan_hash: &str, document: Box<ShardDocument>) -> Response {
+    let _ = lease; // auditing detail; acceptance is decided by shard state
+    if plan_hash != shared.plan_hash {
+        return Response::Rejected {
+            reason: format!(
+                "submission is for plan {plan_hash}, this server is serving {}",
+                shared.plan_hash
+            ),
+        };
+    }
+    if let Err(reason) = validate_document(shared, &document) {
+        return Response::Rejected { reason };
+    }
+    let index = document.shard_index;
+    let mut state = lock(&shared.state);
+    if matches!(state.shards[index], ShardSlot::Done(_)) {
+        // A requeued shard finished twice — deterministic execution makes
+        // the copies identical, so the late one is harmless.
+        return Response::Stale {
+            reason: format!("shard {index} was already submitted"),
+        };
+    }
+    state.shards[index] = ShardSlot::Done(document);
+    let remaining = state
+        .shards
+        .iter()
+        .filter(|slot| !matches!(slot, ShardSlot::Done(_)))
+        .count();
+    if remaining == 0 {
+        state.done = true;
+    }
+    Response::Accepted { remaining }
+}
+
+/// The submission-time trust boundary: every self-description in a worker's
+/// document must agree with the server's own plan.
+fn validate_document(shared: &Shared, document: &ShardDocument) -> Result<(), String> {
+    let plan = &shared.plan;
+    let header = &shared.header;
+    if document.shard_index >= plan.shard_count() {
+        return Err(format!(
+            "shard index {} is out of range: the plan has {} shard(s)",
+            document.shard_index,
+            plan.shard_count()
+        ));
+    }
+    if document.shard_total != plan.shard_count() {
+        return Err(format!(
+            "document claims {} total shard(s), the plan has {}",
+            document.shard_total,
+            plan.shard_count()
+        ));
+    }
+    if document.scenario != header.scenario {
+        return Err(format!(
+            "document is for scenario `{}`, the plan is `{}`",
+            document.scenario, header.scenario
+        ));
+    }
+    if document.config != header.config {
+        return Err("document's experiment configuration differs from the plan's".into());
+    }
+    if document.seed_strategy != header.seed_strategy {
+        return Err("document's seed strategy differs from the plan's".into());
+    }
+    let shard = &plan.shards[document.shard_index];
+    if document.cell_range != shard.cell_index_range() {
+        return Err(format!(
+            "shard {} declares cell range {:?}, the plan says {:?}",
+            document.shard_index,
+            document.cell_range,
+            shard.cell_index_range()
+        ));
+    }
+    if document.results.len() != shard.cells.len()
+        || document
+            .results
+            .iter()
+            .zip(&shard.cells)
+            .any(|(result, cell)| result.index != cell.index)
+    {
+        return Err(format!(
+            "shard {}'s results do not cover exactly the planned cells",
+            document.shard_index
+        ));
+    }
+    Ok(())
+}

@@ -1,0 +1,207 @@
+//! The worker side of a `fabric-power` work-server fleet: connect, claim,
+//! execute, submit, repeat — until the server says drain.
+//!
+//! A worker is deliberately dumb: all scheduling intelligence (leases,
+//! deadlines, requeueing, validation) lives in [`crate::server`].  The
+//! worker's whole contract is "run the shard you were leased with
+//! [`SweepEngine::run_shard_detached`] and ship the document back" — cells
+//! arrive complete with plan-time seeds, so any worker at any thread count
+//! produces bit-identical results.
+
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::time::Duration;
+
+use crate::config::ExperimentError;
+use crate::engine::SweepEngine;
+use crate::protocol::{read_message, write_message, Request, Response, PROTOCOL_VERSION};
+
+/// Tunables for [`run_worker`].
+#[derive(Debug, Clone)]
+pub struct WorkerOptions {
+    /// When set, the handshake fails unless the server is serving exactly
+    /// the plan with this content hash (`fabric-power worker --plan-hash`).
+    pub expect_plan_hash: Option<String>,
+    /// How many connection attempts to make, 100 ms apart, before giving up
+    /// — lets a worker start before (or seconds after) its server.
+    pub connect_attempts: u32,
+}
+
+impl Default for WorkerOptions {
+    fn default() -> Self {
+        Self {
+            expect_plan_hash: None,
+            connect_attempts: 50,
+        }
+    }
+}
+
+/// What one worker session accomplished.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerReport {
+    /// The id the server assigned this worker.
+    pub worker: u64,
+    /// Shards whose submission the server accepted.
+    pub shards: usize,
+    /// Total cells across those shards.
+    pub cells: usize,
+}
+
+/// Why a worker session failed.
+#[derive(Debug)]
+pub enum WorkerError {
+    /// Connecting, reading or writing failed.
+    Io(std::io::Error),
+    /// The server refused the handshake or a submission (version mismatch,
+    /// stale plan hash, failed validation).
+    Refused(String),
+    /// Executing a leased shard failed.
+    Execution(ExperimentError),
+    /// The server answered with something the protocol does not allow here.
+    Protocol(String),
+}
+
+impl std::fmt::Display for WorkerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "worker connection: {e}"),
+            Self::Refused(reason) => write!(f, "server refused: {reason}"),
+            Self::Execution(e) => write!(f, "running leased shard: {e}"),
+            Self::Protocol(what) => write!(f, "protocol violation: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkerError {}
+
+impl From<std::io::Error> for WorkerError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Runs one worker session against the server at `addr`, blocking until the
+/// server drains the fleet (or the session fails).
+///
+/// # Errors
+///
+/// * [`WorkerError::Refused`] — the server rejected the handshake (protocol
+///   version, stale `--plan-hash`) or a submission;
+/// * [`WorkerError::Execution`] — a leased shard failed to run;
+/// * [`WorkerError::Io`] / [`WorkerError::Protocol`] — transport trouble.
+pub fn run_worker(
+    addr: &str,
+    engine: &SweepEngine,
+    options: WorkerOptions,
+) -> Result<WorkerReport, WorkerError> {
+    let stream = connect_with_retry(addr, options.connect_attempts)?;
+    stream.set_nodelay(true).ok();
+    // Every server response is immediate (no long-running work happens on
+    // the server side of a request), so a long silence means the server is
+    // gone — fail rather than hang forever on a half-open connection.
+    stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = &stream;
+
+    write_message(
+        &mut writer,
+        &Request::Hello {
+            protocol: PROTOCOL_VERSION,
+            plan_hash: options.expect_plan_hash,
+        },
+    )?;
+    let (worker, plan_hash, header) = match expect_response(&mut reader)? {
+        Response::Welcome {
+            worker,
+            plan_hash,
+            header,
+            ..
+        } => (worker, plan_hash, header),
+        Response::Error { message } => return Err(WorkerError::Refused(message)),
+        other => {
+            return Err(WorkerError::Protocol(format!(
+                "expected Welcome, got {other:?}"
+            )))
+        }
+    };
+
+    let mut report = WorkerReport {
+        worker,
+        shards: 0,
+        cells: 0,
+    };
+    loop {
+        write_message(&mut writer, &Request::Claim { worker })?;
+        match expect_response(&mut reader)? {
+            Response::Lease { lease, shard } => {
+                let document = engine
+                    .run_shard_detached(&header, &shard)
+                    .map_err(WorkerError::Execution)?;
+                let cells = document.results.len();
+                write_message(
+                    &mut writer,
+                    &Request::Submit {
+                        worker,
+                        lease,
+                        plan_hash: plan_hash.clone(),
+                        document: Box::new(document),
+                    },
+                )?;
+                match expect_response(&mut reader)? {
+                    Response::Accepted { .. } => {
+                        report.shards += 1;
+                        report.cells += cells;
+                    }
+                    // Someone else finished this shard while we held a
+                    // revoked lease — not our problem, keep claiming.
+                    Response::Stale { .. } => {}
+                    Response::Rejected { reason } | Response::Error { message: reason } => {
+                        return Err(WorkerError::Refused(reason))
+                    }
+                    other => {
+                        return Err(WorkerError::Protocol(format!(
+                            "expected a submission verdict, got {other:?}"
+                        )))
+                    }
+                }
+            }
+            Response::Wait { retry_ms } => {
+                std::thread::sleep(Duration::from_millis(retry_ms.clamp(10, 1_000)));
+            }
+            Response::Drain => {
+                let _ = write_message(&mut writer, &Request::Goodbye { worker });
+                return Ok(report);
+            }
+            Response::Error { message } => return Err(WorkerError::Refused(message)),
+            other => {
+                return Err(WorkerError::Protocol(format!(
+                    "unexpected response to Claim: {other:?}"
+                )))
+            }
+        }
+    }
+}
+
+/// Reads the next server response; a clean close mid-session is a protocol
+/// error (the server always says `Drain` first).
+fn expect_response(reader: &mut BufReader<TcpStream>) -> Result<Response, WorkerError> {
+    read_message::<Response>(reader)?
+        .ok_or_else(|| WorkerError::Protocol("server closed the connection mid-session".into()))
+}
+
+fn connect_with_retry(addr: &str, attempts: u32) -> Result<TcpStream, WorkerError> {
+    let attempts = attempts.max(1);
+    let mut last_error = None;
+    for attempt in 0..attempts {
+        if attempt > 0 {
+            std::thread::sleep(Duration::from_millis(100));
+        }
+        match TcpStream::connect(addr) {
+            Ok(stream) => return Ok(stream),
+            Err(error) => last_error = Some(error),
+        }
+    }
+    Err(WorkerError::Io(
+        last_error.expect("at least one connection attempt"),
+    ))
+}

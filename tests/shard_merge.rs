@@ -133,16 +133,40 @@ fn merge_rejects_overlapping_and_missing_ranges() {
         Err(MergeError::Missing { .. })
     ));
 
-    // Duplicating a part means overlapping cells.
+    // Duplicating a whole part is caught by its claimed shard identity
+    // before any cell is even looked at.
     let duplicated = vec![parts[0].clone(), parts[0].clone(), parts[1].clone()];
     assert!(matches!(
         merge_documents(&duplicated),
+        Err(MergeError::DuplicateShard { shard_index: 0 })
+    ));
+
+    // Two *distinct* shards covering the same cell is the cell-level overlap
+    // (self-descriptions kept honest so the overlap itself is what trips).
+    let mut overlapping = parts.clone();
+    overlapping[1].results[1].index = overlapping[1].results[0].index;
+    assert!(matches!(
+        merge_documents(&overlapping),
         Err(MergeError::Overlap { .. })
     ));
 
-    // Dropping a single cell from one part is caught by index, not count.
+    // A part whose declared cell range disagrees with the results it
+    // actually carries is refused outright.
+    let mut lying = parts.clone();
+    lying[1].results.remove(0);
+    assert!(matches!(
+        merge_documents(&lying),
+        Err(MergeError::CellRangeMismatch { shard_index: 1, .. })
+    ));
+
+    // Dropping a single cell from one part (with the self-description kept
+    // consistent) is caught by grid index, not count.
     let mut truncated = parts.clone();
     let dropped = truncated[1].results.remove(0);
+    truncated[1].cell_range = Some((
+        truncated[1].results.first().unwrap().index,
+        truncated[1].results.last().unwrap().index,
+    ));
     assert_eq!(
         merge_documents(&truncated),
         Err(MergeError::Missing {

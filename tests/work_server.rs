@@ -1,0 +1,377 @@
+//! End-to-end tests of the work-server fleet: one in-process
+//! `WorkServer` plus N worker threads speaking the real TCP protocol must
+//! reproduce `SweepEngine::run_plan` byte for byte — including through
+//! worker death, lease expiry, stale plans and forged submissions.
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpStream};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use fabric_power_sweep::protocol::{
+    read_message, write_message, Request, Response, PROTOCOL_VERSION,
+};
+use fabric_power_sweep::{
+    run_worker, ExperimentConfig, PlanHeader, SeedStrategy, ServeError, ServeOptions, ServeOutcome,
+    Shard, ShardStrategy, SweepEngine, SweepPlan, WorkServer, WorkerOptions,
+};
+
+/// A grid small enough that a whole fleet run takes well under a second:
+/// 4 architectures × 4 ports × 2 loads = 8 cells.
+fn test_config() -> ExperimentConfig {
+    ExperimentConfig {
+        port_counts: vec![4],
+        offered_loads: vec![0.2, 0.4],
+        warmup_cycles: 50,
+        measure_cycles: 200,
+        ..ExperimentConfig::quick()
+    }
+}
+
+fn test_plan(shards: usize) -> SweepPlan {
+    SweepPlan::new(
+        "work-server-test",
+        test_config(),
+        SeedStrategy::Shared,
+        shards,
+        ShardStrategy::RoundRobin,
+    )
+    .expect("plan builds")
+}
+
+fn worker_engine() -> SweepEngine {
+    SweepEngine::new().with_threads(1)
+}
+
+/// Binds a server on a free port and runs it on its own thread.
+fn spawn_server(
+    plan: SweepPlan,
+    options: ServeOptions,
+) -> (
+    SocketAddr,
+    String,
+    JoinHandle<Result<ServeOutcome, ServeError>>,
+) {
+    let server = WorkServer::bind("127.0.0.1:0", plan, options).expect("bind on a free port");
+    let addr = server.local_addr();
+    let hash = server.plan_hash().to_owned();
+    (addr, hash, std::thread::spawn(move || server.run()))
+}
+
+/// A hand-driven protocol session for tests that need to misbehave in ways
+/// `run_worker` never would.
+struct RawWorker {
+    reader: BufReader<TcpStream>,
+    stream: TcpStream,
+}
+
+impl RawWorker {
+    fn connect(addr: SocketAddr) -> Self {
+        let stream = TcpStream::connect(addr).expect("connect");
+        let reader = BufReader::new(stream.try_clone().expect("clone"));
+        Self { reader, stream }
+    }
+
+    fn send(&mut self, request: &Request) {
+        write_message(&mut &self.stream, request).expect("send");
+    }
+
+    fn receive(&mut self) -> Response {
+        read_message(&mut self.reader)
+            .expect("receive")
+            .expect("server still talking")
+    }
+
+    /// Hello → Welcome, returning the assigned id, plan hash and header.
+    fn handshake(&mut self, plan_hash: Option<String>) -> (u64, String, PlanHeader) {
+        self.send(&Request::Hello {
+            protocol: PROTOCOL_VERSION,
+            plan_hash,
+        });
+        match self.receive() {
+            Response::Welcome {
+                worker,
+                plan_hash,
+                header,
+                ..
+            } => (worker, plan_hash, header),
+            other => panic!("expected Welcome, got {other:?}"),
+        }
+    }
+
+    /// Claim → Lease, panicking on anything else.
+    fn claim_lease(&mut self, worker: u64) -> (u64, Shard) {
+        self.send(&Request::Claim { worker });
+        match self.receive() {
+            Response::Lease { lease, shard } => (lease, shard),
+            other => panic!("expected Lease, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn fleets_of_two_and_three_workers_match_the_single_process_run() {
+    let reference = SweepEngine::new()
+        .with_threads(2)
+        .run_plan(&test_plan(3))
+        .expect("single-process reference");
+    for worker_count in [2_usize, 3] {
+        let (addr, _, server) = spawn_server(test_plan(3), ServeOptions::default());
+        let workers: Vec<_> = (0..worker_count)
+            .map(|_| {
+                let addr = addr.to_string();
+                std::thread::spawn(move || {
+                    run_worker(&addr, &worker_engine(), WorkerOptions::default())
+                })
+            })
+            .collect();
+        let mut completed_shards = 0;
+        for handle in workers {
+            let report = handle.join().expect("worker thread").expect("worker run");
+            completed_shards += report.shards;
+        }
+        let outcome = server.join().expect("server thread").expect("server run");
+        assert_eq!(completed_shards, 3, "every shard ran exactly once");
+        assert_eq!(outcome.workers, worker_count as u64);
+        assert_eq!(outcome.requeues, 0, "healthy fleet requeues nothing");
+        assert_eq!(outcome.document, reference);
+        assert_eq!(
+            outcome.document.to_json_string().unwrap(),
+            reference.to_json_string().unwrap(),
+            "{worker_count} workers must be byte-identical to one process"
+        );
+    }
+}
+
+#[test]
+fn more_shards_than_cells_still_drains_cleanly() {
+    // 8 cells over 12 shards: four shards are empty, workers still have to
+    // claim and submit them.
+    let reference = SweepEngine::new()
+        .with_threads(2)
+        .run_plan(&test_plan(12))
+        .expect("reference");
+    let (addr, _, server) = spawn_server(test_plan(12), ServeOptions::default());
+    let report = run_worker(
+        &addr.to_string(),
+        &worker_engine(),
+        WorkerOptions::default(),
+    )
+    .expect("worker run");
+    assert_eq!(report.shards, 12);
+    assert_eq!(report.cells, 8);
+    let outcome = server.join().expect("server thread").expect("server run");
+    assert_eq!(outcome.document, reference);
+}
+
+#[test]
+fn killed_workers_shard_is_requeued_and_the_run_completes() {
+    let plan = test_plan(4);
+    let reference = SweepEngine::new()
+        .with_threads(2)
+        .run_plan(&plan)
+        .expect("reference");
+    let (addr, hash, server) = spawn_server(plan, ServeOptions::default());
+    {
+        // A worker that claims a shard and is killed mid-execution: the
+        // connection drops with the lease outstanding.
+        let mut casualty = RawWorker::connect(addr);
+        let (worker, _, _) = casualty.handshake(Some(hash));
+        let (_lease, shard) = casualty.claim_lease(worker);
+        assert!(!shard.cells.is_empty());
+        // Dropped here without a Submit.
+    }
+    let report = run_worker(
+        &addr.to_string(),
+        &worker_engine(),
+        WorkerOptions::default(),
+    )
+    .expect("surviving worker");
+    assert_eq!(
+        report.shards, 4,
+        "the survivor picks up the dead worker's shard too"
+    );
+    let outcome = server.join().expect("server thread").expect("server run");
+    assert_eq!(outcome.requeues, 1, "exactly the dead worker's lease");
+    assert_eq!(outcome.workers, 2);
+    assert_eq!(outcome.document, reference);
+    assert_eq!(
+        outcome.document.to_json_string().unwrap(),
+        reference.to_json_string().unwrap()
+    );
+}
+
+#[test]
+fn silent_workers_lease_expires_and_is_requeued() {
+    let plan = test_plan(2);
+    let reference = SweepEngine::new()
+        .with_threads(2)
+        .run_plan(&plan)
+        .expect("reference");
+    let options = ServeOptions {
+        lease_timeout: Duration::from_millis(200),
+        retry_ms: 50,
+    };
+    let (addr, _, server) = spawn_server(plan, options);
+    // Claim a shard, then go silent *without* disconnecting: only the lease
+    // deadline can recover this one.
+    let mut holder = RawWorker::connect(addr);
+    let (worker, _, _) = holder.handshake(None);
+    let _lease = holder.claim_lease(worker);
+    let report = run_worker(
+        &addr.to_string(),
+        &worker_engine(),
+        WorkerOptions::default(),
+    )
+    .expect("patient worker");
+    assert_eq!(report.shards, 2, "both shards end up with the live worker");
+    let outcome = server.join().expect("server thread").expect("server run");
+    assert!(outcome.requeues >= 1, "the silent lease must have expired");
+    assert_eq!(outcome.document, reference);
+    drop(holder);
+}
+
+#[test]
+fn a_plan_file_claiming_zero_shards_is_refused_at_bind() {
+    // SweepPlan::new cannot build a shardless plan, but a hand-edited plan
+    // *file* can claim one; serving it would hang forever (completion is
+    // signalled by the last submission, which would never come).
+    let mut plan = test_plan(2);
+    plan.shards.clear();
+    let err = WorkServer::bind("127.0.0.1:0", plan, ServeOptions::default())
+        .expect_err("a shardless plan must not be served");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+    assert!(err.to_string().contains("no shards"), "{err}");
+}
+
+#[test]
+fn stale_plan_hash_is_refused_at_handshake() {
+    let (addr, hash, server) = spawn_server(test_plan(2), ServeOptions::default());
+    let stale = WorkerOptions {
+        expect_plan_hash: Some("0".repeat(32)),
+        ..WorkerOptions::default()
+    };
+    let err = run_worker(&addr.to_string(), &worker_engine(), stale)
+        .expect_err("a stale plan hash must be refused");
+    assert!(
+        err.to_string().contains("stale plan hash"),
+        "unexpected error: {err}"
+    );
+    // The refusal leaves the server healthy: a correctly pinned worker
+    // finishes the job.
+    let pinned = WorkerOptions {
+        expect_plan_hash: Some(hash),
+        ..WorkerOptions::default()
+    };
+    let report = run_worker(&addr.to_string(), &worker_engine(), pinned).expect("pinned worker");
+    assert_eq!(report.shards, 2);
+    let outcome = server.join().expect("server thread").expect("server run");
+    // The refused handshake never counted as a worker.
+    assert_eq!(outcome.workers, 1);
+}
+
+#[test]
+fn wrong_protocol_version_is_refused() {
+    let (addr, _, server) = spawn_server(test_plan(1), ServeOptions::default());
+    let mut outdated = RawWorker::connect(addr);
+    outdated.send(&Request::Hello {
+        protocol: PROTOCOL_VERSION + 1,
+        plan_hash: None,
+    });
+    match outdated.receive() {
+        Response::Error { message } => {
+            assert!(message.contains("protocol version"), "{message}");
+        }
+        other => panic!("expected Error, got {other:?}"),
+    }
+    drop(outdated);
+    run_worker(
+        &addr.to_string(),
+        &worker_engine(),
+        WorkerOptions::default(),
+    )
+    .expect("up-to-date worker");
+    server.join().expect("server thread").expect("server run");
+}
+
+#[test]
+fn forged_submissions_are_rejected_but_honest_ones_land() {
+    let plan = test_plan(1);
+    let reference = SweepEngine::new()
+        .with_threads(2)
+        .run_plan(&plan)
+        .expect("reference");
+    let (addr, _, server) = spawn_server(plan, ServeOptions::default());
+    let mut raw = RawWorker::connect(addr);
+    let (worker, plan_hash, header) = raw.handshake(None);
+    let (lease, shard) = raw.claim_lease(worker);
+    let honest = worker_engine()
+        .run_shard_detached(&header, &shard)
+        .expect("execute shard");
+
+    // Forgery 1: a document for a different plan hash.
+    raw.send(&Request::Submit {
+        worker,
+        lease,
+        plan_hash: "f".repeat(32),
+        document: Box::new(honest.clone()),
+    });
+    match raw.receive() {
+        Response::Rejected { reason } => assert!(reason.contains("plan"), "{reason}"),
+        other => panic!("expected Rejected, got {other:?}"),
+    }
+
+    // Forgery 2: a self-description that disagrees with the plan's shard.
+    let mut tampered = honest.clone();
+    tampered.cell_range = None;
+    raw.send(&Request::Submit {
+        worker,
+        lease,
+        plan_hash: plan_hash.clone(),
+        document: Box::new(tampered),
+    });
+    match raw.receive() {
+        Response::Rejected { reason } => assert!(reason.contains("cell range"), "{reason}"),
+        other => panic!("expected Rejected, got {other:?}"),
+    }
+
+    // Forgery 3: results that do not cover the planned cells.
+    let mut hollow = honest.clone();
+    hollow.results.pop();
+    hollow.cell_range = Some((
+        hollow.results.first().unwrap().index,
+        hollow.results.last().unwrap().index,
+    ));
+    raw.send(&Request::Submit {
+        worker,
+        lease,
+        plan_hash: plan_hash.clone(),
+        document: Box::new(hollow),
+    });
+    match raw.receive() {
+        Response::Rejected { reason } => assert!(reason.contains("cell"), "{reason}"),
+        other => panic!("expected Rejected, got {other:?}"),
+    }
+
+    // The honest document is accepted and completes the plan.
+    raw.send(&Request::Submit {
+        worker,
+        lease,
+        plan_hash,
+        document: Box::new(honest),
+    });
+    match raw.receive() {
+        Response::Accepted { remaining } => assert_eq!(remaining, 0),
+        other => panic!("expected Accepted, got {other:?}"),
+    }
+    // A duplicate of an already-submitted shard is stale, not fatal.
+    raw.send(&Request::Claim { worker });
+    match raw.receive() {
+        Response::Drain => {}
+        other => panic!("expected Drain, got {other:?}"),
+    }
+    raw.send(&Request::Goodbye { worker });
+    drop(raw);
+    let outcome = server.join().expect("server thread").expect("server run");
+    assert_eq!(outcome.document, reference);
+}
