@@ -25,6 +25,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
+use fabric_power_obs as obs;
 use serde::{Deserialize, Serialize};
 
 use fabric_power_netlist::characterize::CharacterizationConfig;
@@ -32,6 +33,9 @@ use fabric_power_netlist::library::CellLibrary;
 use fabric_power_tech::Technology;
 
 use crate::energy_model::{EnergyModelError, FabricEnergyModel};
+
+/// The obs target provider events are tagged with.
+const TARGET: &str = "fabric.provider";
 
 /// Version tag baked into cache keys and cache files.  Bump it whenever the
 /// canonical serialized form of [`FabricEnergyModel`] or [`ModelSpec`]
@@ -393,15 +397,32 @@ impl ModelProvider {
             .get(&key)
         {
             self.counters.memory_hits.fetch_add(1, Ordering::Relaxed);
+            obs::metrics::counter(obs::metrics::names::MODEL_CACHE_HIT).increment();
             return Ok(Arc::clone(model));
         }
 
         if let Some(model) = self.read_disk(spec, &key) {
             self.counters.disk_hits.fetch_add(1, Ordering::Relaxed);
+            obs::metrics::counter(obs::metrics::names::MODEL_CACHE_HIT).increment();
+            obs::debug!(
+                TARGET,
+                "disk cache hit",
+                ports = spec.ports,
+                key = key.as_str()
+            );
             return Ok(self.memoize(key, model));
         }
 
+        obs::metrics::counter(obs::metrics::names::MODEL_CACHE_MISS).increment();
+        // Gate-level characterization dominates a derived build; the span
+        // makes the phase visible in trace output and the phase histogram.
+        let span = spec
+            .is_derived()
+            .then(|| obs::log::span(TARGET, "characterize").field("ports", spec.ports));
         let model = spec.build()?;
+        if let Some(span) = span {
+            span.finish();
+        }
         self.counters.builds.fetch_add(1, Ordering::Relaxed);
         if spec.is_derived() {
             self.counters
@@ -588,6 +609,33 @@ impl ModelProvider {
         key.len() == 32 && key.bytes().all(|b| b.is_ascii_hexdigit()) && rest.starts_with("tmp.")
     }
 
+    /// Counts the store's write-temp files (`{key}.tmp.{pid}.{nonce}`) and
+    /// the bytes they occupy, whatever their age.  `cache stats` reports
+    /// this: these files are not content-addressed entries, so
+    /// [`ModelProvider::disk_entries`] never sees them, yet each one holds a
+    /// full-model-sized payload — a store that keeps accumulating them has a
+    /// writer being killed mid-persist.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-read errors; `(0, 0)` when no store is
+    /// configured.
+    pub fn orphaned_tmp_files(&self) -> std::io::Result<(usize, u64)> {
+        let Some(dir) = &self.disk_dir else {
+            return Ok((0, 0));
+        };
+        let mut count = 0;
+        let mut bytes = 0;
+        for entry in std::fs::read_dir(dir)? {
+            let entry = entry?;
+            if Self::is_tmp_file(&entry.path()) {
+                count += 1;
+                bytes += entry.metadata().map(|m| m.len()).unwrap_or(0);
+            }
+        }
+        Ok((count, bytes))
+    }
+
     /// Deletes orphaned write-temp files older than one minute (young ones
     /// may belong to a live writer racing us).  Shared by `clear` and
     /// `prune`, which would otherwise never see these files: they are not
@@ -634,6 +682,14 @@ impl ModelProvider {
                 self.counters
                     .disk_rejections
                     .fetch_add(1, Ordering::Relaxed);
+                // The rebuild that follows re-persists a good entry over the
+                // bad one — the store heals itself.
+                obs::metrics::counter(obs::metrics::names::MODEL_CACHE_HEAL).increment();
+                obs::warn!(
+                    TARGET,
+                    "rejected untrusted cache entry, rebuilding",
+                    key = key,
+                );
                 None
             }
         }
@@ -929,6 +985,11 @@ mod tests {
         let _ = file.set_modified(old_time);
         drop(file);
 
+        // Stats see both orphans before anything sweeps them.
+        let (orphans, orphan_bytes) = provider.orphaned_tmp_files().unwrap();
+        assert_eq!(orphans, 2);
+        assert_eq!(orphan_bytes, 2 * "half-written".len() as u64);
+
         let report = provider.prune_disk(None, Some(u64::MAX)).unwrap();
         assert!(!stale.exists(), "stale tmp file must be swept");
         assert!(fresh.exists(), "fresh tmp file may be a live writer's");
@@ -941,6 +1002,7 @@ mod tests {
         drop(file);
         assert_eq!(provider.clear_disk().unwrap(), 1);
         assert!(!fresh.exists());
+        assert_eq!(provider.orphaned_tmp_files().unwrap(), (0, 0));
 
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -950,6 +1012,7 @@ mod tests {
         let provider = ModelProvider::in_memory();
         assert!(provider.cache_dir().is_none());
         assert!(provider.disk_entries().unwrap().is_empty());
+        assert_eq!(provider.orphaned_tmp_files().unwrap(), (0, 0));
         assert_eq!(provider.clear_disk().unwrap(), 0);
         assert_eq!(
             provider.prune_disk(None, Some(0)).unwrap(),

@@ -1,0 +1,74 @@
+//! A cheap shared completion counter, for reporting progress out of a
+//! parallel computation without touching its results.
+//!
+//! The sweep engine increments one of these per completed cell; a fleet
+//! worker's heartbeat loop reads it to tell the server how far along the
+//! leased shard is.  Like everything in this crate it is strictly
+//! out-of-band: nothing reads the count to make a scheduling decision.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A clonable handle on a shared monotonic counter.
+///
+/// Clones observe the same count, so one side can increment from worker
+/// threads while another reports.
+#[derive(Debug, Clone, Default)]
+pub struct Progress {
+    done: Arc<AtomicU64>,
+}
+
+impl Progress {
+    /// A fresh counter at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one completed item.
+    pub fn increment(&self) {
+        self.done.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` completed items.
+    pub fn add(&self, n: u64) {
+        self.done.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Items completed so far.
+    #[must_use]
+    pub fn done(&self) -> u64 {
+        self.done.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_one_count() {
+        let progress = Progress::new();
+        let clone = progress.clone();
+        progress.increment();
+        clone.add(2);
+        assert_eq!(progress.done(), 3);
+        assert_eq!(clone.done(), 3);
+    }
+
+    #[test]
+    fn increments_from_threads_all_land() {
+        let progress = Progress::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let handle = progress.clone();
+                scope.spawn(move || {
+                    for _ in 0..100 {
+                        handle.increment();
+                    }
+                });
+            }
+        });
+        assert_eq!(progress.done(), 400);
+    }
+}

@@ -8,6 +8,7 @@ use fabric_power_tech::units::{Power, TimeSpan};
 use fabric_power_tech::Frequency;
 
 use crate::energy::EnergyAccount;
+use crate::metrics::SparseLatencyHistogram;
 use crate::traffic::TrafficPattern;
 
 /// Configuration of one simulation run.
@@ -139,6 +140,12 @@ pub struct SimulationReport {
     /// 99th-percentile packet latency in cycles.
     #[serde(default)]
     pub latency_p99: f64,
+    /// The full latency distribution, sparse over non-zero bins — the
+    /// summary percentiles above are derived from exactly this.  Defaults
+    /// (to empty) keep reports serialized before the field existed
+    /// parseable.
+    #[serde(default)]
+    pub latency_histogram: SparseLatencyHistogram,
     /// Accumulated energy, by component.
     pub energy: EnergyAccount,
     /// Duration of one clock cycle (for power computation).
@@ -222,6 +229,7 @@ mod tests {
             latency_p50: 19.0,
             latency_p95: 28.0,
             latency_p99: 31.0,
+            latency_histogram: SparseLatencyHistogram::default(),
             energy: EnergyAccount {
                 switches: Energy::from_nanojoules(1.0),
                 buffers: Energy::ZERO,
@@ -250,6 +258,7 @@ mod tests {
             latency_p50: 0.0,
             latency_p95: 0.0,
             latency_p99: 0.0,
+            latency_histogram: SparseLatencyHistogram::default(),
             energy: EnergyAccount::new(),
             cycle_time: TimeSpan::from_nanoseconds(10.0),
         };

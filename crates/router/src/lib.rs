@@ -51,7 +51,7 @@ pub mod traffic;
 
 pub use config::{SimulationConfig, SimulationReport};
 pub use energy::EnergyAccount;
-pub use metrics::{HistogramMergeError, LatencyHistogram};
+pub use metrics::{HistogramMergeError, LatencyHistogram, SparseLatencyHistogram};
 pub use packet::Packet;
 pub use sim::{simulate, RouterSimulator, SimulationError};
 pub use traffic::{TrafficGenerator, TrafficPattern};

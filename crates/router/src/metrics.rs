@@ -228,6 +228,91 @@ impl LatencyHistogram {
             self.percentile(99.0),
         ]
     }
+
+    /// Exports the distribution in the sparse form documents carry: only the
+    /// non-zero bins, as ascending `(latency, count)` pairs.  Lossless — see
+    /// [`SparseLatencyHistogram::expand`] for the inverse.
+    #[must_use]
+    pub fn to_sparse(&self) -> SparseLatencyHistogram {
+        SparseLatencyHistogram {
+            bins: self
+                .bins
+                .iter()
+                .enumerate()
+                .filter(|&(_, &count)| count > 0)
+                .map(|(latency, &count)| (latency as u64, count))
+                .collect(),
+            overflow: self.overflow,
+            count: self.count,
+            sum: self.sum,
+            max: self.max,
+        }
+    }
+}
+
+/// The sparse, document-friendly form of a [`LatencyHistogram`].
+///
+/// A dense histogram is almost entirely zeros ([`LATENCY_BINS`] bins, of
+/// which a typical sub-saturation cell populates a few dozen), so sweep
+/// documents carry only the non-zero `(latency, count)` pairs plus the same
+/// exact totals the dense form keeps.  The conversion round-trips losslessly
+/// ([`LatencyHistogram::to_sparse`] / [`SparseLatencyHistogram::expand`]),
+/// and an empty value — what a document written before this field existed
+/// deserializes to via `#[serde(default)]` — expands to an empty histogram.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SparseLatencyHistogram {
+    /// `(latency in cycles, samples)` for every non-zero exact bin,
+    /// ascending by latency.
+    #[serde(default)]
+    pub bins: Vec<(u64, u64)>,
+    /// Samples at or above [`LATENCY_BINS`] cycles (represented by `max`).
+    #[serde(default)]
+    pub overflow: u64,
+    /// Total samples recorded.
+    #[serde(default)]
+    pub count: u64,
+    /// Exact sum of all recorded latencies.
+    #[serde(default)]
+    pub sum: u64,
+    /// Largest latency recorded.
+    #[serde(default)]
+    pub max: u64,
+}
+
+impl SparseLatencyHistogram {
+    /// Whether nothing was recorded (also what old documents without the
+    /// field read back as).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Reconstructs the dense [`LatencyHistogram`] this was exported from.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HistogramMergeError`] when a bin's latency does not fit the
+    /// current [`LATENCY_BINS`] layout (a document recorded under a larger
+    /// bin count) — expanding it would silently move exact counts into the
+    /// overflow bin, the same corruption dense merging refuses.
+    pub fn expand(&self) -> Result<LatencyHistogram, HistogramMergeError> {
+        let mut dense = LatencyHistogram::new();
+        for &(latency, count) in &self.bins {
+            let index = usize::try_from(latency)
+                .ok()
+                .filter(|&i| i < LATENCY_BINS)
+                .ok_or(HistogramMergeError {
+                    ours: LATENCY_BINS,
+                    theirs: usize::try_from(latency).map_or(usize::MAX, |i| i + 1),
+                })?;
+            dense.bins[index] = count;
+        }
+        dense.overflow = self.overflow;
+        dense.count = self.count;
+        dense.sum = self.sum;
+        dense.max = self.max;
+        Ok(dense)
+    }
 }
 
 #[cfg(test)]
@@ -358,6 +443,51 @@ mod tests {
         // The mirror direction fails symmetrically.
         assert!(truncated.merge(&before).is_err());
         assert_eq!(truncated.count(), 2, "foreign histogram also untouched");
+    }
+
+    #[test]
+    fn sparse_export_round_trips_losslessly() {
+        let mut histogram = LatencyHistogram::new();
+        for latency in [16, 16, 17, 20, 20, 20, 4100, 9000] {
+            histogram.record(latency);
+        }
+        let sparse = histogram.to_sparse();
+        assert_eq!(sparse.bins, vec![(16, 2), (17, 1), (20, 3)]);
+        assert_eq!(sparse.overflow, 2);
+        assert_eq!(sparse.count, 8);
+        assert_eq!(sparse.max, 9000);
+        assert!(!sparse.is_empty());
+        assert_eq!(sparse.expand().expect("expand"), histogram);
+        // And through JSON, which is how documents carry it.
+        let json = serde_json::to_string(&sparse).expect("serialize");
+        let back: SparseLatencyHistogram = serde_json::from_str(&json).expect("parse");
+        assert_eq!(back, sparse);
+        assert_eq!(back.expand().expect("expand"), histogram);
+    }
+
+    #[test]
+    fn empty_sparse_histogram_is_default_and_expands_empty() {
+        let sparse = SparseLatencyHistogram::default();
+        assert!(sparse.is_empty());
+        assert_eq!(sparse.expand().expect("expand"), LatencyHistogram::new());
+        assert_eq!(LatencyHistogram::new().to_sparse(), sparse);
+        // `{}` — the serde(default) shape of a pre-field document — parses.
+        let back: SparseLatencyHistogram = serde_json::from_str("{}").expect("parse");
+        assert_eq!(back, sparse);
+    }
+
+    #[test]
+    fn sparse_bins_beyond_the_layout_refuse_to_expand() {
+        let sparse = SparseLatencyHistogram {
+            bins: vec![(LATENCY_BINS as u64, 1)],
+            overflow: 0,
+            count: 1,
+            sum: LATENCY_BINS as u64,
+            max: LATENCY_BINS as u64,
+        };
+        let err = sparse.expand().unwrap_err();
+        assert_eq!(err.ours, LATENCY_BINS);
+        assert!(err.theirs > LATENCY_BINS);
     }
 
     #[test]

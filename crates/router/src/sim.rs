@@ -298,6 +298,7 @@ impl RouterSimulator {
             latency_p50,
             latency_p95,
             latency_p99,
+            latency_histogram: self.latency.to_sparse(),
             energy: self.energy,
             cycle_time: self.config.cycle_time(),
         }

@@ -20,10 +20,11 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
 
+use fabric_power_obs as obs;
 use fabric_power_sweep::{
-    diff_documents, merge_documents, report, run_worker, ModelProvider, Scenario, ScenarioRegistry,
-    SeedStrategy, ServeOptions, ShardDocument, ShardStrategy, SweepDocument, SweepEngine,
-    SweepPlan, WorkServer, WorkerOptions,
+    diff_documents, merge_documents, report, run_worker, status::render_status, ModelProvider,
+    Scenario, ScenarioRegistry, SeedStrategy, ServeOptions, ShardDocument, ShardStrategy,
+    StatusProbe, SweepDocument, SweepEngine, SweepPlan, WorkServer, WorkerOptions,
 };
 
 const USAGE: &str = "\
@@ -74,6 +75,12 @@ COMMANDS:
         [--plan-hash <HASH>]       Refuse to work unless the server is
                                    serving exactly this plan (see `serve`'s
                                    startup log for the hash)
+    status                         Probe a running `serve` for live fleet
+        --connect <ADDR>           status (plan hash, shard and cell
+                                   progress, per-worker state, uptime)
+        [--json]                   Emit the snapshot as one JSON line
+        [--watch]                  Re-probe every second until the plan
+                                   completes
     cache <ACTION> --model-cache <DIR>
         stats                      Summarize the cache directory
         clear                      Delete every cached model
@@ -87,18 +94,99 @@ COMMANDS:
                                    byte-exact); exits nonzero on mismatch
     report --in <FILE.json>        Summarize a previously emitted document
     help                           Show this message
+
+GLOBAL OPTIONS (any command):
+    --log <SPEC>                   Stderr event verbosity: a level (`debug`)
+                                   or per-target directives
+                                   (`info,sweep.server=trace,fabric=off`);
+                                   overrides $FABRIC_POWER_LOG (default: info)
+    --log-json <FILE>              Also append every event as one JSON line
+                                   to FILE (truncated at startup)
+    --metrics <FILE>               Write the process metrics registry as JSON
+                                   to FILE at exit
+
+All instrumentation is out of band (stderr / side files): emitted sweep
+documents are byte-identical with observability on or off.
 ";
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    match run(&args) {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let observability = match apply_global_flags(&mut args) {
+        Ok(observability) => observability,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("run `fabric-power help` for usage");
+            return ExitCode::FAILURE;
+        }
+    };
+    let code = match run(&args) {
         Ok(code) => code,
         Err(message) => {
             eprintln!("error: {message}");
             eprintln!("run `fabric-power help` for usage");
             ExitCode::FAILURE
         }
+    };
+    if let Err(message) = observability.finish() {
+        eprintln!("error: {message}");
+        return ExitCode::FAILURE;
     }
+    code
+}
+
+/// What the global observability flags asked for beyond immediate logger
+/// configuration: work to do when the command finishes.
+struct Observability {
+    metrics_out: Option<PathBuf>,
+}
+
+impl Observability {
+    fn finish(self) -> Result<(), String> {
+        if let Some(path) = self.metrics_out {
+            let json = obs::metrics::snapshot().to_json();
+            std::fs::write(&path, format!("{json}\n"))
+                .map_err(|e| format!("writing metrics to {}: {e}", path.display()))?;
+            eprintln!("wrote metrics to {}", path.display());
+        }
+        Ok(())
+    }
+}
+
+/// Strips the global `--log` / `--log-json` / `--metrics` flags out of the
+/// argument list (they are accepted anywhere, for every command) and
+/// configures the logger accordingly.  `--log` beats `$FABRIC_POWER_LOG`,
+/// which the logger already read at first use.
+fn apply_global_flags(args: &mut Vec<String>) -> Result<Observability, String> {
+    let mut log_spec = None;
+    let mut log_json = None;
+    let mut metrics_out = None;
+    let mut index = 0;
+    while index < args.len() {
+        let slot = match args[index].as_str() {
+            "--log" => &mut log_spec,
+            "--log-json" => &mut log_json,
+            "--metrics" => &mut metrics_out,
+            _ => {
+                index += 1;
+                continue;
+            }
+        };
+        if index + 1 >= args.len() {
+            return Err(format!("`{}` needs a value", args[index]));
+        }
+        *slot = Some(args.remove(index + 1));
+        args.remove(index);
+    }
+    if let Some(spec) = log_spec {
+        obs::log::set_filter(obs::Filter::parse(&spec)?);
+    }
+    if let Some(path) = log_json {
+        obs::log::log_json_to_file(std::path::Path::new(&path))
+            .map_err(|e| format!("opening log file {path}: {e}"))?;
+    }
+    Ok(Observability {
+        metrics_out: metrics_out.map(PathBuf::from),
+    })
 }
 
 fn run(args: &[String]) -> Result<ExitCode, String> {
@@ -116,10 +204,56 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         Some("merge") => done(merge(&args[1..])),
         Some("serve") => done(serve(&args[1..])),
         Some("worker") => done(worker(&args[1..])),
+        Some("status") => done(status_command(&args[1..])),
         Some("cache") => done(cache(&args[1..])),
         Some("diff") => diff(&args[1..]),
         Some("report") => done(report_command(&args[1..])),
         Some(other) => Err(format!("unknown command `{other}`")),
+    }
+}
+
+/// `fabric-power status --connect <ADDR>`: probe a running serve session.
+fn status_command(args: &[String]) -> Result<(), String> {
+    let mut json = false;
+    let mut watch = false;
+    let mut rest = Vec::new();
+    for arg in args {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--watch" => watch = true,
+            _ => rest.push(arg.clone()),
+        }
+    }
+    known_flags(&rest, &["--connect"])?;
+    let addr = flag_value(&rest, "--connect")?
+        .ok_or_else(|| "status needs `--connect <ADDR>`".to_string())?;
+    // One connection for the whole watch: the server stops accepting new
+    // connections the moment the plan completes, but held-open connections
+    // keep answering through the drain grace period — which is how a watch
+    // gets to see (and exit on) the terminal `done` snapshot.
+    let mut probe =
+        StatusProbe::connect(&addr).map_err(|e| format!("status probe to {addr}: {e}"))?;
+    let mut first = true;
+    loop {
+        let status = probe
+            .fetch()
+            .map_err(|e| format!("status probe to {addr}: {e}"))?;
+        if json {
+            println!(
+                "{}",
+                serde_json::to_string(&status).map_err(|e| e.to_string())?
+            );
+        } else {
+            if !first {
+                println!();
+            }
+            print!("{}", render_status(&status));
+        }
+        if !watch || status.done {
+            return Ok(());
+        }
+        first = false;
+        std::thread::sleep(std::time::Duration::from_secs(1));
     }
 }
 
@@ -372,12 +506,34 @@ fn cache(args: &[String]) -> Result<(), String> {
             let entries = provider.disk_entries().map_err(|e| e.to_string())?;
             let total_bytes: u64 = entries.iter().map(|e| e.bytes).sum();
             let corrupt = entries.iter().filter(|e| e.spec.is_none()).count();
+            // Write-temp orphans are not content-addressed entries, so the
+            // listing above never sees them — count them explicitly instead
+            // of silently ignoring full-model-sized leftovers.
+            let (orphans, orphan_bytes) =
+                provider.orphaned_tmp_files().map_err(|e| e.to_string())?;
             println!(
                 "{} entries, {} bytes, {} corrupt (dir: {})",
                 entries.len(),
                 total_bytes,
                 corrupt,
                 provider.cache_dir().expect("dir required above").display()
+            );
+            if orphans > 0 {
+                println!(
+                    "{orphans} orphaned write-temp file(s), {orphan_bytes} bytes \
+                     (swept by `cache clear`/`cache prune` once stale)"
+                );
+            }
+            // Process-level cache traffic from the metrics registry: zero in
+            // a fresh `cache stats` process, populated when sweeps run in
+            // this process (and in any `--metrics` snapshot).
+            let metrics = obs::metrics::snapshot();
+            let counter = |name: &str| metrics.counters.get(name).copied().unwrap_or(0);
+            println!(
+                "process: {} hit(s), {} miss(es), {} heal(s)",
+                counter(obs::metrics::names::MODEL_CACHE_HIT),
+                counter(obs::metrics::names::MODEL_CACHE_MISS),
+                counter(obs::metrics::names::MODEL_CACHE_HEAL),
             );
             for entry in &entries {
                 let file = entry

@@ -4,6 +4,7 @@
 use serde::{Deserialize, Serialize};
 
 use fabric_power_fabric::Architecture;
+use fabric_power_router::metrics::SparseLatencyHistogram;
 use fabric_power_router::traffic::TrafficPattern;
 use fabric_power_tech::units::{Energy, Power};
 
@@ -183,6 +184,14 @@ pub struct SweepPoint {
     /// 99th-percentile packet latency in cycles.
     #[serde(default)]
     pub latency_p99: f64,
+    /// The full latency distribution of this cell, sparse over non-zero
+    /// bins (the ROADMAP "full latency histograms in emitted documents"
+    /// follow-on).  Lossless: expanding it reproduces the simulator's dense
+    /// histogram, and sparse histograms from several cells can be combined
+    /// by expanding and merging.  Defaults (to empty) keep documents
+    /// emitted before this field existed parseable.
+    #[serde(default)]
+    pub latency_histogram: SparseLatencyHistogram,
 }
 
 #[cfg(test)]

@@ -7,7 +7,11 @@ use std::sync::Arc;
 
 use fabric_power_fabric::energy_model::FabricEnergyModel;
 use fabric_power_fabric::provider::ModelProvider;
+use fabric_power_obs as obs;
 use fabric_power_router::sim::RouterSimulator;
+
+/// The obs target engine events are tagged with.
+const TARGET: &str = "sweep.engine";
 
 use crate::cell::{SeedStrategy, SweepCell, SweepPoint};
 use crate::config::{ExperimentConfig, ExperimentError};
@@ -46,6 +50,7 @@ pub struct SweepEngine {
     threads: usize,
     seed_strategy: SeedStrategy,
     provider: Arc<ModelProvider>,
+    progress: Option<obs::Progress>,
 }
 
 impl Default for SweepEngine {
@@ -63,6 +68,7 @@ impl SweepEngine {
             threads: 0,
             seed_strategy: SeedStrategy::Shared,
             provider: ModelProvider::shared(),
+            progress: None,
         }
     }
 
@@ -86,6 +92,17 @@ impl SweepEngine {
     #[must_use]
     pub fn with_provider(mut self, provider: Arc<ModelProvider>) -> Self {
         self.provider = provider;
+        self
+    }
+
+    /// Attaches a live progress probe: the engine bumps it once per
+    /// completed cell, out of band, from whichever worker thread finished
+    /// the cell.  A fleet worker polls the probe from its heartbeat thread
+    /// to report per-shard progress without touching the execution path —
+    /// results stay bit-identical with or without a probe attached.
+    #[must_use]
+    pub fn with_progress(mut self, progress: obs::Progress) -> Self {
+        self.progress = Some(progress);
         self
     }
 
@@ -164,7 +181,10 @@ impl SweepEngine {
     ) -> Result<HashMap<usize, Arc<FabricEnergyModel>>, ExperimentError> {
         let unique_ports = crate::cell::unique_ports(cells);
         let built = executor::parallel_map(&unique_ports, self.threads().max(1), |&ports| {
-            self.provider.get(&config.model_spec(ports))
+            let span = obs::log::span(TARGET, "build_model").field("ports", ports);
+            let model = self.provider.get(&config.model_spec(ports));
+            span.finish();
+            model
         });
         let mut models = HashMap::new();
         for (&ports, result) in unique_ports.iter().zip(built) {
@@ -189,7 +209,12 @@ impl SweepEngine {
     ) -> Result<Vec<SweepPoint>, ExperimentError> {
         let models = self.build_models(config, cells)?;
         let results = executor::parallel_map(cells, self.threads().max(1), |cell| {
-            self.run_cell(config, cell, &models[&cell.ports])
+            let point = self.run_cell(config, cell, &models[&cell.ports]);
+            obs::metrics::counter(obs::metrics::names::CELLS_COMPLETED).increment();
+            if let Some(progress) = &self.progress {
+                progress.increment();
+            }
+            point
         });
         results.into_iter().collect()
     }
@@ -310,10 +335,15 @@ impl SweepEngine {
         cell: &SweepCell,
         model: &Arc<FabricEnergyModel>,
     ) -> Result<SweepPoint, ExperimentError> {
+        let span = obs::log::span(TARGET, "run_cell")
+            .with_level(obs::Level::Trace)
+            .field("cell", cell.index)
+            .field("ports", cell.ports);
         let mut sim_config =
             config.simulation_config(cell.architecture, cell.ports, cell.offered_load, cell.seed);
         sim_config.pattern = cell.pattern;
         let report = RouterSimulator::with_shared_model(sim_config, Arc::clone(model))?.run();
+        span.finish();
         Ok(SweepPoint {
             architecture: cell.architecture,
             ports: cell.ports,
@@ -328,6 +358,7 @@ impl SweepEngine {
             latency_p50: report.latency_p50,
             latency_p95: report.latency_p95,
             latency_p99: report.latency_p99,
+            latency_histogram: report.latency_histogram,
         })
     }
 }

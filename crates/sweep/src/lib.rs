@@ -39,6 +39,10 @@
 //!   requeues shards whose worker dies or goes silent past its lease
 //!   deadline, validates every submission against the plan (content hash,
 //!   shard identity, cell coverage), and merges when the last shard lands;
+//! * [`status`] — the read-only observability probe: [`fetch_status`] asks
+//!   a serving fleet for a [`FleetStatus`] snapshot (shards, per-worker
+//!   heartbeat progress, uptime) over the same protocol, and
+//!   [`status::render_status`] renders it for `fabric-power status`;
 //! * [`diff`] — cell-oriented comparison of two result documents
 //!   (`fabric-power diff`);
 //! * [`sweeps`] — [`ThroughputSweep`] / [`PortSweep`]: the Figure 9/10
@@ -58,6 +62,7 @@
 //! fabric-power merge part0.json part1.json part2.json --out fig9.json
 //! fabric-power serve plan.json --listen 127.0.0.1:7351 --out fig9.json
 //! fabric-power worker --connect 127.0.0.1:7351 --threads 8
+//! fabric-power status --connect 127.0.0.1:7351 --watch
 //! fabric-power sweep --scenario derived-quick --model-cache ~/.cache/fabric-power
 //! fabric-power cache warm --scenario derived-quick --model-cache ~/.cache/fabric-power
 //! fabric-power cache prune --model-cache ~/.cache/fabric-power --max-age-days 30
@@ -92,6 +97,7 @@ pub mod protocol;
 pub mod registry;
 pub mod report;
 pub mod server;
+pub mod status;
 pub mod sweeps;
 pub mod worker;
 
@@ -103,7 +109,9 @@ pub use engine::SweepEngine;
 pub use fabric_power_fabric::provider::{ModelKind, ModelProvider, ModelSpec, ProviderStats};
 pub use merge::{merge_documents, MergeError, ShardCellResult, ShardDocument};
 pub use plan::{expand_cells, PlanError, PlanHeader, Shard, ShardStrategy, SweepPlan};
+pub use protocol::{FleetStatus, WorkerStatus};
 pub use registry::{Scenario, ScenarioRegistry};
 pub use server::{ServeError, ServeOptions, ServeOutcome, WorkServer};
+pub use status::{fetch_status, StatusProbe};
 pub use sweeps::{PortSweep, ThroughputSweep};
 pub use worker::{run_worker, WorkerError, WorkerOptions, WorkerReport};

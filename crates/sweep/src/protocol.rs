@@ -13,6 +13,8 @@
 //!                                 Welcome {worker, plan_hash, header, shard_count}
 //! Claim  {worker}
 //!                                 Lease {lease, shard} | Wait {retry_ms} | Drain
+//! Heartbeat {worker, lease, shard, cells_done, cells_total}
+//!                                 Ack
 //! Submit {worker, lease, plan_hash, document}
 //!                                 Accepted {remaining} | Stale {reason} | Rejected {reason}
 //! Goodbye {worker}
@@ -23,11 +25,23 @@
 //! the handshake and every submission: the server never merges a document
 //! it cannot tie to the exact plan it is serving.
 //!
+//! Two observability messages sit outside the claim/submit loop.
+//! `Heartbeat` reports how far a leased shard has progressed (and renews the
+//! lease deadline — a worker grinding on a long shard is visibly alive, so
+//! its lease should not expire under it).  `Status` asks for a
+//! [`FleetStatus`] snapshot; uniquely, it is read-only and is also honored
+//! as the *first* message of a connection, so `fabric-power status` can poll
+//! a live server without claiming a worker id or affecting the fleet.
+//!
 //! Bump [`PROTOCOL_VERSION`] on any incompatible change; the server refuses
 //! mismatched workers at `Hello` time instead of mis-parsing them later.
+//! (The `Status`/`Heartbeat`/`Ack` messages were additive: a build without
+//! them never sends them, and answers them with `Error` rather than
+//! mis-parsing, so the version stayed 1.)
 
 use std::io::{BufRead, Write};
 
+use fabric_power_obs as obs;
 use serde::{Deserialize, Serialize};
 
 use crate::merge::ShardDocument;
@@ -72,6 +86,27 @@ pub enum Request {
         /// The id the server assigned in `Welcome`.
         worker: u64,
     },
+    /// Progress report on a leased shard; also renews the lease deadline.
+    /// Answered with [`Response::Ack`].
+    Heartbeat {
+        /// The id the server assigned in `Welcome`.
+        worker: u64,
+        /// The lease id the shard was granted under.
+        lease: u64,
+        /// The shard index being executed.
+        shard: usize,
+        /// Cells of the shard completed so far.
+        cells_done: u64,
+        /// Total cells in the shard (lets the server render progress even
+        /// for a shard leased before it restarted — defensive; normally it
+        /// knows this from its own plan).
+        cells_total: u64,
+    },
+    /// Ask for a [`FleetStatus`] snapshot.  Read-only: honored both on an
+    /// established worker session and as the first message of a fresh
+    /// connection (no `Hello` needed), so status probes never consume
+    /// worker ids.
+    Status,
 }
 
 /// Messages the server sends back.
@@ -121,12 +156,70 @@ pub enum Response {
         /// The first validation failure.
         reason: String,
     },
+    /// Heartbeat received (whether or not the lease is still current —
+    /// a worker whose lease was requeued finds out at `Submit` time, as
+    /// before).
+    Ack,
+    /// The fleet-status snapshot a [`Request::Status`] asked for.
+    Status(FleetStatus),
     /// Protocol violation, version mismatch or plan-hash mismatch; the
     /// session is over.
     Error {
         /// What went wrong.
         message: String,
     },
+}
+
+/// A point-in-time snapshot of a serve session, as answered to
+/// [`Request::Status`].
+///
+/// Everything here is the server's own bookkeeping — shard slots, lease
+/// table, heartbeat progress — so a status probe is cheap and read-only.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetStatus {
+    /// The scenario name of the plan being served.
+    pub scenario: String,
+    /// Content hash of the plan being served.
+    pub plan_hash: String,
+    /// The server's [`PROTOCOL_VERSION`].
+    pub protocol: u32,
+    /// Shards in the plan.
+    pub shards_total: usize,
+    /// Shards whose submission has been validated and recorded.
+    pub shards_completed: usize,
+    /// Shards currently out on a live lease.
+    pub shards_leased: usize,
+    /// Shards waiting to be leased (including requeued ones).
+    pub shards_pending: usize,
+    /// Cells in the whole plan.
+    pub cells_total: usize,
+    /// Cells completed: every cell of a completed shard, plus the
+    /// heartbeat-reported progress of shards still out on lease.
+    pub cells_completed: u64,
+    /// Leases revoked so far (worker disconnected or missed its deadline).
+    pub requeues: u64,
+    /// Worker connections currently live, with their per-shard progress.
+    pub workers: Vec<WorkerStatus>,
+    /// Milliseconds since the server started serving.
+    pub uptime_ms: u64,
+    /// Whether every shard has been submitted (the server only lingers
+    /// briefly once this is true).
+    pub done: bool,
+}
+
+/// One live worker's place in a [`FleetStatus`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkerStatus {
+    /// The id the server assigned in `Welcome`.
+    pub worker: u64,
+    /// The shard index this worker currently holds a lease on, if any.
+    pub shard: Option<usize>,
+    /// Heartbeat-reported cells completed of the leased shard.
+    pub cells_done: u64,
+    /// Total cells in the leased shard.
+    pub cells_total: u64,
+    /// Shards this worker has submitted successfully.
+    pub shards_completed: u64,
 }
 
 /// Writes one message as a single JSON line and flushes.
@@ -140,7 +233,9 @@ pub fn write_message<T: Serialize>(writer: &mut impl Write, message: &T) -> std:
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
     writer.write_all(json.as_bytes())?;
     writer.write_all(b"\n")?;
-    writer.flush()
+    writer.flush()?;
+    obs::metrics::counter(obs::metrics::names::WIRE_BYTES_SENT).add(json.len() as u64 + 1);
+    Ok(())
 }
 
 /// Reads one JSON-line message; `Ok(None)` means the peer closed the
@@ -167,6 +262,7 @@ pub fn read_message<T: Deserialize>(reader: &mut impl BufRead) -> std::io::Resul
 /// An empty or unparseable line surfaces as
 /// [`std::io::ErrorKind::InvalidData`].
 pub fn parse_line<T: Deserialize>(line: &str) -> std::io::Result<T> {
+    obs::metrics::counter(obs::metrics::names::WIRE_BYTES_RECEIVED).add(line.len() as u64);
     let trimmed = line.trim();
     if trimmed.is_empty() {
         return Err(std::io::Error::new(
@@ -241,7 +337,48 @@ mod tests {
                 document: Box::new(sample_document()),
             },
             Request::Goodbye { worker: 3 },
+            Request::Heartbeat {
+                worker: 3,
+                lease: 17,
+                shard: 1,
+                cells_done: 4,
+                cells_total: 9,
+            },
+            Request::Status,
         ]
+    }
+
+    fn sample_status() -> FleetStatus {
+        FleetStatus {
+            scenario: "protocol-test".into(),
+            plan_hash: "dd".repeat(16),
+            protocol: PROTOCOL_VERSION,
+            shards_total: 2,
+            shards_completed: 1,
+            shards_leased: 1,
+            shards_pending: 0,
+            cells_total: 18,
+            cells_completed: 13,
+            requeues: 1,
+            workers: vec![
+                WorkerStatus {
+                    worker: 1,
+                    shard: Some(1),
+                    cells_done: 4,
+                    cells_total: 9,
+                    shards_completed: 1,
+                },
+                WorkerStatus {
+                    worker: 2,
+                    shard: None,
+                    cells_done: 0,
+                    cells_total: 0,
+                    shards_completed: 0,
+                },
+            ],
+            uptime_ms: 1234,
+            done: false,
+        }
     }
 
     fn responses() -> Vec<Response> {
@@ -265,6 +402,8 @@ mod tests {
             Response::Rejected {
                 reason: "cell range mismatch".into(),
             },
+            Response::Ack,
+            Response::Status(sample_status()),
             Response::Error {
                 message: "protocol version 9 not supported".into(),
             },

@@ -33,15 +33,24 @@
 //! a document is admitted to the merge.  (The merge layer re-validates —
 //! defense in depth, see [`crate::merge`].)
 
+use std::collections::BTreeMap;
 use std::io::{BufRead as _, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
+use fabric_power_obs as obs;
+use obs::metrics::names;
+
 use crate::emit::SweepDocument;
 use crate::merge::{merge_documents, MergeError, ShardDocument};
 use crate::plan::{PlanHeader, SweepPlan};
-use crate::protocol::{write_message, Request, Response, PROTOCOL_VERSION};
+use crate::protocol::{
+    write_message, FleetStatus, Request, Response, WorkerStatus, PROTOCOL_VERSION,
+};
+
+/// The obs target every server-side event is tagged with.
+const TARGET: &str = "sweep.server";
 
 /// Tunables for a [`WorkServer`].
 #[derive(Debug, Clone)]
@@ -116,6 +125,21 @@ enum ShardSlot {
     Done(Box<ShardDocument>),
 }
 
+/// The server's live view of one connected worker, kept current by the
+/// handshake, lease grants, heartbeats and submissions.  Pure
+/// observability — lease enforcement still lives in the shard slots.
+#[derive(Debug, Default)]
+struct WorkerRecord {
+    /// The shard this worker currently holds a lease on, if any.
+    shard: Option<usize>,
+    /// Heartbeat-reported cells completed of that shard.
+    cells_done: u64,
+    /// Planned cell count of that shard.
+    cells_total: u64,
+    /// Shards this worker has submitted successfully.
+    shards_completed: u64,
+}
+
 #[derive(Debug)]
 struct State {
     shards: Vec<ShardSlot>,
@@ -125,6 +149,8 @@ struct State {
     next_lease: u64,
     requeues: u64,
     done: bool,
+    /// Currently connected workers (removed again on disconnect).
+    workers: BTreeMap<u64, WorkerRecord>,
 }
 
 #[derive(Debug)]
@@ -134,6 +160,7 @@ struct Shared {
     plan_hash: String,
     options: ServeOptions,
     local_addr: SocketAddr,
+    started: Instant,
     state: Mutex<State>,
 }
 
@@ -180,14 +207,22 @@ impl WorkServer {
             plan,
             options,
             local_addr,
+            started: Instant::now(),
             state: Mutex::new(State {
                 shards: (0..shard_count).map(|_| ShardSlot::Pending).collect(),
                 next_worker: 0,
                 next_lease: 0,
                 requeues: 0,
                 done: false,
+                workers: BTreeMap::new(),
             }),
         });
+        obs::info!(
+            TARGET,
+            "serving plan",
+            addr = local_addr.to_string(),
+            shards = shard_count,
+        );
         Ok(Self { listener, shared })
     }
 
@@ -221,7 +256,23 @@ impl WorkServer {
         // connectable one).
         self.listener.set_nonblocking(true)?;
         let mut handles = Vec::new();
+        let mut next_status_line = self.shared.started + STATUS_LINE_PERIOD;
         while !lock(&self.shared.state).done {
+            if Instant::now() >= next_status_line {
+                next_status_line += STATUS_LINE_PERIOD;
+                let status = status_snapshot(&self.shared);
+                obs::info!(
+                    TARGET,
+                    "fleet status",
+                    shards_done = status.shards_completed,
+                    shards_total = status.shards_total,
+                    shards_leased = status.shards_leased,
+                    cells_done = status.cells_completed,
+                    cells_total = status.cells_total,
+                    workers = status.workers.len(),
+                    requeues = status.requeues,
+                );
+            }
             match self.listener.accept() {
                 Ok((stream, _)) => {
                     // The accepted stream may inherit non-blocking mode on
@@ -259,7 +310,9 @@ impl WorkServer {
                 }
             })
             .collect();
+        let span = obs::log::span(TARGET, "merge").with_level(obs::Level::Info);
         let document = merge_documents(&parts).map_err(ServeError::Merge)?;
+        span.finish();
         Ok(ServeOutcome {
             document,
             workers: state.next_worker,
@@ -277,6 +330,9 @@ fn serve_connection(stream: &TcpStream, shared: &Shared) {
     let _ = handle_connection(stream, shared, &mut worker_id);
     if let Some(worker) = worker_id {
         let mut state = lock(&shared.state);
+        state.workers.remove(&worker);
+        obs::metrics::gauge(names::WORKERS_CONNECTED).add(-1);
+        obs::info!(TARGET, "worker disconnected", worker = worker);
         if !state.done {
             let State {
                 shards, requeues, ..
@@ -285,11 +341,20 @@ fn serve_connection(stream: &TcpStream, shared: &Shared) {
                 if matches!(slot, ShardSlot::Leased { worker: w, .. } if *w == worker) {
                     *slot = ShardSlot::Pending;
                     *requeues += 1;
+                    obs::metrics::counter(names::LEASES_REQUEUED).increment();
+                    obs::warn!(
+                        TARGET,
+                        "requeued lease of disconnected worker",
+                        worker = worker,
+                    );
                 }
             }
         }
     }
 }
+
+/// How often the accept loop emits its periodic "fleet status" line.
+const STATUS_LINE_PERIOD: Duration = Duration::from_secs(5);
 
 /// How long the server keeps answering lingering connections after the plan
 /// completes, so a worker mid `Wait`-sleep still gets its `Drain` instead of
@@ -357,21 +422,28 @@ fn handle_connection(
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
 
-    // Handshake: the first message must be a compatible Hello.
-    let (protocol, claimed_hash) = match read_request_patiently(&mut reader, shared)? {
-        Some(Request::Hello {
-            protocol,
-            plan_hash,
-        }) => (protocol, plan_hash),
-        Some(_) => {
-            return write_message(
-                &mut writer,
-                &Response::Error {
-                    message: "expected Hello as the first message".into(),
-                },
-            );
+    // Handshake: the first message must be a compatible Hello — except for
+    // read-only `Status` probes, which are answered without a handshake (and
+    // may repeat, so `fabric-power status --watch` can poll one connection).
+    let (protocol, claimed_hash) = loop {
+        match read_request_patiently(&mut reader, shared)? {
+            Some(Request::Hello {
+                protocol,
+                plan_hash,
+            }) => break (protocol, plan_hash),
+            Some(Request::Status) => {
+                write_message(&mut writer, &Response::Status(status_snapshot(shared)))?;
+            }
+            Some(_) => {
+                return write_message(
+                    &mut writer,
+                    &Response::Error {
+                        message: "expected Hello as the first message".into(),
+                    },
+                );
+            }
+            None => return Ok(()),
         }
-        None => return Ok(()),
     };
     if protocol != PROTOCOL_VERSION {
         return write_message(
@@ -400,9 +472,13 @@ fn handle_connection(
     let worker = {
         let mut state = lock(&shared.state);
         state.next_worker += 1;
-        state.next_worker
+        let worker = state.next_worker;
+        state.workers.insert(worker, WorkerRecord::default());
+        worker
     };
     *worker_out = Some(worker);
+    obs::metrics::gauge(names::WORKERS_CONNECTED).add(1);
+    obs::info!(TARGET, "worker connected", worker = worker);
     write_message(
         &mut writer,
         &Response::Welcome {
@@ -429,6 +505,25 @@ fn handle_connection(
             }
             Request::Goodbye { .. } => return Ok(()),
             Request::Claim { .. } => claim(shared, worker),
+            Request::Status => Response::Status(status_snapshot(shared)),
+            Request::Heartbeat {
+                worker: claimed_worker,
+                lease,
+                shard,
+                cells_done,
+                cells_total,
+            } => {
+                if claimed_worker == worker {
+                    heartbeat(shared, worker, lease, shard, cells_done, cells_total)
+                } else {
+                    Response::Rejected {
+                        reason: format!(
+                            "heartbeat claims worker {claimed_worker} on \
+                             worker {worker}'s connection"
+                        ),
+                    }
+                }
+            }
             Request::Submit {
                 worker: claimed_worker,
                 lease,
@@ -436,7 +531,7 @@ fn handle_connection(
                 document,
             } => {
                 if claimed_worker == worker {
-                    submit(shared, lease, &plan_hash, document)
+                    submit(shared, worker, lease, &plan_hash, document)
                 } else {
                     Response::Rejected {
                         reason: format!(
@@ -463,10 +558,13 @@ fn claim(shared: &Shared, worker: u64) -> Response {
         let State {
             shards, requeues, ..
         } = &mut *state;
-        for slot in shards.iter_mut() {
+        for (index, slot) in shards.iter_mut().enumerate() {
             if matches!(slot, ShardSlot::Leased { deadline, .. } if *deadline <= now) {
                 *slot = ShardSlot::Pending;
                 *requeues += 1;
+                obs::metrics::counter(names::LEASES_EXPIRED).increment();
+                obs::metrics::counter(names::LEASES_REQUEUED).increment();
+                obs::warn!(TARGET, "lease expired, shard requeued", shard = index);
             }
         }
     }
@@ -482,10 +580,22 @@ fn claim(shared: &Shared, worker: u64) -> Response {
                 worker,
                 deadline: now + shared.options.lease_timeout,
             };
-            Response::Lease {
-                lease,
-                shard: shared.plan.shards[index].clone(),
+            let shard = shared.plan.shards[index].clone();
+            if let Some(record) = state.workers.get_mut(&worker) {
+                record.shard = Some(index);
+                record.cells_done = 0;
+                record.cells_total = shard.cells.len() as u64;
             }
+            obs::metrics::counter(names::LEASES_GRANTED).increment();
+            obs::info!(
+                TARGET,
+                "lease granted",
+                worker = worker,
+                shard = index,
+                lease = lease,
+                cells = shard.cells.len(),
+            );
+            Response::Lease { lease, shard }
         }
         // Everything outstanding is leased to live workers: come back later.
         None => Response::Wait {
@@ -494,11 +604,120 @@ fn claim(shared: &Shared, worker: u64) -> Response {
     }
 }
 
+/// Applies one progress report: updates the worker's record and, when the
+/// worker still holds the lease on that shard, renews the lease deadline —
+/// a heartbeating worker is visibly alive, so its shard must not be
+/// requeued under it mid-execution.
+fn heartbeat(
+    shared: &Shared,
+    worker: u64,
+    lease: u64,
+    shard: usize,
+    cells_done: u64,
+    cells_total: u64,
+) -> Response {
+    let mut state = lock(&shared.state);
+    if let Some(slot) = state.shards.get_mut(shard) {
+        if matches!(slot, ShardSlot::Leased { worker: w, .. } if *w == worker) {
+            *slot = ShardSlot::Leased {
+                worker,
+                deadline: Instant::now() + shared.options.lease_timeout,
+            };
+        }
+    }
+    if let Some(record) = state.workers.get_mut(&worker) {
+        record.shard = Some(shard);
+        record.cells_done = cells_done;
+        record.cells_total = cells_total;
+    }
+    obs::metrics::counter(names::HEARTBEATS).increment();
+    obs::debug!(
+        TARGET,
+        "heartbeat",
+        worker = worker,
+        lease = lease,
+        shard = shard,
+        cells_done = cells_done,
+        cells_total = cells_total,
+    );
+    Response::Ack
+}
+
+/// Assembles the read-only [`FleetStatus`] snapshot a `Status` request is
+/// answered with: shard-slot tallies, heartbeat progress of leases still
+/// out, and the live worker table.
+fn status_snapshot(shared: &Shared) -> FleetStatus {
+    let state = lock(&shared.state);
+    let mut shards_completed = 0_usize;
+    let mut shards_leased = 0_usize;
+    let mut shards_pending = 0_usize;
+    let mut cells_completed = 0_u64;
+    for (index, slot) in state.shards.iter().enumerate() {
+        let planned = shared.plan.shards[index].cells.len() as u64;
+        match slot {
+            ShardSlot::Pending => shards_pending += 1,
+            ShardSlot::Leased { worker, .. } => {
+                shards_leased += 1;
+                // Heartbeat progress, clamped to the plan's own cell count —
+                // a worker's claim never inflates the total.
+                if let Some(record) = state.workers.get(worker) {
+                    if record.shard == Some(index) {
+                        cells_completed += record.cells_done.min(planned);
+                    }
+                }
+            }
+            ShardSlot::Done(_) => {
+                shards_completed += 1;
+                cells_completed += planned;
+            }
+        }
+    }
+    let workers = state
+        .workers
+        .iter()
+        .map(|(&worker, record)| WorkerStatus {
+            worker,
+            shard: record.shard,
+            cells_done: record.cells_done,
+            cells_total: record.cells_total,
+            shards_completed: record.shards_completed,
+        })
+        .collect();
+    FleetStatus {
+        scenario: shared.header.scenario.clone(),
+        plan_hash: shared.plan_hash.clone(),
+        protocol: PROTOCOL_VERSION,
+        shards_total: state.shards.len(),
+        shards_completed,
+        shards_leased,
+        shards_pending,
+        cells_total: shared
+            .plan
+            .shards
+            .iter()
+            .map(|shard| shard.cells.len())
+            .sum(),
+        cells_completed,
+        requeues: state.requeues,
+        workers,
+        uptime_ms: shared.started.elapsed().as_millis() as u64,
+        done: state.done,
+    }
+}
+
 /// Validates and records one submission; the last one flips `done`, which
 /// the polling accept loop and every patient read observe on their own.
-fn submit(shared: &Shared, lease: u64, plan_hash: &str, document: Box<ShardDocument>) -> Response {
+fn submit(
+    shared: &Shared,
+    worker: u64,
+    lease: u64,
+    plan_hash: &str,
+    document: Box<ShardDocument>,
+) -> Response {
     let _ = lease; // auditing detail; acceptance is decided by shard state
     if plan_hash != shared.plan_hash {
+        obs::metrics::counter(names::SUBMISSIONS_REJECTED).increment();
+        obs::warn!(TARGET, "submission rejected: wrong plan", worker = worker);
         return Response::Rejected {
             reason: format!(
                 "submission is for plan {plan_hash}, this server is serving {}",
@@ -507,6 +726,13 @@ fn submit(shared: &Shared, lease: u64, plan_hash: &str, document: Box<ShardDocum
         };
     }
     if let Err(reason) = validate_document(shared, &document) {
+        obs::metrics::counter(names::SUBMISSIONS_REJECTED).increment();
+        obs::warn!(
+            TARGET,
+            "submission rejected",
+            worker = worker,
+            reason = reason.as_str(),
+        );
         return Response::Rejected { reason };
     }
     let index = document.shard_index;
@@ -514,11 +740,20 @@ fn submit(shared: &Shared, lease: u64, plan_hash: &str, document: Box<ShardDocum
     if matches!(state.shards[index], ShardSlot::Done(_)) {
         // A requeued shard finished twice — deterministic execution makes
         // the copies identical, so the late one is harmless.
+        obs::debug!(TARGET, "stale submission", worker = worker, shard = index);
         return Response::Stale {
             reason: format!("shard {index} was already submitted"),
         };
     }
     state.shards[index] = ShardSlot::Done(document);
+    if let Some(record) = state.workers.get_mut(&worker) {
+        if record.shard == Some(index) {
+            record.shard = None;
+            record.cells_done = 0;
+            record.cells_total = 0;
+        }
+        record.shards_completed += 1;
+    }
     let remaining = state
         .shards
         .iter()
@@ -527,6 +762,14 @@ fn submit(shared: &Shared, lease: u64, plan_hash: &str, document: Box<ShardDocum
     if remaining == 0 {
         state.done = true;
     }
+    obs::metrics::counter(names::SUBMISSIONS_ACCEPTED).increment();
+    obs::info!(
+        TARGET,
+        "submission accepted",
+        worker = worker,
+        shard = index,
+        remaining = remaining,
+    );
     Response::Accepted { remaining }
 }
 

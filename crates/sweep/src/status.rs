@@ -1,0 +1,242 @@
+//! Client side of the fleet-status probe: connect to a running
+//! `fabric-power serve`, send [`Request::Status`] without ever performing a
+//! `Hello` handshake, and read back [`FleetStatus`] snapshots.
+//!
+//! This is what `fabric-power status --connect <addr>` runs, and what the
+//! integration tests drive over real TCP.  A probe consumes no worker id and
+//! leaves the lease table untouched.  One connection can ask repeatedly
+//! ([`StatusProbe::fetch`]) — that is how `--watch` observes the terminal
+//! `done` snapshot: the server stops listening the moment the plan
+//! completes, but established connections keep answering through the drain
+//! grace period.
+
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::time::Duration;
+
+use crate::protocol::{self, FleetStatus, Request, Response};
+
+/// How long a probe waits for the server's answer before giving up.
+const PROBE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// A held-open status connection to a serving fleet.
+#[derive(Debug)]
+pub struct StatusProbe {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl StatusProbe {
+    /// Connects to `addr` without handshaking.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection errors.
+    pub fn connect(addr: &str) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        stream.set_read_timeout(Some(PROBE_TIMEOUT))?;
+        Ok(Self {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+        })
+    }
+
+    /// Asks for one status snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; a non-`Status` answer (including a protocol
+    /// `Error`) surfaces as [`std::io::ErrorKind::InvalidData`], and a
+    /// server that closes without answering as
+    /// [`std::io::ErrorKind::UnexpectedEof`].
+    pub fn fetch(&mut self) -> std::io::Result<FleetStatus> {
+        protocol::write_message(&mut (&self.writer), &Request::Status)?;
+        match protocol::read_message::<Response>(&mut self.reader)? {
+            Some(Response::Status(status)) => Ok(status),
+            Some(Response::Error { message }) => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("server refused the status probe: {message}"),
+            )),
+            Some(other) => Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("unexpected answer to a status probe: {other:?}"),
+            )),
+            None => Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection without answering the status probe",
+            )),
+        }
+    }
+}
+
+/// Connects to `addr`, asks for a single status snapshot and returns it.
+///
+/// # Errors
+///
+/// See [`StatusProbe::connect`] and [`StatusProbe::fetch`].
+pub fn fetch_status(addr: &str) -> std::io::Result<FleetStatus> {
+    StatusProbe::connect(addr)?.fetch()
+}
+
+/// Renders a snapshot as the multi-line human summary the `status`
+/// subcommand prints (the `--json` form is just the serialized
+/// [`FleetStatus`]).
+#[must_use]
+pub fn render_status(status: &FleetStatus) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "plan `{}` (hash {}) — protocol v{}\n",
+        status.scenario, status.plan_hash, status.protocol
+    ));
+    out.push_str(&format!(
+        "shards: {} total, {} done, {} leased, {} pending\n",
+        status.shards_total, status.shards_completed, status.shards_leased, status.shards_pending
+    ));
+    let percent = if status.cells_total == 0 {
+        100.0
+    } else {
+        status.cells_completed as f64 * 100.0 / status.cells_total as f64
+    };
+    out.push_str(&format!(
+        "cells:  {} / {} ({percent:.1}%)\n",
+        status.cells_completed, status.cells_total
+    ));
+    out.push_str(&format!(
+        "fleet:  {} worker(s) connected, {} requeue(s), up {:.1}s{}\n",
+        status.workers.len(),
+        status.requeues,
+        status.uptime_ms as f64 / 1000.0,
+        if status.done { ", DONE" } else { "" }
+    ));
+    for worker in &status.workers {
+        match worker.shard {
+            Some(shard) => out.push_str(&format!(
+                "  worker {}: shard {} ({} / {} cells), {} shard(s) done\n",
+                worker.worker,
+                shard,
+                worker.cells_done,
+                worker.cells_total,
+                worker.shards_completed
+            )),
+            None => out.push_str(&format!(
+                "  worker {}: idle, {} shard(s) done\n",
+                worker.worker, worker.shards_completed
+            )),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::WorkerStatus;
+    use std::net::TcpListener;
+
+    fn sample() -> FleetStatus {
+        FleetStatus {
+            scenario: "status-test".into(),
+            plan_hash: "ee".repeat(16),
+            protocol: protocol::PROTOCOL_VERSION,
+            shards_total: 3,
+            shards_completed: 1,
+            shards_leased: 1,
+            shards_pending: 1,
+            cells_total: 30,
+            cells_completed: 14,
+            requeues: 0,
+            workers: vec![WorkerStatus {
+                worker: 1,
+                shard: Some(2),
+                cells_done: 4,
+                cells_total: 10,
+                shards_completed: 1,
+            }],
+            uptime_ms: 2500,
+            done: false,
+        }
+    }
+
+    #[test]
+    fn probe_round_trips_against_a_minimal_server() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().expect("accept");
+            let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+            let request: Request = protocol::read_message(&mut reader)
+                .expect("read")
+                .expect("open");
+            assert_eq!(request, Request::Status);
+            let mut writer = stream;
+            protocol::write_message(&mut writer, &Response::Status(sample())).expect("write");
+        });
+        let status = fetch_status(&addr).expect("probe");
+        assert_eq!(status, sample());
+        server.join().expect("server thread");
+    }
+
+    #[test]
+    fn one_connection_answers_repeated_probes() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().expect("accept");
+            let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+            let mut writer = stream;
+            for done in [false, true] {
+                let request: Request = protocol::read_message(&mut reader)
+                    .expect("read")
+                    .expect("open");
+                assert_eq!(request, Request::Status);
+                let mut status = sample();
+                status.done = done;
+                protocol::write_message(&mut writer, &Response::Status(status)).expect("write");
+            }
+        });
+        let mut probe = StatusProbe::connect(&addr).expect("connect");
+        assert!(!probe.fetch().expect("first probe").done);
+        assert!(probe.fetch().expect("second probe").done, "same connection");
+        server.join().expect("server thread");
+    }
+
+    #[test]
+    fn a_server_answering_error_is_invalid_data() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr").to_string();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().expect("accept");
+            let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+            let _: Option<Request> = protocol::read_message(&mut reader).expect("read");
+            let mut writer = stream;
+            let refusal = Response::Error {
+                message: "no".into(),
+            };
+            protocol::write_message(&mut writer, &refusal).expect("write");
+        });
+        let err = fetch_status(&addr).expect_err("refused");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        server.join().expect("server thread");
+    }
+
+    #[test]
+    fn rendering_covers_busy_and_idle_workers() {
+        let mut status = sample();
+        status.workers.push(WorkerStatus {
+            worker: 2,
+            shard: None,
+            cells_done: 0,
+            cells_total: 0,
+            shards_completed: 0,
+        });
+        let text = render_status(&status);
+        assert!(text.contains("shards: 3 total, 1 done, 1 leased, 1 pending"));
+        assert!(text.contains("cells:  14 / 30 (46.7%)"));
+        assert!(text.contains("worker 1: shard 2 (4 / 10 cells), 1 shard(s) done"));
+        assert!(text.contains("worker 2: idle, 0 shard(s) done"));
+        assert!(!text.contains("DONE"));
+        status.done = true;
+        assert!(render_status(&status).contains("DONE"));
+    }
+}

@@ -7,14 +7,28 @@
 //! [`SweepEngine::run_shard_detached`] and ship the document back" — cells
 //! arrive complete with plan-time seeds, so any worker at any thread count
 //! produces bit-identical results.
+//!
+//! While a shard executes, the worker heartbeats: the shard runs on its own
+//! thread with a [`fabric_power_obs::Progress`] probe attached, and the
+//! connection thread periodically ships the probe's cell count to the server
+//! as a [`Request::Heartbeat`].  That keeps the lease alive for as long as
+//! the worker is demonstrably making progress, and feeds the per-worker
+//! progress shown by `fabric-power status`.
 
 use std::io::BufReader;
 use std::net::TcpStream;
 use std::time::Duration;
 
+use fabric_power_obs as obs;
+
 use crate::config::ExperimentError;
 use crate::engine::SweepEngine;
+use crate::merge::ShardDocument;
+use crate::plan::{PlanHeader, Shard};
 use crate::protocol::{read_message, write_message, Request, Response, PROTOCOL_VERSION};
+
+/// The obs target worker-side events are tagged with.
+const TARGET: &str = "sweep.worker";
 
 /// Tunables for [`run_worker`].
 #[derive(Debug, Clone)]
@@ -25,6 +39,10 @@ pub struct WorkerOptions {
     /// How many connection attempts to make, 100 ms apart, before giving up
     /// — lets a worker start before (or seconds after) its server.
     pub connect_attempts: u32,
+    /// How often to heartbeat while a leased shard executes.  Keep it well
+    /// under the server's lease timeout: every heartbeat renews the lease,
+    /// so a progressing worker is never requeued mid-shard.
+    pub heartbeat_interval: Duration,
 }
 
 impl Default for WorkerOptions {
@@ -32,6 +50,7 @@ impl Default for WorkerOptions {
         Self {
             expect_plan_hash: None,
             connect_attempts: 50,
+            heartbeat_interval: Duration::from_secs(1),
         }
     }
 }
@@ -134,9 +153,23 @@ pub fn run_worker(
         write_message(&mut writer, &Request::Claim { worker })?;
         match expect_response(&mut reader)? {
             Response::Lease { lease, shard } => {
-                let document = engine
-                    .run_shard_detached(&header, &shard)
-                    .map_err(WorkerError::Execution)?;
+                obs::info!(
+                    TARGET,
+                    "lease received",
+                    worker = worker,
+                    shard = shard.index,
+                    cells = shard.cells.len(),
+                );
+                let document = run_shard_with_heartbeats(
+                    engine,
+                    &header,
+                    &shard,
+                    worker,
+                    lease,
+                    options.heartbeat_interval,
+                    &mut reader,
+                    &mut writer,
+                )?;
                 let cells = document.results.len();
                 write_message(
                     &mut writer,
@@ -180,6 +213,81 @@ pub fn run_worker(
             }
         }
     }
+}
+
+/// Executes one leased shard on its own thread while the connection thread
+/// heartbeats the probe's progress to the server every `interval`.
+///
+/// Heartbeats only happen *between* protocol exchanges of the claim/submit
+/// loop and each one synchronously awaits its `Ack`, so the strictly
+/// alternating request/response discipline of the protocol is preserved.
+#[allow(clippy::too_many_arguments)] // connection plumbing, not configuration
+fn run_shard_with_heartbeats(
+    engine: &SweepEngine,
+    header: &PlanHeader,
+    shard: &Shard,
+    worker: u64,
+    lease: u64,
+    interval: Duration,
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut &TcpStream,
+) -> Result<ShardDocument, WorkerError> {
+    let probe = obs::Progress::new();
+    let exec_engine = engine.clone().with_progress(probe.clone());
+    let cells_total = shard.cells.len() as u64;
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(|| exec_engine.run_shard_detached(header, shard));
+        // Sleep in short steps so a finished shard is submitted promptly
+        // even with a long heartbeat interval.
+        let step = interval
+            .min(Duration::from_millis(25))
+            .max(Duration::from_millis(1));
+        let mut since_heartbeat = Duration::ZERO;
+        while !handle.is_finished() {
+            std::thread::sleep(step);
+            since_heartbeat += step;
+            if since_heartbeat < interval {
+                continue;
+            }
+            since_heartbeat = Duration::ZERO;
+            let cells_done = probe.done();
+            write_message(
+                writer,
+                &Request::Heartbeat {
+                    worker,
+                    lease,
+                    shard: shard.index,
+                    cells_done,
+                    cells_total,
+                },
+            )?;
+            match expect_response(reader)? {
+                Response::Ack => {
+                    obs::debug!(
+                        TARGET,
+                        "heartbeat acknowledged",
+                        shard = shard.index,
+                        cells_done = cells_done,
+                        cells_total = cells_total,
+                    );
+                }
+                Response::Error { message } | Response::Rejected { reason: message } => {
+                    return Err(WorkerError::Refused(message));
+                }
+                other => {
+                    return Err(WorkerError::Protocol(format!(
+                        "expected Ack to a heartbeat, got {other:?}"
+                    )));
+                }
+            }
+        }
+        match handle.join() {
+            Ok(result) => result.map_err(WorkerError::Execution),
+            // Propagate an execution-thread panic as if the shard had run
+            // inline, as it did before heartbeats existed.
+            Err(panic) => std::panic::resume_unwind(panic),
+        }
+    })
 }
 
 /// Reads the next server response; a clean close mid-session is a protocol

@@ -1,0 +1,144 @@
+//! The observability guard: instrumentation must be strictly out-of-band.
+//!
+//! Turning *everything* on — trace-level logging, JSONL capture, the metrics
+//! registry — must not perturb a single byte of the documents a sweep emits,
+//! at any thread count.  These tests pin that contract, and sanity-check that
+//! the instrumentation actually observes something while staying out of the
+//! data path.
+
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+use fabric_power_obs as obs;
+use fabric_power_sweep::{ExperimentConfig, SeedStrategy, ShardStrategy, SweepEngine, SweepPlan};
+
+/// The obs logger and metrics registry are process-global, so tests that
+/// reconfigure them must not interleave.
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+fn guard_config() -> ExperimentConfig {
+    ExperimentConfig {
+        port_counts: vec![4],
+        offered_loads: vec![0.3, 0.6],
+        warmup_cycles: 50,
+        measure_cycles: 200,
+        ..ExperimentConfig::quick()
+    }
+}
+
+fn guard_plan() -> SweepPlan {
+    SweepPlan::new(
+        "obs-guard",
+        guard_config(),
+        SeedStrategy::Shared,
+        2,
+        ShardStrategy::RoundRobin,
+    )
+    .expect("plan builds")
+}
+
+fn temp_log_path(tag: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!(
+        "fabric-power-obs-guard-{tag}-{}.jsonl",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+/// Runs the guard plan at `threads` and returns its JSON and CSV renderings.
+fn run_documents(threads: usize) -> (String, String) {
+    let document = SweepEngine::new()
+        .with_threads(threads)
+        .run_plan(&guard_plan())
+        .expect("sweep runs");
+    (
+        document.to_json_string().expect("json"),
+        document.to_csv_string(),
+    )
+}
+
+#[test]
+fn full_instrumentation_is_byte_invisible_in_emitted_documents() {
+    let _serial = OBS_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+
+    // Reference: observability off entirely.
+    obs::log::set_filter(obs::Filter::off());
+    obs::log::clear_json();
+    let (quiet_json_1, quiet_csv_1) = run_documents(1);
+    let (quiet_json_8, quiet_csv_8) = run_documents(8);
+    assert_eq!(quiet_json_1, quiet_json_8, "thread-count invariance");
+    assert_eq!(quiet_csv_1, quiet_csv_8);
+
+    // Everything on: trace-level events, JSONL capture, metrics snapshot.
+    let log_path = temp_log_path("full");
+    obs::metrics::reset();
+    obs::log::set_filter(obs::Filter::level(obs::Level::Trace));
+    obs::log::log_json_to_file(&log_path).expect("open JSONL log");
+    let (loud_json_1, loud_csv_1) = run_documents(1);
+    let (loud_json_8, loud_csv_8) = run_documents(8);
+    let snapshot = obs::metrics::snapshot();
+    obs::log::clear_json();
+    obs::log::set_filter(obs::Filter::default());
+
+    assert_eq!(
+        quiet_json_1, loud_json_1,
+        "instrumented 1-thread JSON drifted"
+    );
+    assert_eq!(
+        quiet_json_8, loud_json_8,
+        "instrumented 8-thread JSON drifted"
+    );
+    assert_eq!(quiet_csv_1, loud_csv_1, "instrumented 1-thread CSV drifted");
+    assert_eq!(quiet_csv_8, loud_csv_8, "instrumented 8-thread CSV drifted");
+
+    // The instrumentation genuinely observed the runs it did not perturb:
+    // 8 cells per run, two instrumented runs.
+    let cells = snapshot
+        .counters
+        .get(obs::metrics::names::CELLS_COMPLETED)
+        .copied()
+        .unwrap_or(0);
+    assert_eq!(cells, 16, "both instrumented runs were counted");
+
+    // And the JSONL capture is well-formed: every line parses as JSON with
+    // the structural fields the CI log check relies on.
+    let log = std::fs::read_to_string(&log_path).expect("read JSONL log");
+    let mut events = 0;
+    for line in log.lines() {
+        let value = serde_json::parse_value_str(line)
+            .unwrap_or_else(|e| panic!("malformed JSONL `{line}`: {e}"));
+        let serde::Value::Object(entries) = value else {
+            panic!("event is not a JSON object: {line}");
+        };
+        let has = |key: &str| entries.iter().any(|(k, _)| k == key);
+        assert!(has("t"), "missing timestamp: {line}");
+        assert!(has("level"), "missing level: {line}");
+        assert!(has("target"), "missing target: {line}");
+        assert!(has("msg"), "missing msg: {line}");
+        events += 1;
+    }
+    assert!(events > 0, "trace-level logging captured no events at all");
+    let _ = std::fs::remove_file(&log_path);
+}
+
+#[test]
+fn span_timings_land_in_phase_histograms() {
+    let _serial = OBS_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    obs::log::set_filter(obs::Filter::off());
+    obs::metrics::reset();
+    let _ = run_documents(2);
+    let snapshot = obs::metrics::snapshot();
+    obs::log::set_filter(obs::Filter::default());
+    // Every cell execution is a `run_cell` span; its duration lands in the
+    // phase histogram even with event emission filtered off.
+    let histogram = snapshot
+        .histograms
+        .get("phase.run_cell.micros")
+        .expect("run_cell phase histogram exists");
+    assert_eq!(histogram.count, 8, "one span per cell");
+}

@@ -78,6 +78,7 @@ fn engine_backed_sweep_matches_sequential_reference() {
                     latency_p50: report.latency_p50,
                     latency_p95: report.latency_p95,
                     latency_p99: report.latency_p99,
+                    latency_histogram: report.latency_histogram,
                 });
             }
         }

@@ -12,8 +12,8 @@ use fabric_power_sweep::protocol::{
     read_message, write_message, Request, Response, PROTOCOL_VERSION,
 };
 use fabric_power_sweep::{
-    run_worker, ExperimentConfig, PlanHeader, SeedStrategy, ServeError, ServeOptions, ServeOutcome,
-    Shard, ShardStrategy, SweepEngine, SweepPlan, WorkServer, WorkerOptions,
+    fetch_status, run_worker, ExperimentConfig, PlanHeader, SeedStrategy, ServeError, ServeOptions,
+    ServeOutcome, Shard, ShardStrategy, SweepEngine, SweepPlan, WorkServer, WorkerOptions,
 };
 
 /// A grid small enough that a whole fleet run takes well under a second:
@@ -229,6 +229,174 @@ fn silent_workers_lease_expires_and_is_requeued() {
     assert!(outcome.requeues >= 1, "the silent lease must have expired");
     assert_eq!(outcome.document, reference);
     drop(holder);
+}
+
+#[test]
+fn status_reports_shard_lease_and_progress_counts() {
+    // 2 shards × 4 cells.  One raw worker walks the plan by hand while we
+    // probe the server's status at every interesting moment.
+    let plan = test_plan(2);
+    let (addr, hash, server) = spawn_server(plan, ServeOptions::default());
+
+    let mut raw = RawWorker::connect(addr);
+    let (worker, plan_hash, header) = raw.handshake(Some(hash.clone()));
+    let (lease, shard) = raw.claim_lease(worker);
+    let planned_cells = shard.cells.len() as u64;
+    raw.send(&Request::Heartbeat {
+        worker,
+        lease,
+        shard: shard.index,
+        cells_done: 1,
+        cells_total: planned_cells,
+    });
+    match raw.receive() {
+        Response::Ack => {}
+        other => panic!("expected Ack, got {other:?}"),
+    }
+
+    // Mid-drain, over a *fresh* TCP connection — exactly what the
+    // `fabric-power status` subcommand does.
+    let status = fetch_status(&addr.to_string()).expect("status probe mid-drain");
+    assert_eq!(status.scenario, "work-server-test");
+    assert_eq!(status.plan_hash, hash);
+    assert_eq!(status.protocol, PROTOCOL_VERSION);
+    assert_eq!(status.shards_total, 2);
+    assert_eq!(status.shards_completed, 0);
+    assert_eq!(status.shards_leased, 1);
+    assert_eq!(status.shards_pending, 1);
+    assert_eq!(status.cells_total, 8);
+    assert_eq!(status.cells_completed, 1, "heartbeat progress is visible");
+    assert!(!status.done);
+    assert_eq!(status.workers.len(), 1);
+    let probe = &status.workers[0];
+    assert_eq!(probe.worker, worker);
+    assert_eq!(probe.shard, Some(shard.index));
+    assert_eq!(probe.cells_done, 1);
+    assert_eq!(probe.cells_total, planned_cells);
+    assert_eq!(probe.shards_completed, 0);
+
+    // Finish the whole plan by hand.
+    let document = worker_engine()
+        .run_shard_detached(&header, &shard)
+        .expect("first shard");
+    raw.send(&Request::Submit {
+        worker,
+        lease,
+        plan_hash: plan_hash.clone(),
+        document: Box::new(document),
+    });
+    match raw.receive() {
+        Response::Accepted { remaining } => assert_eq!(remaining, 1),
+        other => panic!("expected Accepted, got {other:?}"),
+    }
+    let (lease, shard) = raw.claim_lease(worker);
+    let document = worker_engine()
+        .run_shard_detached(&header, &shard)
+        .expect("second shard");
+    raw.send(&Request::Submit {
+        worker,
+        lease,
+        plan_hash,
+        document: Box::new(document),
+    });
+    match raw.receive() {
+        Response::Accepted { remaining } => assert_eq!(remaining, 0),
+        other => panic!("expected Accepted, got {other:?}"),
+    }
+
+    // After completion the listener is about to go away, but the existing
+    // connection still answers Status during the drain grace period.
+    raw.send(&Request::Status);
+    match raw.receive() {
+        Response::Status(done) => {
+            assert!(done.done);
+            assert_eq!(done.shards_completed, 2);
+            assert_eq!(done.shards_leased, 0);
+            assert_eq!(done.shards_pending, 0);
+            assert_eq!(done.cells_completed, 8);
+            assert_eq!(done.workers[0].shard, None, "no lease held any more");
+            assert_eq!(done.workers[0].shards_completed, 2);
+        }
+        other => panic!("expected Status, got {other:?}"),
+    }
+    raw.send(&Request::Goodbye { worker });
+    drop(raw);
+    let outcome = server.join().expect("server thread").expect("server run");
+    assert_eq!(outcome.workers, 1);
+}
+
+#[test]
+fn heartbeats_keep_a_slow_workers_lease_alive() {
+    // Lease timeout far shorter than the simulated execution: without
+    // heartbeats the shard would be requeued; with them it must not be.
+    let plan = test_plan(1);
+    let options = ServeOptions {
+        lease_timeout: Duration::from_millis(200),
+        retry_ms: 50,
+    };
+    let (addr, _, server) = spawn_server(plan, options);
+    let mut slow = RawWorker::connect(addr);
+    let (worker, plan_hash, header) = slow.handshake(None);
+    let (lease, shard) = slow.claim_lease(worker);
+    // "Execute" for 3× the lease timeout, heartbeating twice per timeout.
+    for beat in 0..6_u64 {
+        std::thread::sleep(Duration::from_millis(100));
+        slow.send(&Request::Heartbeat {
+            worker,
+            lease,
+            shard: shard.index,
+            cells_done: beat,
+            cells_total: shard.cells.len() as u64,
+        });
+        match slow.receive() {
+            Response::Ack => {}
+            other => panic!("expected Ack, got {other:?}"),
+        }
+    }
+    let document = worker_engine()
+        .run_shard_detached(&header, &shard)
+        .expect("execute shard");
+    slow.send(&Request::Submit {
+        worker,
+        lease,
+        plan_hash,
+        document: Box::new(document),
+    });
+    match slow.receive() {
+        Response::Accepted { remaining } => assert_eq!(remaining, 0),
+        other => panic!("expected Accepted, got {other:?}"),
+    }
+    slow.send(&Request::Goodbye { worker });
+    drop(slow);
+    let outcome = server.join().expect("server thread").expect("server run");
+    assert_eq!(outcome.requeues, 0, "heartbeats renewed the lease");
+}
+
+#[test]
+fn a_heartbeat_for_another_workers_connection_is_rejected() {
+    let (addr, _, server) = spawn_server(test_plan(1), ServeOptions::default());
+    let mut raw = RawWorker::connect(addr);
+    let (worker, _, _) = raw.handshake(None);
+    let (lease, shard) = raw.claim_lease(worker);
+    raw.send(&Request::Heartbeat {
+        worker: worker + 1,
+        lease,
+        shard: shard.index,
+        cells_done: 0,
+        cells_total: shard.cells.len() as u64,
+    });
+    match raw.receive() {
+        Response::Rejected { reason } => assert!(reason.contains("heartbeat"), "{reason}"),
+        other => panic!("expected Rejected, got {other:?}"),
+    }
+    drop(raw);
+    run_worker(
+        &addr.to_string(),
+        &worker_engine(),
+        WorkerOptions::default(),
+    )
+    .expect("honest worker");
+    server.join().expect("server thread").expect("server run");
 }
 
 #[test]
