@@ -416,9 +416,18 @@ impl ModelProvider {
         obs::metrics::counter(obs::metrics::names::MODEL_CACHE_MISS).increment();
         // Gate-level characterization dominates a derived build; the span
         // makes the phase visible in trace output and the phase histogram.
-        let span = spec
-            .is_derived()
-            .then(|| obs::log::span(TARGET, "characterize").field("ports", spec.ports));
+        let span = if let ModelKind::Derived {
+            characterization, ..
+        } = &spec.kind
+        {
+            Some(
+                obs::log::span(TARGET, "characterize")
+                    .field("ports", spec.ports)
+                    .field("lanes", characterization.lanes as usize),
+            )
+        } else {
+            None
+        };
         let model = spec.build()?;
         if let Some(span) = span {
             span.finish();

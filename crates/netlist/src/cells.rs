@@ -162,6 +162,72 @@ impl CellKind {
         }
     }
 
+    /// Evaluates the cell's combinational function on 64 independent lanes
+    /// at once: bit `L` of every word is lane `L`'s logic value, so one call
+    /// does the work of 64 [`CellKind::evaluate`] calls.
+    ///
+    /// `previous_output` supplies the per-lane retained values for tri-state
+    /// cells and the stored state words for sequential cells, exactly like
+    /// the scalar form.  Bits above the caller's active lane count are
+    /// evaluated too (they're free); callers mask them out when counting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from [`CellKind::input_count`].
+    #[must_use]
+    pub fn evaluate_word(self, inputs: &[u64], previous_output: u64) -> u64 {
+        assert_eq!(
+            inputs.len(),
+            self.input_count(),
+            "cell {self:?} expects {} inputs, got {}",
+            self.input_count(),
+            inputs.len()
+        );
+        match self {
+            CellKind::Inv => !inputs[0],
+            CellKind::Buf => inputs[0],
+            CellKind::Nand2 => !(inputs[0] & inputs[1]),
+            CellKind::Nor2 => !(inputs[0] | inputs[1]),
+            CellKind::And2 => inputs[0] & inputs[1],
+            CellKind::Or2 => inputs[0] | inputs[1],
+            CellKind::And3 => inputs[0] & inputs[1] & inputs[2],
+            CellKind::Or3 => inputs[0] | inputs[1] | inputs[2],
+            CellKind::Xor2 => inputs[0] ^ inputs[1],
+            CellKind::Xnor2 => !(inputs[0] ^ inputs[1]),
+            // Y = S ? B : A, per lane.
+            CellKind::Mux2 => (inputs[2] & inputs[1]) | (!inputs[2] & inputs[0]),
+            // Y = EN ? A : Y_prev, per lane.
+            CellKind::TriBuf | CellKind::PassGate => {
+                (inputs[1] & inputs[0]) | (!inputs[1] & previous_output)
+            }
+            CellKind::Dff | CellKind::Latch => previous_output,
+        }
+    }
+
+    /// The position of this kind in [`CellKind::ALL`], usable as a dense
+    /// array index (the simulators keep per-kind toggle counters in a `Vec`
+    /// instead of a map on the hot path).
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            CellKind::Inv => 0,
+            CellKind::Buf => 1,
+            CellKind::Nand2 => 2,
+            CellKind::Nor2 => 3,
+            CellKind::And2 => 4,
+            CellKind::Or2 => 5,
+            CellKind::And3 => 6,
+            CellKind::Or3 => 7,
+            CellKind::Xor2 => 8,
+            CellKind::Xnor2 => 9,
+            CellKind::Mux2 => 10,
+            CellKind::TriBuf => 11,
+            CellKind::PassGate => 12,
+            CellKind::Dff => 13,
+            CellKind::Latch => 14,
+        }
+    }
+
     /// A short library-style cell name (e.g. `"NAND2"`).
     #[must_use]
     pub fn short_name(self) -> &'static str {
@@ -266,6 +332,48 @@ mod tests {
     #[should_panic(expected = "expects 2 inputs")]
     fn wrong_arity_panics() {
         let _ = CellKind::Nand2.evaluate(&[true], false);
+    }
+
+    #[test]
+    fn index_matches_position_in_all() {
+        for (position, kind) in CellKind::ALL.into_iter().enumerate() {
+            assert_eq!(kind.index(), position, "{kind}");
+        }
+    }
+
+    #[test]
+    fn evaluate_word_matches_scalar_evaluate_lane_by_lane() {
+        // Exhaustive over every kind, every input combination, and both
+        // previous-output values, replicated across a few lane positions.
+        for kind in CellKind::ALL {
+            let arity = kind.input_count();
+            for combo in 0..(1_u32 << arity) {
+                for previous in [false, true] {
+                    let scalar_inputs: Vec<bool> =
+                        (0..arity).map(|i| combo >> i & 1 == 1).collect();
+                    let expected = kind.evaluate(&scalar_inputs, previous);
+                    for lane in [0_usize, 1, 31, 63] {
+                        let word_inputs: Vec<u64> = scalar_inputs
+                            .iter()
+                            .map(|&b| u64::from(b) << lane)
+                            .collect();
+                        let prev_word = u64::from(previous) << lane;
+                        let out = kind.evaluate_word(&word_inputs, prev_word);
+                        assert_eq!(
+                            out >> lane & 1 == 1,
+                            expected,
+                            "{kind} combo {combo:b} prev {previous} lane {lane}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "expects 2 inputs")]
+    fn evaluate_word_wrong_arity_panics() {
+        let _ = CellKind::Xor2.evaluate_word(&[0], 0);
     }
 
     #[test]

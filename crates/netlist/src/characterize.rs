@@ -5,11 +5,30 @@
 //! gate level under every packet-occupancy state, with random payload words
 //! driven into the active ports, and the average energy per bit slot is
 //! recorded into a [`SwitchEnergyLut`].
+//!
+//! # Bit-parallel measurement
+//!
+//! With `lanes > 1` (the default is 64) the measurement runs on the
+//! bit-parallel [`PackedSimulator`]: `lanes` independent Monte-Carlo streams
+//! advance simultaneously, one bit per lane in a `u64` word per net.  Lane
+//! `L` draws its vectors from a [`ChaCha8Rng`] seeded with
+//! `seed ^ active_ports ^ lane_salt(L)`, and the `measure_cycles` budget is
+//! split across lanes: each lane measures `measure_cycles / lanes` cycles
+//! and the first `measure_cycles % lanes` lanes measure one more in a final
+//! partially-masked step, so exactly `measure_cycles` lane-cycles are
+//! counted.  The packed result is the [`LutSource::Characterized`]
+//! reference; running the scalar [`Simulator`] per lane with the same
+//! per-lane seeds reproduces the packed energies bit-exactly (both engines
+//! reduce integer per-net toggle counts through the same
+//! [`crate::sim::EnergyTables`]).
+
+use std::time::Instant;
 
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
+use fabric_power_obs as obs;
 use fabric_power_tech::units::Energy;
 
 use crate::circuits::{
@@ -18,19 +37,26 @@ use crate::circuits::{
 };
 use crate::library::CellLibrary;
 use crate::lut::{LutSource, SwitchEnergyLut};
-use crate::netlist::NetlistError;
-use crate::sim::Simulator;
+use crate::netlist::{NetId, NetlistError};
+use crate::packed::{transpose64, PackedSimulator};
+use crate::sim::{ActivityReport, Simulator};
 
 /// Parameters of a characterization run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CharacterizationConfig {
     /// Cycles simulated (and discarded) before measurement starts, so the
-    /// result is not skewed by the all-zero reset state.
+    /// result is not skewed by the all-zero reset state.  Every lane warms
+    /// up for this many cycles.
     pub warmup_cycles: u64,
-    /// Cycles over which energy is averaged.
+    /// Total measured lane-cycles over which energy is averaged (split
+    /// across lanes when `lanes > 1`).
     pub measure_cycles: u64,
     /// Seed of the payload random number generator (reproducible runs).
     pub seed: u64,
+    /// Independent simulation lanes driven at once (1..=64).  `1` selects
+    /// the scalar engine; anything else the bit-parallel engine.  Part of
+    /// the model-cache key: changing it re-derives models.
+    pub lanes: u32,
 }
 
 impl Default for CharacterizationConfig {
@@ -39,6 +65,7 @@ impl Default for CharacterizationConfig {
             warmup_cycles: 16,
             measure_cycles: 512,
             seed: 0xDAC_2002,
+            lanes: 64,
         }
     }
 }
@@ -51,8 +78,27 @@ impl CharacterizationConfig {
             warmup_cycles: 4,
             measure_cycles: 64,
             seed: 0xDAC_2002,
+            lanes: 64,
         }
     }
+
+    /// Returns the same configuration with a different lane count.
+    #[must_use]
+    pub fn with_lanes(mut self, lanes: u32) -> Self {
+        self.lanes = lanes;
+        self
+    }
+}
+
+/// Per-lane seed diffusion: lane `L` of a measurement with base seed `s` and
+/// `k` active ports is seeded with `s ^ k ^ lane_salt(L)`.
+///
+/// `lane_salt(0) == 0`, so lane 0 (and any single-lane run) reproduces the
+/// historical scalar seeding exactly.  Distinct lanes get well-separated
+/// seeds via the SplitMix64/golden-ratio multiplier.
+#[must_use]
+pub fn lane_salt(lane: u32) -> u64 {
+    u64::from(lane).wrapping_mul(0x9E37_79B9_7F4A_7C15)
 }
 
 /// Characterizes one already-built switch circuit into a [`SwitchEnergyLut`].
@@ -71,6 +117,7 @@ pub fn characterize_switch(
     library: &CellLibrary,
     config: &CharacterizationConfig,
 ) -> Result<SwitchEnergyLut, NetlistError> {
+    obs::metrics::gauge(obs::metrics::names::CHARACTERIZE_LANES).set(i64::from(config.lanes));
     let mut by_active_count = Vec::with_capacity(circuit.ports + 1);
     for active in 0..=circuit.ports {
         by_active_count.push(measure_occupancy(circuit, library, config, active)?);
@@ -114,69 +161,223 @@ fn measure_occupancy(
     config: &CharacterizationConfig,
     active_ports: usize,
 ) -> Result<Energy, NetlistError> {
-    let mut sim = Simulator::new(&circuit.netlist, library)?;
-    let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ active_ports as u64);
-
-    let drive = |sim: &mut Simulator<'_>, rng: &mut ChaCha8Rng| {
-        let mut vector = circuit.blank_input_vector();
-        // Presence flags for the first `active_ports` ports.
-        for port in 0..circuit.ports {
-            circuit.set_input(
-                &mut vector,
-                circuit.presence_inputs[port],
-                port < active_ports,
-            );
-        }
-        // Routing control: a fresh non-conflicting header every cycle (the
-        // header data path of a switch is exercised once per packet; we use
-        // back-to-back minimum packets, the worst case).
-        set_routing_controls(circuit, &mut vector, rng, active_ports);
-        // Fresh random payload on every active port; idle ports stay at zero.
-        for port in 0..active_ports {
-            circuit.set_bus(&mut vector, port, rng.gen::<u64>());
-        }
-        sim.step(&vector);
+    let timer = Instant::now();
+    let report = if config.lanes == 1 {
+        measure_scalar(circuit, library, config, active_ports)?
+    } else {
+        measure_packed(circuit, library, config, active_ports)?
     };
+    let elapsed = timer.elapsed().as_secs_f64();
+    obs::metrics::counter(obs::metrics::names::CHARACTERIZE_LANE_CYCLES).add(config.measure_cycles);
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    obs::metrics::histogram(obs::metrics::names::CHARACTERIZE_LANE_CYCLES_PER_SEC)
+        .observe((config.measure_cycles as f64 / elapsed.max(1e-9)) as u64);
 
-    for _ in 0..config.warmup_cycles {
-        drive(&mut sim, &mut rng);
-    }
-    sim.reset_counters();
-    for _ in 0..config.measure_cycles {
-        drive(&mut sim, &mut rng);
-    }
-
-    let report = sim.report();
     let bit_slots = config.measure_cycles as f64 * circuit.bus_width as f64;
     Ok(report.total_energy() / bit_slots)
 }
 
-/// Sets the routing-control inputs for one characterization cycle:
+/// Single-lane measurement on the scalar [`Simulator`].
+fn measure_scalar(
+    circuit: &SwitchCircuit,
+    library: &CellLibrary,
+    config: &CharacterizationConfig,
+    active_ports: usize,
+) -> Result<ActivityReport, NetlistError> {
+    let mut sim = Simulator::new(&circuit.netlist, library)?;
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ active_ports as u64 ^ lane_salt(0));
+    // The input vector and everything in it that does not change per cycle
+    // (presence flags, static routing control) are written exactly once.
+    let mut vector = circuit.blank_input_vector();
+    write_static_inputs(circuit, active_ports, &mut |pos, value| {
+        vector[pos] = value;
+    });
+    for _ in 0..config.warmup_cycles {
+        drive_lane_cycle(circuit, &mut rng, active_ports, &mut |pos, value| {
+            vector[pos] = value;
+        });
+        sim.step(&vector);
+    }
+    sim.reset_counters();
+    for _ in 0..config.measure_cycles {
+        drive_lane_cycle(circuit, &mut rng, active_ports, &mut |pos, value| {
+            vector[pos] = value;
+        });
+        sim.step(&vector);
+    }
+    Ok(sim.report())
+}
+
+/// Multi-lane measurement on the bit-parallel [`PackedSimulator`].
 ///
+/// Lane `L` consumes exactly the vector stream that a scalar run seeded with
+/// `seed ^ active_ports ^ lane_salt(L)` would, so summing per-lane scalar
+/// toggle counts reproduces this measurement bit-exactly.  Each lane warms
+/// up for `warmup_cycles`; the measured budget is `measure_cycles / lanes`
+/// full-mask steps plus, when it does not divide evenly, one final step
+/// counting only the first `measure_cycles % lanes` lanes — masked lanes
+/// still evolve, they are just not measured.
+fn measure_packed(
+    circuit: &SwitchCircuit,
+    library: &CellLibrary,
+    config: &CharacterizationConfig,
+    active_ports: usize,
+) -> Result<ActivityReport, NetlistError> {
+    let lanes = config.lanes;
+    let mut sim = PackedSimulator::new(&circuit.netlist, library, lanes)?;
+    let mut rngs: Vec<ChaCha8Rng> = (0..lanes)
+        .map(|lane| ChaCha8Rng::seed_from_u64(config.seed ^ active_ports as u64 ^ lane_salt(lane)))
+        .collect();
+
+    let mut words = vec![0_u64; circuit.netlist.primary_inputs().len()];
+    write_static_inputs(circuit, active_ports, &mut |pos, value| {
+        words[pos] = if value { !0 } else { 0 };
+    });
+    // Input positions resolved once; the per-cycle loops below touch only
+    // plain indices.
+    let control_positions: Vec<usize> = circuit
+        .control_inputs
+        .iter()
+        .map(|&net| pi_position(circuit, net))
+        .collect();
+    let data_positions: Vec<Vec<usize>> = circuit
+        .data_inputs
+        .iter()
+        .take(active_ports)
+        .map(|bus| bus.iter().map(|&net| pi_position(circuit, net)).collect())
+        .collect();
+
+    // Drives every lane for one cycle.  Each lane's RNG is consumed in
+    // exactly the order of `drive_lane_cycle` (routing control first, then
+    // one payload word per active port), so per-lane streams match the
+    // scalar oracle; across lanes the order is free because every lane owns
+    // its RNG.  Payloads are drawn lane-major (one `u64` per lane) and
+    // flipped to net-major words with a 64×64 bit transpose instead of
+    // 64 × bus_width single-bit writes.
+    let drive_all = |words: &mut [u64], rngs: &mut [ChaCha8Rng]| {
+        match circuit.class {
+            SwitchClass::BanyanBinary => {
+                let mut crossed_word = 0_u64;
+                for (lane, rng) in rngs.iter_mut().enumerate() {
+                    crossed_word |= u64::from(rng.gen::<bool>()) << lane;
+                }
+                words[control_positions[0]] = crossed_word;
+                words[control_positions[1]] = !crossed_word;
+            }
+            SwitchClass::BatcherSorting => {
+                let address_bits = control_positions.len() / 2;
+                for port in 0..2 {
+                    let mut block = [0_u64; 64];
+                    for (lane, rng) in rngs.iter_mut().enumerate() {
+                        block[lane] = if port < active_ports {
+                            rng.gen::<u64>()
+                        } else {
+                            0
+                        };
+                    }
+                    transpose64(&mut block);
+                    for bit in 0..address_bits {
+                        words[control_positions[port * address_bits + bit]] = block[bit];
+                    }
+                }
+            }
+            SwitchClass::CrossbarCrosspoint | SwitchClass::Mux { .. } => {}
+        }
+        for positions in &data_positions {
+            let mut block = [0_u64; 64];
+            for (lane, rng) in rngs.iter_mut().enumerate() {
+                block[lane] = rng.gen::<u64>();
+            }
+            transpose64(&mut block);
+            for (bit, &pos) in positions.iter().enumerate() {
+                words[pos] = block[bit];
+            }
+        }
+    };
+
+    for _ in 0..config.warmup_cycles {
+        drive_all(&mut words, &mut rngs);
+        sim.step(&words);
+    }
+    sim.reset_counters();
+    let full_steps = config.measure_cycles / u64::from(lanes);
+    #[allow(clippy::cast_possible_truncation)]
+    let remainder_lanes = (config.measure_cycles % u64::from(lanes)) as u32;
+    for _ in 0..full_steps {
+        drive_all(&mut words, &mut rngs);
+        sim.step(&words);
+    }
+    if remainder_lanes > 0 {
+        drive_all(&mut words, &mut rngs);
+        sim.step_masked(&words, (1_u64 << remainder_lanes) - 1);
+    }
+    Ok(sim.report())
+}
+
+fn pi_position(circuit: &SwitchCircuit, net: NetId) -> usize {
+    circuit
+        .netlist
+        .primary_input_position(net)
+        .expect("switch circuit interface net must be a primary input")
+}
+
+/// Writes the inputs that stay constant for a whole measurement through
+/// `set(primary-input position, value)`:
+///
+/// * presence flags for the first `active_ports` ports;
 /// * crosspoint: the configuration bit is asserted;
-/// * binary switch: non-conflicting destination bits, alternated randomly
-///   between the straight and the crossed configuration (each packet carries a
-///   fresh header);
-/// * sorting switch: a fresh random destination address per port and cycle
-///   (the compare-exchange logic is exercised exactly once per packet);
 /// * MUX: input 0 is selected (the select lines change at packet rate in a
 ///   real fabric; keeping them stable isolates the datapath cost, which the
 ///   paper observes is nearly vector-independent).
-fn set_routing_controls(
+fn write_static_inputs(
     circuit: &SwitchCircuit,
-    vector: &mut [bool],
-    rng: &mut ChaCha8Rng,
     active_ports: usize,
+    set: &mut impl FnMut(usize, bool),
 ) {
+    for port in 0..circuit.ports {
+        set(
+            pi_position(circuit, circuit.presence_inputs[port]),
+            port < active_ports,
+        );
+    }
     match circuit.class {
         SwitchClass::CrossbarCrosspoint => {
-            circuit.set_input(vector, circuit.control_inputs[0], true);
+            set(pi_position(circuit, circuit.control_inputs[0]), true);
         }
+        SwitchClass::Mux { .. } => {
+            for &net in &circuit.control_inputs {
+                set(pi_position(circuit, net), false);
+            }
+        }
+        SwitchClass::BanyanBinary | SwitchClass::BatcherSorting => {}
+    }
+}
+
+/// Drives one lane for one cycle through `set(primary-input position,
+/// value)`: the per-cycle routing control and a fresh random payload word on
+/// every active port (idle ports stay at zero).
+///
+/// * binary switch: non-conflicting destination bits, alternated randomly
+///   between the straight and the crossed configuration (each packet carries
+///   a fresh header);
+/// * sorting switch: a fresh random destination address per active port and
+///   cycle (the compare-exchange logic is exercised exactly once per packet).
+///
+/// The lane's RNG is consumed in a fixed order; the packed engine and the
+/// scalar oracle call this with identical RNG states, which is what makes
+/// their vector streams — and therefore their toggle counts — identical.
+fn drive_lane_cycle(
+    circuit: &SwitchCircuit,
+    rng: &mut ChaCha8Rng,
+    active_ports: usize,
+    set: &mut impl FnMut(usize, bool),
+) {
+    match circuit.class {
         SwitchClass::BanyanBinary => {
             // Straight (0→0, 1→1) or crossed (0→1, 1→0): never conflicting.
             let crossed = rng.gen::<bool>();
-            circuit.set_input(vector, circuit.control_inputs[0], crossed);
-            circuit.set_input(vector, circuit.control_inputs[1], !crossed);
+            set(pi_position(circuit, circuit.control_inputs[0]), crossed);
+            set(pi_position(circuit, circuit.control_inputs[1]), !crossed);
         }
         SwitchClass::BatcherSorting => {
             let address_bits = circuit.control_inputs.len() / 2;
@@ -187,18 +388,19 @@ fn set_routing_controls(
                     0
                 };
                 for bit in 0..address_bits {
-                    circuit.set_input(
-                        vector,
-                        circuit.control_inputs[port * address_bits + bit],
+                    set(
+                        pi_position(circuit, circuit.control_inputs[port * address_bits + bit]),
                         (address >> bit) & 1 == 1,
                     );
                 }
             }
         }
-        SwitchClass::Mux { .. } => {
-            for &net in &circuit.control_inputs {
-                circuit.set_input(vector, net, false);
-            }
+        SwitchClass::CrossbarCrosspoint | SwitchClass::Mux { .. } => {}
+    }
+    for port in 0..active_ports {
+        let word = rng.gen::<u64>();
+        for (bit, &net) in circuit.data_inputs[port].iter().enumerate() {
+            set(pi_position(circuit, net), (word >> bit) & 1 == 1);
         }
     }
 }
@@ -356,6 +558,94 @@ mod tests {
             .unwrap()
             .energy_for_active_count(8);
         assert!(m8 > m4, "{m8} !> {m4}");
+    }
+
+    #[test]
+    fn packed_measurement_matches_scalar_per_lane_oracle_bit_exactly() {
+        // lanes = 5 with measure_cycles = 17 exercises the remainder mask:
+        // three full-mask steps plus one final step counting only lanes 0–1.
+        let config = CharacterizationConfig {
+            warmup_cycles: 3,
+            measure_cycles: 17,
+            seed: 0xDAC_2002,
+            lanes: 5,
+        };
+        let lib = CellLibrary::calibrated_018um();
+        let circuits = [
+            crossbar_crosspoint(8).unwrap(),
+            banyan_binary_switch(8).unwrap(),
+            batcher_sorting_switch(4, 3).unwrap(),
+            n_input_mux(4, 4).unwrap(),
+        ];
+        for circuit in &circuits {
+            for active in 0..=circuit.ports {
+                let packed = measure_packed(circuit, &lib, &config, active).unwrap();
+
+                let tables = Simulator::new(&circuit.netlist, &lib)
+                    .unwrap()
+                    .energy_tables()
+                    .clone();
+                let mut summed = vec![0_u64; circuit.netlist.net_count()];
+                let mut total_cycles = 0_u64;
+                for lane in 0..config.lanes {
+                    let mut sim = Simulator::new(&circuit.netlist, &lib).unwrap();
+                    let mut rng =
+                        ChaCha8Rng::seed_from_u64(config.seed ^ active as u64 ^ lane_salt(lane));
+                    let mut vector = circuit.blank_input_vector();
+                    write_static_inputs(circuit, active, &mut |pos, v| vector[pos] = v);
+                    for _ in 0..config.warmup_cycles {
+                        drive_lane_cycle(circuit, &mut rng, active, &mut |pos, v| {
+                            vector[pos] = v;
+                        });
+                        sim.step(&vector);
+                    }
+                    sim.reset_counters();
+                    let lane_cycles = config.measure_cycles / u64::from(config.lanes)
+                        + u64::from(
+                            u64::from(lane) < config.measure_cycles % u64::from(config.lanes),
+                        );
+                    for _ in 0..lane_cycles {
+                        drive_lane_cycle(circuit, &mut rng, active, &mut |pos, v| {
+                            vector[pos] = v;
+                        });
+                        sim.step(&vector);
+                    }
+                    for (acc, &count) in summed.iter_mut().zip(sim.net_toggle_counts()) {
+                        *acc += count;
+                    }
+                    total_cycles += lane_cycles;
+                }
+                assert_eq!(total_cycles, config.measure_cycles);
+                let oracle = tables.report_from_counts(&summed, total_cycles);
+                assert_eq!(
+                    packed, oracle,
+                    "packed vs scalar-oracle mismatch for {} with {active} active port(s)",
+                    circuit.class
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_lane_config_reproduces_the_scalar_engine() {
+        let circuit = banyan_binary_switch(8).unwrap();
+        let lib = CellLibrary::calibrated_018um();
+        let config = quick().with_lanes(1);
+        for active in 0..=circuit.ports {
+            let via_dispatch = measure_occupancy(&circuit, &lib, &config, active).unwrap();
+            let scalar = measure_scalar(&circuit, &lib, &config, active).unwrap();
+            let bit_slots = config.measure_cycles as f64 * circuit.bus_width as f64;
+            assert_eq!(via_dispatch, scalar.total_energy() / bit_slots);
+        }
+    }
+
+    #[test]
+    fn lane_salt_is_zero_for_lane_zero_and_distinct_elsewhere() {
+        assert_eq!(lane_salt(0), 0);
+        let mut seen: Vec<u64> = (0..64).map(lane_salt).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 64);
     }
 
     #[test]

@@ -12,6 +12,9 @@
 //! * [`netlist`] — the netlist graph and structural validation;
 //! * [`sim`] — cycle-driven logic simulation with per-toggle energy
 //!   accounting;
+//! * [`packed`] — 64-lane bit-parallel simulation: one `u64` per net, lane
+//!   toggles counted with popcounts, energies bit-identical to per-lane
+//!   scalar runs;
 //! * [`circuits`] — generators for the four node-switch circuits the paper
 //!   characterizes (crossbar crosspoint, Banyan 2×2 binary switch, Batcher
 //!   2×2 sorting switch, N-input MUX);
@@ -53,6 +56,7 @@ pub mod circuits;
 pub mod library;
 pub mod lut;
 pub mod netlist;
+pub mod packed;
 pub mod sim;
 
 pub use cells::CellKind;
@@ -61,7 +65,8 @@ pub use circuits::{SwitchCircuit, SwitchClass};
 pub use library::{CellLibrary, CellParameters};
 pub use lut::{InputVector, LutSource, SwitchEnergyLut};
 pub use netlist::{CellId, NetId, Netlist, NetlistError};
-pub use sim::{ActivityReport, EnergyBreakdown, Simulator};
+pub use packed::PackedSimulator;
+pub use sim::{ActivityReport, EnergyBreakdown, EnergyTables, Simulator};
 
 #[cfg(test)]
 mod tests {

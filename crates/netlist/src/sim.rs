@@ -51,6 +51,136 @@ pub struct ActivityReport {
     pub toggles_by_kind: BTreeMap<CellKind, u64>,
 }
 
+/// Per-net energy accounting tables, precomputed once per `(netlist,
+/// library)` pair so the simulation hot paths never touch the library again.
+///
+/// Both the scalar [`Simulator`] and the bit-parallel
+/// [`crate::packed::PackedSimulator`] charge energy through these tables:
+///
+/// * `internal(net)` — the driving cell's internal energy, charged once per
+///   toggle of the net (zero when no cell drives it);
+/// * `load(net)` — the pre-summed energy of (dis)charging every input pin
+///   the net fans out to, charged once per toggle;
+/// * `per_cycle_clock` / `per_cycle_leakage` — constants charged per
+///   simulated cycle (per lane-cycle in the packed engine).
+///
+/// [`EnergyTables::report_from_counts`] turns integer per-net toggle counts
+/// into an [`ActivityReport`] deterministically (ascending net order, one
+/// multiply per net), which is what makes packed-vs-scalar energy agreement
+/// bit-exact: identical counts are guaranteed to produce identical floats.
+#[derive(Debug, Clone)]
+pub struct EnergyTables {
+    /// Internal energy charged per toggle, indexed by net.
+    net_internal: Vec<Energy>,
+    /// Summed fanout pin-load energy charged per toggle, indexed by net.
+    net_load: Vec<Energy>,
+    /// Driving cell kind as `CellKind::ALL` index (`None` for primary
+    /// inputs and constants), indexed by net.
+    net_kind: Vec<Option<u8>>,
+    /// Clock energy of all sequential cells, per cycle.
+    per_cycle_clock: Energy,
+    /// Leakage energy of all cells, per cycle.
+    per_cycle_leakage: Energy,
+}
+
+impl EnergyTables {
+    /// Precomputes the tables for one netlist/library pair.
+    #[must_use]
+    pub fn new(netlist: &Netlist, library: &CellLibrary) -> Self {
+        let mut per_cycle_clock = Energy::ZERO;
+        let mut per_cycle_leakage = Energy::ZERO;
+        for (_, cell) in netlist.cells() {
+            let params = library.parameters(cell.kind());
+            per_cycle_clock += params.clock_energy;
+            per_cycle_leakage += params.leakage_energy_per_cycle;
+        }
+        let mut net_internal = vec![Energy::ZERO; netlist.net_count()];
+        let mut net_load = vec![Energy::ZERO; netlist.net_count()];
+        let mut net_kind = vec![None; netlist.net_count()];
+        for (net_id, net) in netlist.nets() {
+            if let Some(Driver::Cell(cell_id)) = net.driver() {
+                let kind = netlist.cell(cell_id).kind();
+                net_internal[net_id.index()] = library.parameters(kind).internal_energy;
+                net_kind[net_id.index()] =
+                    Some(u8::try_from(kind.index()).expect("fewer than 256 cell kinds"));
+            }
+            let mut load = Energy::ZERO;
+            for &(load_cell, _pin) in net.loads() {
+                load += library.pin_load_energy(netlist.cell(load_cell).kind(), 1);
+            }
+            net_load[net_id.index()] = load;
+        }
+        Self {
+            net_internal,
+            net_load,
+            net_kind,
+            per_cycle_clock,
+            per_cycle_leakage,
+        }
+    }
+
+    /// Clock energy burnt per simulated cycle (per lane-cycle when packed).
+    #[must_use]
+    pub fn per_cycle_clock(&self) -> Energy {
+        self.per_cycle_clock
+    }
+
+    /// Leakage energy burnt per simulated cycle.
+    #[must_use]
+    pub fn per_cycle_leakage(&self) -> Energy {
+        self.per_cycle_leakage
+    }
+
+    /// Computes the full [`ActivityReport`] from integer activity counts:
+    /// `net_toggles[n]` toggles observed on net `n` and `cycles` simulated
+    /// (lane-)cycles.
+    ///
+    /// The summation order is fixed (ascending net index) and each net
+    /// contributes exactly one `count × energy` product per category, so two
+    /// engines that agree on the integer counts agree on every output float
+    /// bit-for-bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net_toggles.len()` differs from the netlist's net count.
+    #[must_use]
+    pub fn report_from_counts(&self, net_toggles: &[u64], cycles: u64) -> ActivityReport {
+        assert_eq!(
+            net_toggles.len(),
+            self.net_internal.len(),
+            "toggle counts must cover every net"
+        );
+        let mut energy = EnergyBreakdown {
+            clock: self.per_cycle_clock * cycles as f64,
+            leakage: self.per_cycle_leakage * cycles as f64,
+            ..EnergyBreakdown::default()
+        };
+        let mut toggles = 0_u64;
+        let mut by_kind = [0_u64; CellKind::ALL.len()];
+        for (net, &count) in net_toggles.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            toggles += count;
+            energy.internal += self.net_internal[net] * count as f64;
+            energy.net_load += self.net_load[net] * count as f64;
+            if let Some(kind) = self.net_kind[net] {
+                by_kind[kind as usize] += count;
+            }
+        }
+        ActivityReport {
+            cycles,
+            toggles,
+            energy,
+            toggles_by_kind: CellKind::ALL
+                .into_iter()
+                .filter(|kind| by_kind[kind.index()] > 0)
+                .map(|kind| (kind, by_kind[kind.index()]))
+                .collect(),
+        }
+    }
+}
+
 impl ActivityReport {
     /// Total energy of the run.
     #[must_use]
@@ -116,21 +246,21 @@ impl ActivityReport {
 #[derive(Debug, Clone)]
 pub struct Simulator<'a> {
     netlist: &'a Netlist,
-    library: &'a CellLibrary,
     /// Combinational evaluation order.
     order: Vec<CellId>,
     /// Current logic value of every net.
     net_values: Vec<bool>,
     /// Stored state of sequential cells, indexed by cell id.
     state: Vec<bool>,
-    /// Running counters.
+    /// Simulated cycles since the last counter reset.
     cycles: u64,
-    toggles: u64,
-    energy: EnergyBreakdown,
-    toggles_by_kind: BTreeMap<CellKind, u64>,
-    /// Per-cycle constant energy (clock + leakage), precomputed.
-    per_cycle_clock: Energy,
-    per_cycle_leakage: Energy,
+    /// Toggles observed per net since the last counter reset.  Energy is
+    /// derived from these integer counts at [`Simulator::report`] time via
+    /// the precomputed [`EnergyTables`] — the hot path never touches the
+    /// cell library or a map.
+    net_toggles: Vec<u64>,
+    /// Per-net energy tables, precomputed in [`Simulator::new`].
+    tables: EnergyTables,
 }
 
 impl<'a> Simulator<'a> {
@@ -141,27 +271,16 @@ impl<'a> Simulator<'a> {
     /// # Errors
     ///
     /// Propagates any [`NetlistError`] from [`Netlist::validate`].
-    pub fn new(netlist: &'a Netlist, library: &'a CellLibrary) -> Result<Self, NetlistError> {
+    pub fn new(netlist: &'a Netlist, library: &CellLibrary) -> Result<Self, NetlistError> {
         let order = netlist.validate()?;
-        let mut per_cycle_clock = Energy::ZERO;
-        let mut per_cycle_leakage = Energy::ZERO;
-        for (_, cell) in netlist.cells() {
-            let params = library.parameters(cell.kind());
-            per_cycle_clock += params.clock_energy;
-            per_cycle_leakage += params.leakage_energy_per_cycle;
-        }
         Ok(Self {
             netlist,
-            library,
             order,
             net_values: vec![false; netlist.net_count()],
             state: vec![false; netlist.cell_count()],
             cycles: 0,
-            toggles: 0,
-            energy: EnergyBreakdown::default(),
-            toggles_by_kind: BTreeMap::new(),
-            per_cycle_clock,
-            per_cycle_leakage,
+            net_toggles: vec![0; netlist.net_count()],
+            tables: EnergyTables::new(netlist, library),
         })
     }
 
@@ -181,8 +300,6 @@ impl<'a> Simulator<'a> {
             inputs.len()
         );
         self.cycles += 1;
-        self.energy.clock += self.per_cycle_clock;
-        self.energy.leakage += self.per_cycle_leakage;
 
         // Copy the netlist reference out of `self` so the shared borrow of the
         // netlist data does not conflict with `&mut self` calls below.
@@ -242,22 +359,7 @@ impl<'a> Simulator<'a> {
             return;
         }
         self.net_values[net_index] = value;
-        self.toggles += 1;
-
-        let netlist = self.netlist;
-        let library = self.library;
-        let net = netlist.net(crate::netlist::NetId(net_index));
-        // Internal energy of the driving cell, if a cell drives this net.
-        if let Some(Driver::Cell(cell_id)) = net.driver() {
-            let kind = netlist.cell(cell_id).kind();
-            self.energy.internal += library.parameters(kind).internal_energy;
-            *self.toggles_by_kind.entry(kind).or_insert(0) += 1;
-        }
-        // Load energy of every input pin attached to this net.
-        for &(load_cell, _pin) in net.loads() {
-            let kind = netlist.cell(load_cell).kind();
-            self.energy.net_load += library.pin_load_energy(kind, 1);
-        }
+        self.net_toggles[net_index] += 1;
     }
 
     /// Current logic values of the primary outputs, in declaration order.
@@ -279,21 +381,31 @@ impl<'a> Simulator<'a> {
     /// Snapshot of the accumulated activity and energy.
     #[must_use]
     pub fn report(&self) -> ActivityReport {
-        ActivityReport {
-            cycles: self.cycles,
-            toggles: self.toggles,
-            energy: self.energy.clone(),
-            toggles_by_kind: self.toggles_by_kind.clone(),
-        }
+        self.tables
+            .report_from_counts(&self.net_toggles, self.cycles)
+    }
+
+    /// Toggle counts per net since the last counter reset, indexed by net.
+    ///
+    /// This is the integer quantity the equivalence contract with the packed
+    /// engine is stated in: identical per-net counts imply bit-identical
+    /// energies through [`EnergyTables::report_from_counts`].
+    #[must_use]
+    pub fn net_toggle_counts(&self) -> &[u64] {
+        &self.net_toggles
+    }
+
+    /// The precomputed per-net energy tables used by this simulator.
+    #[must_use]
+    pub fn energy_tables(&self) -> &EnergyTables {
+        &self.tables
     }
 
     /// Resets activity counters (but keeps the current logic state), so a
     /// warm-up phase can be excluded from measurements.
     pub fn reset_counters(&mut self) {
         self.cycles = 0;
-        self.toggles = 0;
-        self.energy = EnergyBreakdown::default();
-        self.toggles_by_kind.clear();
+        self.net_toggles.fill(0);
     }
 }
 

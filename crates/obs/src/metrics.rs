@@ -55,6 +55,14 @@ pub mod names {
     pub const WIRE_BYTES_RECEIVED: &str = "wire.bytes_received";
     /// Gauge: worker connections currently live on the work server.
     pub const WORKERS_CONNECTED: &str = "fleet.workers_connected";
+    /// Gauge: simulation lanes used by the most recent characterization run
+    /// (64 for the bit-parallel engine, 1 for the scalar engine).
+    pub const CHARACTERIZE_LANES: &str = "characterize.lanes";
+    /// Counter: measured lane-cycles simulated by characterization.
+    pub const CHARACTERIZE_LANE_CYCLES: &str = "characterize.lane_cycles";
+    /// Histogram: characterization throughput per occupancy measurement, in
+    /// lane-cycles per second.
+    pub const CHARACTERIZE_LANE_CYCLES_PER_SEC: &str = "characterize.lane_cycles_per_sec";
 }
 
 /// A monotonically increasing named count.
