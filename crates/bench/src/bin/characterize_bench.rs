@@ -158,7 +158,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                models on top of this, targeting >=10x end-to-end"
             .to_string(),
     };
-    std::fs::write(&out, serde_json::to_string_pretty(&report)? + "\n")?;
+    fabric_power_sweep::write_atomic(
+        std::path::Path::new(&out),
+        &(serde_json::to_string_pretty(&report)? + "\n"),
+    )?;
     println!("wrote {out}");
 
     if let Some(min) = min_speedup {

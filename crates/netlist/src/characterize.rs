@@ -10,22 +10,24 @@
 //!
 //! With `lanes > 1` (the default is 64) the measurement runs on the
 //! bit-parallel [`PackedSimulator`]: `lanes` independent Monte-Carlo streams
-//! advance simultaneously, one bit per lane in a `u64` word per net.  Lane
-//! `L` draws its vectors from a [`ChaCha8Rng`] seeded with
-//! `seed ^ active_ports ^ lane_salt(L)`, and the `measure_cycles` budget is
-//! split across lanes: each lane measures `measure_cycles / lanes` cycles
-//! and the first `measure_cycles % lanes` lanes measure one more in a final
+//! advance simultaneously, one bit per lane in a `u64` word per net.  The
+//! stimulus is drawn *net-major* from one [`StimulusRng`] stream per
+//! measurement, seeded with `seed ^ active_ports`: every bus cycle consumes
+//! one `u64` word per driven input net, in a fixed order (routing control
+//! first, then each active port's payload bits low-to-high), and bit `L` of
+//! every drawn word belongs to lane `L`.  The packed engine writes the draws
+//! verbatim; a scalar run of lane `L` reads bit `L` of the very same draws —
+//! that shared-draw decomposition is what makes the packed measurement equal
+//! the sum of `lanes` scalar measurements bit-exactly (both engines reduce
+//! integer per-net toggle counts through the same
+//! [`crate::sim::EnergyTables`]).  The `measure_cycles` budget is split
+//! across lanes: each lane measures `measure_cycles / lanes` cycles and the
+//! first `measure_cycles % lanes` lanes measure one more in a final
 //! partially-masked step, so exactly `measure_cycles` lane-cycles are
-//! counted.  The packed result is the [`LutSource::Characterized`]
-//! reference; running the scalar [`Simulator`] per lane with the same
-//! per-lane seeds reproduces the packed energies bit-exactly (both engines
-//! reduce integer per-net toggle counts through the same
-//! [`crate::sim::EnergyTables`]).
+//! counted.
 
 use std::time::Instant;
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
 use fabric_power_obs as obs;
@@ -38,7 +40,8 @@ use crate::circuits::{
 use crate::library::CellLibrary;
 use crate::lut::{LutSource, SwitchEnergyLut};
 use crate::netlist::{NetId, NetlistError};
-use crate::packed::{transpose64, PackedSimulator};
+use crate::packed::PackedSimulator;
+use crate::passes::{PassPipeline, PipelineMode};
 use crate::sim::{ActivityReport, Simulator};
 
 /// Parameters of a characterization run.
@@ -57,6 +60,13 @@ pub struct CharacterizationConfig {
     /// the scalar engine; anything else the bit-parallel engine.  Part of
     /// the model-cache key: changing it re-derives models.
     pub lanes: u32,
+    /// Whether the simulated netlist is first run through the optimization
+    /// pass pipeline ([`PipelineMode::Optimized`], the default) or simulated
+    /// raw.  Both modes produce bit-identical energies (see
+    /// [`crate::passes`]); the mode is still part of the model-cache key so
+    /// the two derivations never alias.
+    #[serde(default)]
+    pub pipeline: PipelineMode,
 }
 
 impl Default for CharacterizationConfig {
@@ -66,6 +76,7 @@ impl Default for CharacterizationConfig {
             measure_cycles: 512,
             seed: 0xDAC_2002,
             lanes: 64,
+            pipeline: PipelineMode::Optimized,
         }
     }
 }
@@ -79,6 +90,7 @@ impl CharacterizationConfig {
             measure_cycles: 64,
             seed: 0xDAC_2002,
             lanes: 64,
+            pipeline: PipelineMode::Optimized,
         }
     }
 
@@ -88,17 +100,53 @@ impl CharacterizationConfig {
         self.lanes = lanes;
         self
     }
+
+    /// Returns the same configuration with a different pipeline mode.
+    #[must_use]
+    pub fn with_pipeline(mut self, pipeline: PipelineMode) -> Self {
+        self.pipeline = pipeline;
+        self
+    }
 }
 
-/// Per-lane seed diffusion: lane `L` of a measurement with base seed `s` and
-/// `k` active ports is seeded with `s ^ k ^ lane_salt(L)`.
+/// The SplitMix64 finalizer: a 64-bit mixing bijection.
+#[inline]
+fn splitmix_finalize(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The payload stimulus generator: SplitMix64, one shared net-major stream
+/// per measurement.
 ///
-/// `lane_salt(0) == 0`, so lane 0 (and any single-lane run) reproduces the
-/// historical scalar seeding exactly.  Distinct lanes get well-separated
-/// seeds via the SplitMix64/golden-ratio multiplier.
-#[must_use]
-pub fn lane_salt(lane: u32) -> u64 {
-    u64::from(lane).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+/// Characterization needs reproducible, statistically well-distributed
+/// Monte-Carlo payload words at gate-evaluation speed — nothing adversarial
+/// ever sees these streams, so a cryptographic generator would spend more
+/// time keying blocks than the simulator spends evaluating the cells it
+/// feeds.  SplitMix64 passes BigCrush, costs a handful of ALU ops per word,
+/// and its outputs are equidistributed bit-position by bit-position, which
+/// is what the net-major protocol leans on: each drawn word feeds one input
+/// net across all 64 lanes at once, so lane `L`'s per-net bit stream is bit
+/// `L` of the shared draw sequence.  The seed is run through the finalizer
+/// once at construction so the structured seeds produced by
+/// `seed ^ active_ports` start from well-separated stream positions.
+#[derive(Debug, Clone)]
+struct StimulusRng(u64);
+
+impl StimulusRng {
+    /// Golden-ratio increment of the SplitMix64 state sequence.
+    const GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+    fn seed_from_u64(seed: u64) -> Self {
+        Self(splitmix_finalize(seed))
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(Self::GAMMA);
+        splitmix_finalize(self.0)
+    }
 }
 
 /// Characterizes one already-built switch circuit into a [`SwitchEnergyLut`].
@@ -118,9 +166,32 @@ pub fn characterize_switch(
     config: &CharacterizationConfig,
 ) -> Result<SwitchEnergyLut, NetlistError> {
     obs::metrics::gauge(obs::metrics::names::CHARACTERIZE_LANES).set(i64::from(config.lanes));
+    // The pass pipeline runs once per circuit and is amortized over all
+    // `ports + 1` occupancy measurements.
+    let optimized = match config.pipeline {
+        PipelineMode::Raw => None,
+        PipelineMode::Optimized => Some(PassPipeline::standard().run(&circuit.netlist)?),
+    };
+    // One simulator serves every occupancy measurement: construction
+    // (energy tables, topological order, schedule-sized buffers) is paid
+    // once per circuit and `reset()` restores fresh-construction semantics
+    // between occupancies.
+    let mut sim = if config.lanes == 1 {
+        OccupancySim::Scalar(match optimized.as_ref() {
+            Some(optimized) => Simulator::with_passes(&circuit.netlist, optimized, library)?,
+            None => Simulator::new(&circuit.netlist, library)?,
+        })
+    } else {
+        OccupancySim::Packed(match optimized.as_ref() {
+            Some(optimized) => {
+                PackedSimulator::with_passes(&circuit.netlist, optimized, library, config.lanes)?
+            }
+            None => PackedSimulator::new(&circuit.netlist, library, config.lanes)?,
+        })
+    };
     let mut by_active_count = Vec::with_capacity(circuit.ports + 1);
     for active in 0..=circuit.ports {
-        by_active_count.push(measure_occupancy(circuit, library, config, active)?);
+        by_active_count.push(measure_occupancy(circuit, &mut sim, config, active));
     }
     Ok(SwitchEnergyLut::from_active_counts(
         circuit.class,
@@ -155,17 +226,24 @@ pub fn characterize_class(
     characterize_switch(&circuit, library, config)
 }
 
+/// The engine characterization drives: scalar for single-lane configs,
+/// bit-parallel otherwise.  Built once per circuit and carried warm across
+/// the ascending occupancy sweep (see [`measure_scalar`]).
+enum OccupancySim<'a> {
+    Scalar(Simulator<'a>),
+    Packed(PackedSimulator<'a>),
+}
+
 fn measure_occupancy(
     circuit: &SwitchCircuit,
-    library: &CellLibrary,
+    sim: &mut OccupancySim<'_>,
     config: &CharacterizationConfig,
     active_ports: usize,
-) -> Result<Energy, NetlistError> {
+) -> Energy {
     let timer = Instant::now();
-    let report = if config.lanes == 1 {
-        measure_scalar(circuit, library, config, active_ports)?
-    } else {
-        measure_packed(circuit, library, config, active_ports)?
+    let report = match sim {
+        OccupancySim::Scalar(sim) => measure_scalar(circuit, sim, config, active_ports),
+        OccupancySim::Packed(sim) => measure_packed(circuit, sim, config, active_ports),
     };
     let elapsed = timer.elapsed().as_secs_f64();
     obs::metrics::counter(obs::metrics::names::CHARACTERIZE_LANE_CYCLES).add(config.measure_cycles);
@@ -174,18 +252,29 @@ fn measure_occupancy(
         .observe((config.measure_cycles as f64 / elapsed.max(1e-9)) as u64);
 
     let bit_slots = config.measure_cycles as f64 * circuit.bus_width as f64;
-    Ok(report.total_energy() / bit_slots)
+    report.total_energy() / bit_slots
 }
 
 /// Single-lane measurement on the scalar [`Simulator`].
+///
+/// Measurements warm-start: each call continues from whatever state the
+/// simulator reached before (the characterization protocol sweeps
+/// occupancies in ascending order on one simulator).  The warm-up cycles
+/// wash in the new static configuration before counters are reset, and the
+/// same state carries through both engines and both pipeline modes, so
+/// bit-exactness across them is preserved.  Warm-starting is what lets the
+/// level-scheduled engine stay in its steady-state sweep instead of paying
+/// a full re-evaluation walk per occupancy.
 fn measure_scalar(
     circuit: &SwitchCircuit,
-    library: &CellLibrary,
+    sim: &mut Simulator<'_>,
     config: &CharacterizationConfig,
     active_ports: usize,
-) -> Result<ActivityReport, NetlistError> {
-    let mut sim = Simulator::new(&circuit.netlist, library)?;
-    let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ active_ports as u64 ^ lane_salt(0));
+) -> ActivityReport {
+    // A scalar measurement is lane 0 of the net-major protocol: the same
+    // shared draw sequence, reading bit 0 of every word.
+    let mut rng = StimulusRng::seed_from_u64(config.seed ^ active_ports as u64);
+    let layout = StimulusLayout::new(circuit, active_ports);
     // The input vector and everything in it that does not change per cycle
     // (presence flags, static routing control) are written exactly once.
     let mut vector = circuit.blank_input_vector();
@@ -193,110 +282,48 @@ fn measure_scalar(
         vector[pos] = value;
     });
     for _ in 0..config.warmup_cycles {
-        drive_lane_cycle(circuit, &mut rng, active_ports, &mut |pos, value| {
-            vector[pos] = value;
-        });
+        layout.drive(&mut rng, &mut |pos, word| vector[pos] = word & 1 == 1);
         sim.step(&vector);
     }
     sim.reset_counters();
     for _ in 0..config.measure_cycles {
-        drive_lane_cycle(circuit, &mut rng, active_ports, &mut |pos, value| {
-            vector[pos] = value;
-        });
+        layout.drive(&mut rng, &mut |pos, word| vector[pos] = word & 1 == 1);
         sim.step(&vector);
     }
-    Ok(sim.report())
+    sim.report()
 }
 
 /// Multi-lane measurement on the bit-parallel [`PackedSimulator`].
 ///
-/// Lane `L` consumes exactly the vector stream that a scalar run seeded with
-/// `seed ^ active_ports ^ lane_salt(L)` would, so summing per-lane scalar
+/// The net-major draws are written verbatim as the engine's 64-lane net
+/// words; lane `L` thereby consumes exactly the vector stream a scalar run
+/// reading bit `L` of the same draws would, so summing per-lane scalar
 /// toggle counts reproduces this measurement bit-exactly.  Each lane warms
 /// up for `warmup_cycles`; the measured budget is `measure_cycles / lanes`
 /// full-mask steps plus, when it does not divide evenly, one final step
 /// counting only the first `measure_cycles % lanes` lanes — masked lanes
 /// still evolve, they are just not measured.
+///
+/// Like [`measure_scalar`], measurements warm-start from the simulator's
+/// current state; the per-lane oracle equivalence then holds against scalar
+/// runs carried through the same occupancy sequence.
 fn measure_packed(
     circuit: &SwitchCircuit,
-    library: &CellLibrary,
+    sim: &mut PackedSimulator<'_>,
     config: &CharacterizationConfig,
     active_ports: usize,
-) -> Result<ActivityReport, NetlistError> {
+) -> ActivityReport {
     let lanes = config.lanes;
-    let mut sim = PackedSimulator::new(&circuit.netlist, library, lanes)?;
-    let mut rngs: Vec<ChaCha8Rng> = (0..lanes)
-        .map(|lane| ChaCha8Rng::seed_from_u64(config.seed ^ active_ports as u64 ^ lane_salt(lane)))
-        .collect();
+    let mut rng = StimulusRng::seed_from_u64(config.seed ^ active_ports as u64);
+    let layout = StimulusLayout::new(circuit, active_ports);
 
     let mut words = vec![0_u64; circuit.netlist.primary_inputs().len()];
     write_static_inputs(circuit, active_ports, &mut |pos, value| {
         words[pos] = if value { !0 } else { 0 };
     });
-    // Input positions resolved once; the per-cycle loops below touch only
-    // plain indices.
-    let control_positions: Vec<usize> = circuit
-        .control_inputs
-        .iter()
-        .map(|&net| pi_position(circuit, net))
-        .collect();
-    let data_positions: Vec<Vec<usize>> = circuit
-        .data_inputs
-        .iter()
-        .take(active_ports)
-        .map(|bus| bus.iter().map(|&net| pi_position(circuit, net)).collect())
-        .collect();
-
-    // Drives every lane for one cycle.  Each lane's RNG is consumed in
-    // exactly the order of `drive_lane_cycle` (routing control first, then
-    // one payload word per active port), so per-lane streams match the
-    // scalar oracle; across lanes the order is free because every lane owns
-    // its RNG.  Payloads are drawn lane-major (one `u64` per lane) and
-    // flipped to net-major words with a 64×64 bit transpose instead of
-    // 64 × bus_width single-bit writes.
-    let drive_all = |words: &mut [u64], rngs: &mut [ChaCha8Rng]| {
-        match circuit.class {
-            SwitchClass::BanyanBinary => {
-                let mut crossed_word = 0_u64;
-                for (lane, rng) in rngs.iter_mut().enumerate() {
-                    crossed_word |= u64::from(rng.gen::<bool>()) << lane;
-                }
-                words[control_positions[0]] = crossed_word;
-                words[control_positions[1]] = !crossed_word;
-            }
-            SwitchClass::BatcherSorting => {
-                let address_bits = control_positions.len() / 2;
-                for port in 0..2 {
-                    let mut block = [0_u64; 64];
-                    for (lane, rng) in rngs.iter_mut().enumerate() {
-                        block[lane] = if port < active_ports {
-                            rng.gen::<u64>()
-                        } else {
-                            0
-                        };
-                    }
-                    transpose64(&mut block);
-                    for bit in 0..address_bits {
-                        words[control_positions[port * address_bits + bit]] = block[bit];
-                    }
-                }
-            }
-            SwitchClass::CrossbarCrosspoint | SwitchClass::Mux { .. } => {}
-        }
-        for positions in &data_positions {
-            let mut block = [0_u64; 64];
-            for (lane, rng) in rngs.iter_mut().enumerate() {
-                block[lane] = rng.gen::<u64>();
-            }
-            transpose64(&mut block);
-            for (bit, &pos) in positions.iter().enumerate() {
-                words[pos] = block[bit];
-            }
-        }
-    };
 
     for _ in 0..config.warmup_cycles {
-        drive_all(&mut words, &mut rngs);
+        layout.drive(&mut rng, &mut |pos, word| words[pos] = word);
         sim.step(&words);
     }
     sim.reset_counters();
@@ -304,14 +331,14 @@ fn measure_packed(
     #[allow(clippy::cast_possible_truncation)]
     let remainder_lanes = (config.measure_cycles % u64::from(lanes)) as u32;
     for _ in 0..full_steps {
-        drive_all(&mut words, &mut rngs);
+        layout.drive(&mut rng, &mut |pos, word| words[pos] = word);
         sim.step(&words);
     }
     if remainder_lanes > 0 {
-        drive_all(&mut words, &mut rngs);
+        layout.drive(&mut rng, &mut |pos, word| words[pos] = word);
         sim.step_masked(&words, (1_u64 << remainder_lanes) - 1);
     }
-    Ok(sim.report())
+    sim.report()
 }
 
 fn pi_position(circuit: &SwitchCircuit, net: NetId) -> usize {
@@ -353,54 +380,83 @@ fn write_static_inputs(
     }
 }
 
-/// Drives one lane for one cycle through `set(primary-input position,
-/// value)`: the per-cycle routing control and a fresh random payload word on
-/// every active port (idle ports stay at zero).
+/// The per-measurement stimulus layout: resolved primary-input positions of
+/// the per-cycle nets, plus the class and occupancy that fix the net-major
+/// draw order.
 ///
-/// * binary switch: non-conflicting destination bits, alternated randomly
-///   between the straight and the crossed configuration (each packet carries
-///   a fresh header);
-/// * sorting switch: a fresh random destination address per active port and
-///   cycle (the compare-exchange logic is exercised exactly once per packet).
+/// One cycle of stimulus ([`StimulusLayout::drive`]) consumes the shared
+/// [`StimulusRng`] in a fixed net-major order — routing control first, then
+/// `bus_width` payload words per active port, bit positions low-to-high.
+/// Every drawn `u64` feeds one input net across all 64 lanes (bit `L` is
+/// lane `L`'s value); idle ports' nets are held at zero and consume no
+/// draws.
 ///
-/// The lane's RNG is consumed in a fixed order; the packed engine and the
-/// scalar oracle call this with identical RNG states, which is what makes
-/// their vector streams — and therefore their toggle counts — identical.
-fn drive_lane_cycle(
-    circuit: &SwitchCircuit,
-    rng: &mut ChaCha8Rng,
+/// * binary switch: one draw — per lane, straight (0→0, 1→1) or crossed
+///   (0→1, 1→0) configuration, never conflicting, a fresh header per packet;
+/// * sorting switch: `address_bits` draws per active input port — a fresh
+///   random destination address per lane and cycle (the compare-exchange
+///   logic is exercised exactly once per packet).
+///
+/// Both engines drive through this one routine: the packed simulator writes
+/// the words verbatim, the scalar engine (and the per-lane oracle) extracts
+/// its lane's bit.  Identical RNG states thus yield identical vector
+/// streams — and identical toggle counts — across engines.
+struct StimulusLayout {
+    class: SwitchClass,
     active_ports: usize,
-    set: &mut impl FnMut(usize, bool),
-) {
-    match circuit.class {
-        SwitchClass::BanyanBinary => {
-            // Straight (0→0, 1→1) or crossed (0→1, 1→0): never conflicting.
-            let crossed = rng.gen::<bool>();
-            set(pi_position(circuit, circuit.control_inputs[0]), crossed);
-            set(pi_position(circuit, circuit.control_inputs[1]), !crossed);
+    /// Primary-input positions of the routing-control nets.
+    control_positions: Vec<usize>,
+    /// Per active port: primary-input positions of its payload bus.
+    data_positions: Vec<Vec<usize>>,
+}
+
+impl StimulusLayout {
+    fn new(circuit: &SwitchCircuit, active_ports: usize) -> Self {
+        Self {
+            class: circuit.class,
+            active_ports,
+            control_positions: circuit
+                .control_inputs
+                .iter()
+                .map(|&net| pi_position(circuit, net))
+                .collect(),
+            data_positions: circuit
+                .data_inputs
+                .iter()
+                .take(active_ports)
+                .map(|bus| bus.iter().map(|&net| pi_position(circuit, net)).collect())
+                .collect(),
         }
-        SwitchClass::BatcherSorting => {
-            let address_bits = circuit.control_inputs.len() / 2;
-            for port in 0..2 {
-                let address = if port < active_ports {
-                    rng.gen::<u64>()
-                } else {
-                    0
-                };
-                for bit in 0..address_bits {
-                    set(
-                        pi_position(circuit, circuit.control_inputs[port * address_bits + bit]),
-                        (address >> bit) & 1 == 1,
-                    );
+    }
+
+    /// Draws one bus cycle of net-major stimulus through
+    /// `set(primary-input position, 64-lane word)`.
+    fn drive(&self, rng: &mut StimulusRng, set: &mut impl FnMut(usize, u64)) {
+        match self.class {
+            SwitchClass::BanyanBinary => {
+                let crossed = rng.next_u64();
+                set(self.control_positions[0], crossed);
+                set(self.control_positions[1], !crossed);
+            }
+            SwitchClass::BatcherSorting => {
+                let address_bits = self.control_positions.len() / 2;
+                for port in 0..2 {
+                    for bit in 0..address_bits {
+                        let word = if port < self.active_ports {
+                            rng.next_u64()
+                        } else {
+                            0
+                        };
+                        set(self.control_positions[port * address_bits + bit], word);
+                    }
                 }
             }
+            SwitchClass::CrossbarCrosspoint | SwitchClass::Mux { .. } => {}
         }
-        SwitchClass::CrossbarCrosspoint | SwitchClass::Mux { .. } => {}
-    }
-    for port in 0..active_ports {
-        let word = rng.gen::<u64>();
-        for (bit, &net) in circuit.data_inputs[port].iter().enumerate() {
-            set(pi_position(circuit, net), (word >> bit) & 1 == 1);
+        for positions in &self.data_positions {
+            for &pos in positions {
+                set(pos, rng.next_u64());
+            }
         }
     }
 }
@@ -564,11 +620,15 @@ mod tests {
     fn packed_measurement_matches_scalar_per_lane_oracle_bit_exactly() {
         // lanes = 5 with measure_cycles = 17 exercises the remainder mask:
         // three full-mask steps plus one final step counting only lanes 0–1.
+        // The packed engine runs the *optimized* schedule while the per-lane
+        // oracle walks the raw netlist, so this doubles as the end-to-end
+        // energy-exactness check for the pass pipeline.
         let config = CharacterizationConfig {
             warmup_cycles: 3,
             measure_cycles: 17,
             seed: 0xDAC_2002,
             lanes: 5,
+            pipeline: PipelineMode::Optimized,
         };
         let lib = CellLibrary::calibrated_018um();
         let circuits = [
@@ -578,42 +638,94 @@ mod tests {
             n_input_mux(4, 4).unwrap(),
         ];
         for circuit in &circuits {
+            let optimized = PassPipeline::standard().run(&circuit.netlist).unwrap();
+            // One reused simulator across occupancies, exactly like
+            // `characterize_switch`.  Measurements warm-start, so the
+            // per-lane oracle simulators are carried across occupancies too
+            // (lane `L` of the packed run reads bit `L` of the same shared
+            // net-major draws through the same ascending occupancy
+            // sequence).
+            let mut packed_sim =
+                PackedSimulator::with_passes(&circuit.netlist, &optimized, &lib, config.lanes)
+                    .unwrap();
+            let mut oracle_sims: Vec<Simulator<'_>> = (0..config.lanes)
+                .map(|_| Simulator::new(&circuit.netlist, &lib).unwrap())
+                .collect();
             for active in 0..=circuit.ports {
-                let packed = measure_packed(circuit, &lib, &config, active).unwrap();
+                let packed = measure_packed(circuit, &mut packed_sim, &config, active);
 
                 let tables = Simulator::new(&circuit.netlist, &lib)
                     .unwrap()
                     .energy_tables()
                     .clone();
+                // The oracle lanes run in lockstep, consuming the one shared
+                // draw sequence: each cycle's words are drawn once and lane
+                // `L` applies bit `L` of every word.
+                let mut rng = StimulusRng::seed_from_u64(config.seed ^ active as u64);
+                let layout = StimulusLayout::new(circuit, active);
+                let mut vectors: Vec<Vec<bool>> = oracle_sims
+                    .iter()
+                    .map(|_| {
+                        let mut vector = circuit.blank_input_vector();
+                        write_static_inputs(circuit, active, &mut |pos, v| vector[pos] = v);
+                        vector
+                    })
+                    .collect();
+                let mut drives: Vec<(usize, u64)> = Vec::new();
+                let cycle = |rng: &mut StimulusRng,
+                             sims: &mut [Simulator<'_>],
+                             vectors: &mut [Vec<bool>],
+                             drives: &mut Vec<(usize, u64)>| {
+                    drives.clear();
+                    layout.drive(rng, &mut |pos, word| drives.push((pos, word)));
+                    for (lane, (sim, vector)) in sims.iter_mut().zip(vectors).enumerate() {
+                        for &(pos, word) in drives.iter() {
+                            vector[pos] = (word >> lane) & 1 == 1;
+                        }
+                        sim.step(vector);
+                    }
+                };
+                for _ in 0..config.warmup_cycles {
+                    cycle(&mut rng, &mut oracle_sims, &mut vectors, &mut drives);
+                }
+                for sim in &mut oracle_sims {
+                    sim.reset_counters();
+                }
+                let full_steps = config.measure_cycles / u64::from(config.lanes);
+                let remainder = config.measure_cycles % u64::from(config.lanes);
+                for _ in 0..full_steps {
+                    cycle(&mut rng, &mut oracle_sims, &mut vectors, &mut drives);
+                }
                 let mut summed = vec![0_u64; circuit.netlist.net_count()];
                 let mut total_cycles = 0_u64;
-                for lane in 0..config.lanes {
-                    let mut sim = Simulator::new(&circuit.netlist, &lib).unwrap();
-                    let mut rng =
-                        ChaCha8Rng::seed_from_u64(config.seed ^ active as u64 ^ lane_salt(lane));
-                    let mut vector = circuit.blank_input_vector();
-                    write_static_inputs(circuit, active, &mut |pos, v| vector[pos] = v);
-                    for _ in 0..config.warmup_cycles {
-                        drive_lane_cycle(circuit, &mut rng, active, &mut |pos, v| {
-                            vector[pos] = v;
-                        });
-                        sim.step(&vector);
-                    }
-                    sim.reset_counters();
-                    let lane_cycles = config.measure_cycles / u64::from(config.lanes)
-                        + u64::from(
-                            u64::from(lane) < config.measure_cycles % u64::from(config.lanes),
-                        );
-                    for _ in 0..lane_cycles {
-                        drive_lane_cycle(circuit, &mut rng, active, &mut |pos, v| {
-                            vector[pos] = v;
-                        });
-                        sim.step(&vector);
-                    }
+                let collect = |sim: &Simulator<'_>, summed: &mut [u64]| {
                     for (acc, &count) in summed.iter_mut().zip(sim.net_toggle_counts()) {
                         *acc += count;
                     }
-                    total_cycles += lane_cycles;
+                };
+                if remainder > 0 {
+                    // The packed engine's remainder step advances masked
+                    // lanes too (uncounted); collect their counts first,
+                    // then step everyone for state carry into the next
+                    // occupancy.
+                    for (lane, sim) in oracle_sims.iter().enumerate() {
+                        if lane as u64 >= remainder {
+                            collect(sim, &mut summed);
+                            total_cycles += full_steps;
+                        }
+                    }
+                    cycle(&mut rng, &mut oracle_sims, &mut vectors, &mut drives);
+                    for (lane, sim) in oracle_sims.iter().enumerate() {
+                        if (lane as u64) < remainder {
+                            collect(sim, &mut summed);
+                            total_cycles += full_steps + 1;
+                        }
+                    }
+                } else {
+                    for sim in &oracle_sims {
+                        collect(sim, &mut summed);
+                        total_cycles += full_steps;
+                    }
                 }
                 assert_eq!(total_cycles, config.measure_cycles);
                 let oracle = tables.report_from_counts(&summed, total_cycles);
@@ -631,21 +743,36 @@ mod tests {
         let circuit = banyan_binary_switch(8).unwrap();
         let lib = CellLibrary::calibrated_018um();
         let config = quick().with_lanes(1);
+        let optimized = PassPipeline::standard().run(&circuit.netlist).unwrap();
+        let mut dispatch_sim = OccupancySim::Scalar(
+            Simulator::with_passes(&circuit.netlist, &optimized, &lib).unwrap(),
+        );
+        let mut scalar_sim = Simulator::with_passes(&circuit.netlist, &optimized, &lib).unwrap();
         for active in 0..=circuit.ports {
-            let via_dispatch = measure_occupancy(&circuit, &lib, &config, active).unwrap();
-            let scalar = measure_scalar(&circuit, &lib, &config, active).unwrap();
+            let via_dispatch = measure_occupancy(&circuit, &mut dispatch_sim, &config, active);
+            let scalar = measure_scalar(&circuit, &mut scalar_sim, &config, active);
             let bit_slots = config.measure_cycles as f64 * circuit.bus_width as f64;
             assert_eq!(via_dispatch, scalar.total_energy() / bit_slots);
         }
     }
 
     #[test]
-    fn lane_salt_is_zero_for_lane_zero_and_distinct_elsewhere() {
-        assert_eq!(lane_salt(0), 0);
-        let mut seen: Vec<u64> = (0..64).map(lane_salt).collect();
-        seen.sort_unstable();
-        seen.dedup();
-        assert_eq!(seen.len(), 64);
+    fn raw_and_optimized_pipelines_produce_identical_luts() {
+        let lib = CellLibrary::calibrated_018um();
+        // Packed engine (64 lanes) and scalar engine (1 lane), both across
+        // every occupancy state: the LUT floats must agree to the last bit.
+        for config in [quick(), quick().with_lanes(1)] {
+            let circuit = banyan_binary_switch(8).unwrap();
+            let raw = characterize_switch(&circuit, &lib, &config.with_pipeline(PipelineMode::Raw))
+                .unwrap();
+            let optimized = characterize_switch(
+                &circuit,
+                &lib,
+                &config.with_pipeline(PipelineMode::Optimized),
+            )
+            .unwrap();
+            assert_eq!(raw, optimized);
+        }
     }
 
     #[test]

@@ -125,6 +125,9 @@ pub fn banyan_binary_switch(bus_width: usize) -> Result<SwitchCircuit, NetlistEr
         netlist.mark_output(net)?;
     }
 
+    #[cfg(debug_assertions)]
+    netlist.validate_strict()?;
+
     Ok(SwitchCircuit {
         netlist,
         class: SwitchClass::BanyanBinary,

@@ -67,6 +67,9 @@ pub fn crossbar_crosspoint(bus_width: usize) -> Result<SwitchCircuit, NetlistErr
         netlist.mark_output(data_out[bit])?;
     }
 
+    #[cfg(debug_assertions)]
+    netlist.validate_strict()?;
+
     Ok(SwitchCircuit {
         netlist,
         class: SwitchClass::CrossbarCrosspoint,

@@ -90,6 +90,9 @@ pub fn n_input_mux(inputs: usize, bus_width: usize) -> Result<SwitchCircuit, Net
         netlist.mark_output(net)?;
     }
 
+    #[cfg(debug_assertions)]
+    netlist.validate_strict()?;
+
     Ok(SwitchCircuit {
         netlist,
         class: SwitchClass::Mux { inputs },

@@ -128,6 +128,9 @@ pub fn batcher_sorting_switch(
     let mut control_inputs = addr0;
     control_inputs.extend(addr1);
 
+    #[cfg(debug_assertions)]
+    netlist.validate_strict()?;
+
     Ok(SwitchCircuit {
         netlist,
         class: SwitchClass::BatcherSorting,

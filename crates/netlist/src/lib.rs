@@ -15,6 +15,9 @@
 //! * [`packed`] — 64-lane bit-parallel simulation: one `u64` per net, lane
 //!   toggles counted with popcounts, energies bit-identical to per-lane
 //!   scalar runs;
+//! * [`passes`] — energy-exact netlist optimization passes (constant
+//!   folding, dead-net pruning, structural hashing) plus levelization into a
+//!   precomputed evaluation schedule both simulators can execute directly;
 //! * [`circuits`] — generators for the four node-switch circuits the paper
 //!   characterizes (crossbar crosspoint, Banyan 2×2 binary switch, Batcher
 //!   2×2 sorting switch, N-input MUX);
@@ -57,6 +60,7 @@ pub mod library;
 pub mod lut;
 pub mod netlist;
 pub mod packed;
+pub mod passes;
 pub mod sim;
 
 pub use cells::CellKind;
@@ -66,6 +70,9 @@ pub use library::{CellLibrary, CellParameters};
 pub use lut::{InputVector, LutSource, SwitchEnergyLut};
 pub use netlist::{CellId, NetId, Netlist, NetlistError};
 pub use packed::PackedSimulator;
+pub use passes::{
+    EvalSchedule, NetFate, OptimizedNetlist, PassPipeline, PipelineMode, PipelineReport,
+};
 pub use sim::{ActivityReport, EnergyBreakdown, EnergyTables, Simulator};
 
 #[cfg(test)]

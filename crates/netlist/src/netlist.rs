@@ -143,6 +143,12 @@ pub enum NetlistError {
         /// The out-of-range net id.
         net: NetId,
     },
+    /// A net's load list disagrees with the cells' input pins (corrupted
+    /// bookkeeping, e.g. a hand-edited serialized netlist).
+    InconsistentLoads {
+        /// A net whose load back-references are wrong.
+        net: NetId,
+    },
 }
 
 impl fmt::Display for NetlistError {
@@ -164,6 +170,11 @@ impl fmt::Display for NetlistError {
                 write!(f, "combinational loop through net #{}", net.index())
             }
             Self::UnknownNet { net } => write!(f, "net #{} does not exist", net.index()),
+            Self::InconsistentLoads { net } => write!(
+                f,
+                "net #{} has load back-references inconsistent with the cell pins",
+                net.index()
+            ),
         }
     }
 }
@@ -380,17 +391,29 @@ impl Netlist {
         histogram
     }
 
-    /// Checks structural legality: every used net is driven and the
-    /// combinational logic is acyclic. Returns the evaluation order of the
-    /// combinational cells on success (sequential cells are excluded; their
-    /// outputs act as sources).
+    /// Checks structural legality: every used net is driven, every net's
+    /// load list agrees with the cells' input pins, and the combinational
+    /// logic is acyclic. Returns the evaluation order of the combinational
+    /// cells on success (sequential cells are excluded; their outputs act as
+    /// sources).
     ///
     /// # Errors
     ///
     /// * [`NetlistError::UndrivenNet`] for floating nets used as inputs or outputs.
+    /// * [`NetlistError::InconsistentLoads`] if the load back-references do
+    ///   not mirror the cell input pins exactly.
     /// * [`NetlistError::CombinationalLoop`] if a cycle exists that is not
     ///   broken by a flip-flop or latch.
     pub fn validate(&self) -> Result<Vec<CellId>, NetlistError> {
+        self.check_structure()?;
+        self.combinational_order()
+    }
+
+    /// The structural half of [`Netlist::validate`]: every read net is
+    /// driven and the load lists mirror the cell input pins exactly.  Does
+    /// *not* check for combinational loops — callers that compute levels or
+    /// an evaluation order anyway get that check for free there.
+    pub(crate) fn check_structure(&self) -> Result<(), NetlistError> {
         // Every cell input and every primary output must be driven.
         for cell in &self.cells {
             for &net in &cell.inputs {
@@ -404,40 +427,152 @@ impl Netlist {
                 return Err(NetlistError::UndrivenNet { net });
             }
         }
-        self.combinational_order()
+        // The load lists must mirror the cell input pins exactly. Every load
+        // entry is checked to point at a pin that really reads its net, each
+        // (cell, pin) may appear at most once across all load lists, and the
+        // total entry count must match the total pin count — together that
+        // is a bijection between load entries and input pins, without
+        // materializing and sorting the two triple multisets. The builder
+        // API keeps the lists in sync; this guards deserialized or
+        // hand-assembled netlists.
+        let mut seen_pins = vec![0_u8; self.cells.len()];
+        let mut load_entries = 0_usize;
+        for (net_idx, net) in self.nets.iter().enumerate() {
+            for &(cell, pin) in &net.loads {
+                let valid = self
+                    .cells
+                    .get(cell.index())
+                    .and_then(|c| c.inputs.get(pin))
+                    .is_some_and(|&input| input.index() == net_idx);
+                if !valid {
+                    return Err(NetlistError::InconsistentLoads {
+                        net: NetId(net_idx),
+                    });
+                }
+                let bit = 1_u8 << pin; // arity is at most 3, so pin < 8
+                if seen_pins[cell.index()] & bit != 0 {
+                    return Err(NetlistError::InconsistentLoads {
+                        net: NetId(net_idx),
+                    });
+                }
+                seen_pins[cell.index()] |= bit;
+                load_entries += 1;
+            }
+        }
+        let pin_entries: usize = self.cells.iter().map(|c| c.inputs.len()).sum();
+        if load_entries != pin_entries {
+            // Some pin has no load back-reference; report its net.
+            let net_idx = self
+                .cells
+                .iter()
+                .zip(&seen_pins)
+                .flat_map(|(cell, &seen)| {
+                    cell.inputs
+                        .iter()
+                        .enumerate()
+                        .filter(move |&(pin, _)| seen & (1 << pin) == 0)
+                        .map(|(_, &net)| net.index())
+                })
+                .next()
+                .unwrap_or(0);
+            return Err(NetlistError::InconsistentLoads {
+                net: NetId(net_idx),
+            });
+        }
+        Ok(())
     }
 
-    /// Topologically sorts the combinational cells (Kahn's algorithm).
+    /// [`Netlist::validate`] plus the requirement that *every* net has a
+    /// driver, even nets nothing reads.  Circuit generators run this under
+    /// `debug_assertions`: a generated circuit must not leave floating nets
+    /// behind (the optimization passes would silently prune them).
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Netlist::validate`] raises, plus
+    /// [`NetlistError::UndrivenNet`] for any driverless net.
+    pub fn validate_strict(&self) -> Result<Vec<CellId>, NetlistError> {
+        for (net_idx, net) in self.nets.iter().enumerate() {
+            if net.driver.is_none() {
+                return Err(NetlistError::UndrivenNet {
+                    net: NetId(net_idx),
+                });
+            }
+        }
+        self.validate()
+    }
+
+    /// Assigns a combinational level to every cell: sequential cells and
+    /// cells fed only by primary inputs, constants and sequential outputs
+    /// are level 0; every other combinational cell is one more than the
+    /// deepest combinational cell feeding it.  Sequential cells report
+    /// `None` (they evaluate outside the combinational schedule).
     ///
     /// # Errors
     ///
     /// Returns [`NetlistError::CombinationalLoop`] if the combinational logic
     /// contains a cycle.
-    pub fn combinational_order(&self) -> Result<Vec<CellId>, NetlistError> {
+    pub fn combinational_levels(&self) -> Result<Vec<Option<u32>>, NetlistError> {
         // in-degree of each combinational cell = number of inputs driven by
-        // other combinational cells.
+        // other combinational cells.  The fanout edges live in one flat
+        // array with per-cell ranges (counting pass + prefix sums) instead
+        // of one heap allocation per cell.
         let mut indegree = vec![0_usize; self.cells.len()];
-        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); self.cells.len()];
+        let mut edge_counts = vec![0_usize; self.cells.len()];
+        let comb_source = |input: NetId| -> Option<usize> {
+            if let Some(Driver::Cell(src)) = self.nets[input.index()].driver {
+                if !self.cells[src.index()].kind.is_sequential() {
+                    return Some(src.index());
+                }
+            }
+            None
+        };
+        for cell in &self.cells {
+            if cell.kind.is_sequential() {
+                continue;
+            }
+            for &input in &cell.inputs {
+                if let Some(src) = comb_source(input) {
+                    edge_counts[src] += 1;
+                }
+            }
+        }
+        let mut edge_start = Vec::with_capacity(self.cells.len() + 1);
+        let mut total = 0_usize;
+        for &count in &edge_counts {
+            edge_start.push(total);
+            total += count;
+        }
+        edge_start.push(total);
+        let mut edges = vec![0_usize; total];
+        let mut cursor = edge_start.clone();
         for (idx, cell) in self.cells.iter().enumerate() {
             if cell.kind.is_sequential() {
                 continue;
             }
             for &input in &cell.inputs {
-                if let Some(Driver::Cell(src)) = self.nets[input.index()].driver {
-                    if !self.cells[src.index()].kind.is_sequential() {
-                        indegree[idx] += 1;
-                        dependents[src.index()].push(idx);
-                    }
+                if let Some(src) = comb_source(input) {
+                    indegree[idx] += 1;
+                    edges[cursor[src]] = idx;
+                    cursor[src] += 1;
                 }
             }
         }
-        let mut ready: Vec<usize> = (0..self.cells.len())
-            .filter(|&i| !self.cells[i].kind.is_sequential() && indegree[i] == 0)
-            .collect();
-        let mut order = Vec::with_capacity(self.cells.len());
+        let mut levels: Vec<Option<u32>> = vec![None; self.cells.len()];
+        let mut ready: Vec<usize> = Vec::new();
+        for idx in 0..self.cells.len() {
+            if !self.cells[idx].kind.is_sequential() && indegree[idx] == 0 {
+                levels[idx] = Some(0);
+                ready.push(idx);
+            }
+        }
+        let mut resolved = 0_usize;
         while let Some(idx) = ready.pop() {
-            order.push(CellId(idx));
-            for &dep in &dependents[idx] {
+            resolved += 1;
+            let level = levels[idx].expect("ready cells have a level");
+            for &dep in &edges[edge_start[idx]..edge_start[idx + 1]] {
+                let dep_level = levels[dep].get_or_insert(0);
+                *dep_level = (*dep_level).max(level + 1);
                 indegree[dep] -= 1;
                 if indegree[dep] == 0 {
                     ready.push(dep);
@@ -449,7 +584,7 @@ impl Netlist {
             .iter()
             .filter(|c| !c.kind.is_sequential())
             .count();
-        if order.len() != combinational_total {
+        if resolved != combinational_total {
             // Find a cell still blocked to report a net on the cycle.
             let blocked = (0..self.cells.len())
                 .find(|&i| !self.cells[i].kind.is_sequential() && indegree[i] > 0)
@@ -458,6 +593,23 @@ impl Netlist {
                 net: self.cells[blocked].output,
             });
         }
+        Ok(levels)
+    }
+
+    /// Topologically sorts the combinational cells by `(level, cell id)` —
+    /// the level assignment of [`Netlist::combinational_levels`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalLoop`] if the combinational logic
+    /// contains a cycle.
+    pub fn combinational_order(&self) -> Result<Vec<CellId>, NetlistError> {
+        let levels = self.combinational_levels()?;
+        let mut order: Vec<CellId> = (0..self.cells.len())
+            .filter(|&i| !self.cells[i].kind.is_sequential())
+            .map(CellId)
+            .collect();
+        order.sort_by_key(|&c| (levels[c.index()], c.index()));
         Ok(order)
     }
 }
@@ -600,6 +752,106 @@ mod tests {
         let loads = n.net(ab).loads();
         assert_eq!(loads.len(), 1);
         assert_eq!(loads[0].1, 0); // ab feeds pin 0 of the OR gate
+    }
+
+    #[test]
+    fn combinational_levels_assign_depths() {
+        let (n, _, _) = and_or_netlist();
+        let levels = n.combinational_levels().unwrap();
+        let and_cell = n
+            .cells()
+            .find(|(_, c)| c.kind() == CellKind::And2)
+            .unwrap()
+            .0;
+        let or_cell = n
+            .cells()
+            .find(|(_, c)| c.kind() == CellKind::Or2)
+            .unwrap()
+            .0;
+        assert_eq!(levels[and_cell.index()], Some(0));
+        assert_eq!(levels[or_cell.index()], Some(1));
+    }
+
+    #[test]
+    fn sequential_cells_have_no_level_and_reset_depth() {
+        let mut n = Netlist::new("pipe");
+        let d = n.add_input("d");
+        let q = n.add_net("q");
+        let y = n.add_net("y");
+        n.add_cell("u_ff", CellKind::Dff, &[d], q).unwrap();
+        n.add_cell("u_inv", CellKind::Inv, &[q], y).unwrap();
+        n.mark_output(y).unwrap();
+        let levels = n.combinational_levels().unwrap();
+        // The flip-flop has no combinational level; the inverter it feeds
+        // restarts at level 0 (sequential outputs act as sources).
+        assert_eq!(levels, vec![None, Some(0)]);
+    }
+
+    #[test]
+    fn validate_strict_rejects_any_floating_net() {
+        let (mut n, _, _) = and_or_netlist();
+        assert!(n.validate_strict().is_ok());
+        // A floating net nothing reads passes validate() but not strict.
+        let floating = n.add_net("debris");
+        assert!(n.validate().is_ok());
+        assert_eq!(
+            n.validate_strict().unwrap_err(),
+            NetlistError::UndrivenNet { net: floating }
+        );
+    }
+
+    /// Navigates to the mutable `loads` array of net `net` inside a
+    /// serialized [`Netlist`] document.
+    fn loads_of(doc: &mut serde::Value, net: usize) -> &mut Vec<serde::Value> {
+        let serde::Value::Object(fields) = doc else {
+            panic!("netlist serializes as an object");
+        };
+        let nets = &mut fields
+            .iter_mut()
+            .find(|(key, _)| key == "nets")
+            .expect("nets field")
+            .1;
+        let serde::Value::Array(nets) = nets else {
+            panic!("nets serialize as an array");
+        };
+        let serde::Value::Object(net_fields) = &mut nets[net] else {
+            panic!("a net serializes as an object");
+        };
+        let loads = &mut net_fields
+            .iter_mut()
+            .find(|(key, _)| key == "loads")
+            .expect("loads field")
+            .1;
+        let serde::Value::Array(loads) = loads else {
+            panic!("loads serialize as an array");
+        };
+        loads
+    }
+
+    #[test]
+    fn corrupted_load_backreferences_fail_validation() {
+        let (n, ab, _) = and_or_netlist();
+        let mut doc = serde_json::to_value(&n);
+        // Point the AB net's load at pin 1 instead of pin 0: the back-
+        // reference no longer mirrors the OR cell's input pins.
+        let serde::Value::Array(entry) = &mut loads_of(&mut doc, ab.index())[0] else {
+            panic!("a load entry serializes as a [cell, pin] pair");
+        };
+        entry[1] = serde::Value::UInt(1);
+        let corrupted: Netlist = serde_json::from_value(&doc).unwrap();
+        assert!(matches!(
+            corrupted.validate(),
+            Err(NetlistError::InconsistentLoads { .. })
+        ));
+
+        // Dropping the load entry entirely is also caught (multiset check).
+        let mut doc = serde_json::to_value(&n);
+        loads_of(&mut doc, ab.index()).clear();
+        let corrupted: Netlist = serde_json::from_value(&doc).unwrap();
+        assert!(matches!(
+            corrupted.validate(),
+            Err(NetlistError::InconsistentLoads { .. })
+        ));
     }
 
     #[test]

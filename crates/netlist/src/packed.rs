@@ -21,6 +21,7 @@
 
 use crate::library::CellLibrary;
 use crate::netlist::{CellId, Driver, Netlist, NetlistError};
+use crate::passes::{NetFate, OptimizedNetlist};
 use crate::sim::{ActivityReport, EnergyTables};
 
 /// Bit-parallel simulator holding one `u64` of lane values per net.
@@ -51,11 +52,13 @@ use crate::sim::{ActivityReport, EnergyTables};
 #[derive(Debug, Clone)]
 pub struct PackedSimulator<'a> {
     netlist: &'a Netlist,
-    /// Combinational evaluation order.
+    /// Combinational evaluation order (walk mode; empty in scheduled mode).
     order: Vec<CellId>,
-    /// Current lane values of every net, one bit per lane.
+    /// Current lane values of every net, one bit per lane (nets of the
+    /// optimized netlist when running in scheduled mode).
     net_words: Vec<u64>,
-    /// Stored per-lane state of sequential cells, indexed by cell id.
+    /// Stored per-lane state of sequential cells: indexed by cell id in walk
+    /// mode, by schedule state slot in scheduled mode.
     state: Vec<u64>,
     /// Number of active lanes (1..=64).
     lanes: u32,
@@ -64,10 +67,85 @@ pub struct PackedSimulator<'a> {
     /// Measured lane-cycles since the last counter reset.
     lane_cycles: u64,
     /// Toggles observed per net (summed over counted lanes) since the last
-    /// counter reset.
+    /// counter reset, always in *original* net-id space.
     net_toggles: Vec<u64>,
-    /// Per-net energy tables shared with the scalar engine.
+    /// Per-net energy tables shared with the scalar engine, built over the
+    /// original netlist.
     tables: EnergyTables,
+    /// Level-scheduled execution state when driving an [`OptimizedNetlist`].
+    scheduled: Option<ScheduledState<'a>>,
+}
+
+/// Execution state of the level-scheduled engine.
+#[derive(Debug, Clone)]
+struct ScheduledState<'a> {
+    opt: &'a OptimizedNetlist,
+    /// Scheduled cells that have ever seen an input change (in any lane),
+    /// sorted by index (index order is level order).  The steady-state
+    /// sweep evaluates exactly these; cells of cones that never toggled
+    /// cost nothing.
+    active_cells: Vec<u32>,
+    /// Membership flags for `active_cells` / `newly`.
+    is_active: Vec<bool>,
+    /// Cells activated since the last merge into `active_cells`.  Non-empty
+    /// only on the rare steps when a previously quiet net first toggles.
+    newly: Vec<u32>,
+    /// Per net: all of the net's consumer cells are already active, so a
+    /// flip needs no activation walk (set the first time the net flips,
+    /// which activates every consumer).
+    fanout_active: Vec<bool>,
+    /// Whether the pipeline left every net in place (1:1 alias map, nothing
+    /// folded) — enables the direct toggle-crediting fast path.
+    identity: bool,
+    /// Whether the first full-evaluation step has run.  Not reset by
+    /// [`PackedSimulator::reset_counters`]: the circuit stays settled.
+    settled: bool,
+}
+
+/// Writes `word` to optimized net `net`, crediting counted-lane toggles to
+/// every aliased original net and activating the net's consumer cells.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn scheduled_write(
+    opt: &OptimizedNetlist,
+    net_words: &mut [u64],
+    net_toggles: &mut [u64],
+    is_active: &mut [bool],
+    newly: &mut Vec<u32>,
+    fanout_active: &mut [bool],
+    identity: bool,
+    lane_mask: u64,
+    count_mask: u64,
+    net: u32,
+    word: u64,
+) {
+    let idx = net as usize;
+    let word = word & lane_mask;
+    let flipped = net_words[idx] ^ word;
+    if flipped == 0 {
+        return;
+    }
+    net_words[idx] = word;
+    let counted = u64::from((flipped & count_mask).count_ones());
+    if counted != 0 {
+        if identity {
+            net_toggles[idx] += counted;
+        } else {
+            for &original in opt.alias_targets_of(idx) {
+                net_toggles[original as usize] += counted;
+            }
+        }
+    }
+    if !fanout_active[idx] {
+        fanout_active[idx] = true;
+        for &cell in opt.schedule().load_cells(idx) {
+            let c = cell as usize;
+            if !is_active[c] {
+                is_active[c] = true;
+                newly.push(cell);
+            }
+        }
+    }
 }
 
 impl<'a> PackedSimulator<'a> {
@@ -104,6 +182,69 @@ impl<'a> PackedSimulator<'a> {
             lane_cycles: 0,
             net_toggles: vec![0; netlist.net_count()],
             tables: EnergyTables::new(netlist, library),
+            scheduled: None,
+        })
+    }
+
+    /// Creates a packed simulator that executes `optimized`'s level schedule
+    /// while reporting activity and energy in `netlist`'s (the original's)
+    /// net-id space — bit-identical to [`PackedSimulator::new`] over
+    /// `netlist` (see the [`crate::passes`] docs for the exactness
+    /// argument).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any structural [`NetlistError`] (undriven nets,
+    /// inconsistent load lists).  Acyclicity needs no re-check: `optimized`
+    /// carries a compiled level schedule, which only exists for acyclic
+    /// logic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is not in `1..=64` or if `optimized` was not
+    /// produced from `netlist`.
+    pub fn with_passes(
+        netlist: &'a Netlist,
+        optimized: &'a OptimizedNetlist,
+        library: &CellLibrary,
+        lanes: u32,
+    ) -> Result<Self, NetlistError> {
+        assert!(
+            (1..=64).contains(&lanes),
+            "lane count must be in 1..=64, got {lanes}"
+        );
+        assert_eq!(
+            optimized.original_net_count(),
+            netlist.net_count(),
+            "optimized netlist was built from a different original"
+        );
+        assert_eq!(
+            optimized.primary_input_count(),
+            netlist.primary_inputs().len(),
+            "optimized netlist must preserve primary inputs"
+        );
+        netlist.check_structure()?;
+        let lane_mask = if lanes == 64 { !0 } else { (1 << lanes) - 1 };
+        let schedule = optimized.schedule();
+        Ok(Self {
+            netlist,
+            order: Vec::new(),
+            net_words: vec![0; optimized.net_count()],
+            state: vec![0; schedule.state_slots()],
+            lanes,
+            lane_mask,
+            lane_cycles: 0,
+            net_toggles: vec![0; netlist.net_count()],
+            tables: EnergyTables::new(netlist, library),
+            scheduled: Some(ScheduledState {
+                opt: optimized,
+                active_cells: Vec::new(),
+                is_active: vec![false; schedule.cell_count()],
+                newly: Vec::new(),
+                fanout_active: vec![false; optimized.net_count()],
+                identity: optimized.identity_aliases(),
+                settled: false,
+            }),
         })
     }
 
@@ -161,6 +302,10 @@ impl<'a> PackedSimulator<'a> {
         );
         let count_mask = count_mask & self.lane_mask;
         self.lane_cycles += u64::from(count_mask.count_ones());
+        if self.scheduled.is_some() {
+            self.step_scheduled(inputs, count_mask);
+            return;
+        }
 
         let netlist = self.netlist;
 
@@ -207,6 +352,154 @@ impl<'a> PackedSimulator<'a> {
         }
     }
 
+    /// One cycle of the level-scheduled engine.
+    ///
+    /// The first step ever evaluates every cell unconditionally (the
+    /// all-zero reset words are not yet consistent with the cell functions)
+    /// and credits the one-shot toggles of nets folded to `true`, once per
+    /// counted lane.  Subsequent steps sweep only the *active* cells —
+    /// those that have ever seen an input change in any lane — in level
+    /// order; quiet cones are never visited.  On the rare step that
+    /// activates a new cell, the engine falls back to one full
+    /// level-ordered walk, which is idempotent for every cell already
+    /// evaluated this step (unchanged inputs reproduce the same word, so no
+    /// toggle is double-counted).
+    fn step_scheduled(&mut self, inputs: &[u64], count_mask: u64) {
+        let mut st = self.scheduled.take().expect("scheduled mode");
+        let opt = st.opt;
+        let schedule = opt.schedule();
+        let first = !st.settled;
+        if first {
+            st.settled = true;
+            let counted = u64::from(count_mask.count_ones());
+            if counted != 0 {
+                for &net in opt.one_shot_toggles() {
+                    self.net_toggles[net as usize] += counted;
+                }
+            }
+        }
+
+        // 1. Drive primary inputs, constants and sequential outputs.
+        for &(net, pi) in &schedule.input_drives {
+            scheduled_write(
+                opt,
+                &mut self.net_words,
+                &mut self.net_toggles,
+                &mut st.is_active,
+                &mut st.newly,
+                &mut st.fanout_active,
+                st.identity,
+                self.lane_mask,
+                count_mask,
+                net,
+                inputs[pi as usize],
+            );
+        }
+        for &(net, value) in &schedule.constant_drives {
+            scheduled_write(
+                opt,
+                &mut self.net_words,
+                &mut self.net_toggles,
+                &mut st.is_active,
+                &mut st.newly,
+                &mut st.fanout_active,
+                st.identity,
+                self.lane_mask,
+                count_mask,
+                net,
+                if value { self.lane_mask } else { 0 },
+            );
+        }
+        for &(net, slot) in &schedule.seq_drives {
+            scheduled_write(
+                opt,
+                &mut self.net_words,
+                &mut self.net_toggles,
+                &mut st.is_active,
+                &mut st.newly,
+                &mut st.fanout_active,
+                st.identity,
+                self.lane_mask,
+                count_mask,
+                net,
+                self.state[slot as usize],
+            );
+        }
+
+        // 2. Evaluate combinational logic word-wide, in level order.
+        let mut full_walk = first || !st.newly.is_empty();
+        if !full_walk {
+            for i in 0..st.active_cells.len() {
+                let cell = schedule.cells[st.active_cells[i] as usize];
+                let arity = cell.arity as usize;
+                let mut words = [0_u64; 3];
+                for (slot, &net) in words.iter_mut().zip(&cell.inputs[..arity]) {
+                    *slot = self.net_words[net as usize];
+                }
+                let previous = self.net_words[cell.output as usize];
+                let value = cell.kind.evaluate_word(&words[..arity], previous);
+                scheduled_write(
+                    opt,
+                    &mut self.net_words,
+                    &mut self.net_toggles,
+                    &mut st.is_active,
+                    &mut st.newly,
+                    &mut st.fanout_active,
+                    st.identity,
+                    self.lane_mask,
+                    count_mask,
+                    cell.output,
+                    value,
+                );
+                // A quiet net toggled for the first time: its newly
+                // activated consumers sit at strictly higher levels than
+                // everything swept so far, so every evaluation up to here
+                // used correct inputs.  Stop and catch up with a full walk
+                // (idempotent for the already-evaluated prefix, and it
+                // evaluates the activated cells in correct level order).
+                if !st.newly.is_empty() {
+                    break;
+                }
+            }
+            full_walk = !st.newly.is_empty();
+        }
+        if full_walk {
+            for ci in 0..schedule.cells.len() {
+                let cell = schedule.cells[ci];
+                let arity = cell.arity as usize;
+                let mut words = [0_u64; 3];
+                for (slot, &net) in words.iter_mut().zip(&cell.inputs[..arity]) {
+                    *slot = self.net_words[net as usize];
+                }
+                let previous = self.net_words[cell.output as usize];
+                let value = cell.kind.evaluate_word(&words[..arity], previous);
+                scheduled_write(
+                    opt,
+                    &mut self.net_words,
+                    &mut self.net_toggles,
+                    &mut st.is_active,
+                    &mut st.newly,
+                    &mut st.fanout_active,
+                    st.identity,
+                    self.lane_mask,
+                    count_mask,
+                    cell.output,
+                    value,
+                );
+            }
+        }
+        if !st.newly.is_empty() {
+            st.active_cells.append(&mut st.newly);
+            st.active_cells.sort_unstable();
+        }
+
+        // 3. Capture the next state of sequential cells.
+        for &(slot, d) in &schedule.seq_captures {
+            self.state[slot as usize] = self.net_words[d as usize];
+        }
+        self.scheduled = Some(st);
+    }
+
     fn write_net(&mut self, net_index: usize, word: u64, count_mask: u64) {
         let word = word & self.lane_mask;
         let flipped = self.net_words[net_index] ^ word;
@@ -217,20 +510,33 @@ impl<'a> PackedSimulator<'a> {
         self.net_toggles[net_index] += u64::from((flipped & count_mask).count_ones());
     }
 
-    /// Current lane words of the primary outputs, in declaration order.
+    /// Current lane words of the primary outputs, in declaration order
+    /// (always the *original* netlist's outputs, also in scheduled mode).
     #[must_use]
     pub fn output_words(&self) -> Vec<u64> {
         self.netlist
             .primary_outputs()
             .iter()
-            .map(|n| self.net_words[n.index()])
+            .map(|&n| self.net_word(n))
             .collect()
     }
 
-    /// Current lane word of an arbitrary net.
+    /// Current lane word of an arbitrary net of the original netlist.
     #[must_use]
     pub fn net_word(&self, net: crate::netlist::NetId) -> u64 {
-        self.net_words[net.index()]
+        match &self.scheduled {
+            None => self.net_words[net.index()],
+            Some(st) => match st.opt.fate(net) {
+                NetFate::Kept(kept) => self.net_words[kept.index()],
+                NetFate::Folded { settles_to } => {
+                    if st.settled && settles_to {
+                        self.lane_mask
+                    } else {
+                        0
+                    }
+                }
+            },
+        }
     }
 
     /// Toggle counts per net (summed over counted lanes) since the last
@@ -256,6 +562,27 @@ impl<'a> PackedSimulator<'a> {
     pub fn reset_counters(&mut self) {
         self.lane_cycles = 0;
         self.net_toggles.fill(0);
+    }
+
+    /// Resets the simulator to its freshly-constructed state: all lane words
+    /// and sequential state back to zero, counters cleared.
+    ///
+    /// A reset simulator is observably identical to a newly constructed one
+    /// — the first step after a reset re-settles constants and re-credits
+    /// the pass pipeline's one-shot toggles, exactly like a fresh instance.
+    /// The scheduled engine's activation sets are deliberately *kept*:
+    /// activity skipping is monotone-safe (evaluating an already-active cell
+    /// whose inputs did not change reproduces its word and counts nothing),
+    /// so a warm active set only affects speed, never results.  This makes
+    /// one simulator reusable across independent measurements without paying
+    /// construction cost per run.
+    pub fn reset(&mut self) {
+        self.net_words.fill(0);
+        self.state.fill(0);
+        self.reset_counters();
+        if let Some(st) = self.scheduled.as_mut() {
+            st.settled = false;
+        }
     }
 }
 
@@ -454,5 +781,57 @@ mod tests {
         // State preserved: same vector again causes no toggles.
         sim.step(&[!0_u64, 0]);
         assert_eq!(sim.report().toggles, 0);
+    }
+
+    /// Same mixed circuit as the scalar scheduled-engine tests: a
+    /// folded-low cone, a folded-high primary output, duplicate gates and a
+    /// flip-flop.
+    fn mixed_netlist() -> Netlist {
+        let mut n = Netlist::new("mix");
+        let tie1 = n.add_constant("tie1", true);
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let inv = n.add_net("inv");
+        let high = n.add_net("high");
+        let x1 = n.add_net("x1");
+        let x2 = n.add_net("x2");
+        let y = n.add_net("y");
+        let q = n.add_net("q");
+        n.add_cell("u_inv", CellKind::Inv, &[tie1], inv).unwrap();
+        n.add_cell("u_buf", CellKind::Buf, &[tie1], high).unwrap();
+        n.add_cell("u1", CellKind::And2, &[a, b], x1).unwrap();
+        n.add_cell("u2", CellKind::And2, &[a, b], x2).unwrap();
+        n.add_cell("u_or", CellKind::Or2, &[x1, inv], y).unwrap();
+        n.add_cell("u_ff", CellKind::Dff, &[x2], q).unwrap();
+        n.mark_output(y).unwrap();
+        n.mark_output(q).unwrap();
+        n.mark_output(high).unwrap();
+        n
+    }
+
+    #[test]
+    fn scheduled_packed_matches_walk_packed_bit_exactly() {
+        let n = mixed_netlist();
+        let lib = CellLibrary::default();
+        let optimized = crate::passes::PassPipeline::standard().run(&n).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(0xDAC_2002);
+        let lanes = 11_u32;
+        let mut raw = PackedSimulator::new(&n, &lib, lanes).unwrap();
+        let mut opt = PackedSimulator::with_passes(&n, &optimized, &lib, lanes).unwrap();
+        for cycle in 0..24 {
+            let vector = [rng.gen::<u64>(), rng.gen::<u64>()];
+            // Exercise a masked step mid-run, including as the first step.
+            let mask = if cycle % 5 == 0 {
+                0b101
+            } else {
+                raw.lane_mask()
+            };
+            raw.step_masked(&vector, mask);
+            opt.step_masked(&vector, mask);
+            assert_eq!(raw.output_words(), opt.output_words());
+        }
+        assert_eq!(raw.net_toggle_counts(), opt.net_toggle_counts());
+        assert_eq!(raw.lane_cycles(), opt.lane_cycles());
+        assert_eq!(raw.report(), opt.report());
     }
 }

@@ -1,0 +1,241 @@
+//! Structural hashing (common-subexpression elimination): share identical
+//! `(kind, inputs)` cells.
+//!
+//! Two cells of the same kind reading the same input nets produce
+//! bit-identical output waveforms by induction over simulated steps: they
+//! see the same input values every cycle and start from the same all-zero
+//! reset state.  That argument covers every [`CellKind`] — combinational
+//! gates trivially, tri-state/hold cells through their recurrence, and
+//! flip-flops/latches through their state.  The duplicate cell is dropped
+//! and its output net merged into the first occurrence's; every toggle of
+//! the surviving net is credited to *both* original nets by the alias
+//! tables, so energy stays bit-exact.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+use crate::netlist::{Netlist, NetlistError};
+
+use super::{readd_net, NetFate, Pass, PassCircuit};
+
+/// The structural-hashing pass.  See the module docs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StructuralHash;
+
+/// FNV-1a. The `(kind, inputs)` keys are tiny and attacker-free (they come
+/// from our own generators), so the std SipHash's DoS resistance buys
+/// nothing here and its latency shows up directly in pipeline cost.
+struct Fnv(u64);
+
+impl Default for Fnv {
+    fn default() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for Fnv {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.0 = (self.0 ^ u64::from(byte)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+}
+
+/// Resolves a net through the union-find-style representative chain.
+fn resolve(rep: &[u32], mut net: u32) -> u32 {
+    while rep[net as usize] != net {
+        net = rep[net as usize];
+    }
+    net
+}
+
+impl Pass for StructuralHash {
+    fn name(&self) -> &'static str {
+        "structural-hash"
+    }
+
+    fn run(&self, circuit: &mut PassCircuit) -> Result<(), NetlistError> {
+        let (netlist, order) = circuit.ordered()?;
+
+        // Iterate to a fixpoint: merging two flip-flops can make their
+        // downstream combinational cells identical and vice versa.  Cells
+        // are visited in topological order (then sequential cells in id
+        // order), so one sweep propagates merges forward; extra sweeps are
+        // only needed across sequential boundaries.  The first occurrence
+        // always wins, which keeps the result deterministic.
+        let mut rep: Vec<u32> = (0..netlist.net_count() as u32).collect();
+        let mut seen: HashMap<(usize, [u32; 3]), u32, BuildHasherDefault<Fnv>> =
+            HashMap::with_capacity_and_hasher(netlist.cell_count(), BuildHasherDefault::default());
+        loop {
+            let mut changed = false;
+            seen.clear();
+            let sequential = netlist
+                .cells()
+                .filter(|(_, c)| c.kind().is_sequential())
+                .map(|(id, _)| id);
+            for cell_id in order.iter().copied().chain(sequential) {
+                let cell = netlist.cell(cell_id);
+                let mut key_inputs = [u32::MAX; 3];
+                for (slot, net) in key_inputs.iter_mut().zip(cell.inputs()) {
+                    *slot = resolve(&rep, net.index() as u32);
+                }
+                let output = resolve(&rep, cell.output().index() as u32);
+                match seen.entry((cell.kind().index(), key_inputs)) {
+                    std::collections::hash_map::Entry::Vacant(entry) => {
+                        entry.insert(output);
+                    }
+                    std::collections::hash_map::Entry::Occupied(entry) => {
+                        let survivor = *entry.get();
+                        if output != survivor {
+                            rep[output as usize] = survivor;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        if rep.iter().enumerate().all(|(i, &r)| i as u32 == r) {
+            return Ok(());
+        }
+
+        // Rebuild: merged-away nets disappear, cells driving them are
+        // dropped, and every input reference is routed to the survivor.
+        let mut rewritten = Netlist::new(netlist.name());
+        let mut local = Vec::with_capacity(netlist.net_count());
+        for (net_id, net) in netlist.nets() {
+            let id = net_id.index() as u32;
+            if resolve(&rep, id) == id {
+                local.push(NetFate::Kept(readd_net(&mut rewritten, net)));
+            } else {
+                // Patched to the survivor's new id below, once it is known.
+                local.push(NetFate::Folded { settles_to: false });
+            }
+        }
+        for net_id in 0..netlist.net_count() {
+            let survivor = resolve(&rep, net_id as u32) as usize;
+            if survivor != net_id {
+                local[net_id] = local[survivor];
+                debug_assert!(matches!(local[net_id], NetFate::Kept(_)));
+            }
+        }
+        let kept = |fate: &NetFate| match fate {
+            NetFate::Kept(net) => *net,
+            NetFate::Folded { .. } => unreachable!("merged nets map to survivors"),
+        };
+        for (_, cell) in netlist.cells() {
+            let output = cell.output().index() as u32;
+            if resolve(&rep, output) != output {
+                continue; // duplicate: first occurrence drives the survivor
+            }
+            let inputs: Vec<_> = cell
+                .inputs()
+                .iter()
+                .map(|&input| kept(&local[input.index()]))
+                .collect();
+            rewritten.add_cell(
+                cell.name(),
+                cell.kind(),
+                &inputs,
+                kept(&local[cell.output().index()]),
+            )?;
+        }
+        for &po in netlist.primary_outputs() {
+            rewritten.mark_output(kept(&local[po.index()]))?;
+        }
+        circuit.apply(rewritten, local);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cells::CellKind;
+    use crate::netlist::Netlist;
+
+    #[test]
+    fn duplicate_gates_are_merged() {
+        let mut n = Netlist::new("dup");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let x = n.add_net("x");
+        let y = n.add_net("y");
+        let out = n.add_net("out");
+        n.add_cell("u1", CellKind::And2, &[a, b], x).unwrap();
+        n.add_cell("u2", CellKind::And2, &[a, b], y).unwrap();
+        n.add_cell("u3", CellKind::Xor2, &[x, y], out).unwrap();
+        n.mark_output(out).unwrap();
+
+        let mut circuit = PassCircuit::new(&n);
+        StructuralHash.run(&mut circuit).unwrap();
+        assert_eq!(circuit.netlist().cell_count(), 2);
+        // Both original nets map to the same survivor.
+        let fx = circuit.fates[x.index()];
+        let fy = circuit.fates[y.index()];
+        assert_eq!(fx, fy);
+        assert!(matches!(fx, NetFate::Kept(_)));
+        circuit.netlist().validate().unwrap();
+    }
+
+    #[test]
+    fn merges_cascade_through_levels_in_one_run() {
+        let mut n = Netlist::new("cascade");
+        let a = n.add_input("a");
+        let x1 = n.add_net("x1");
+        let x2 = n.add_net("x2");
+        let y1 = n.add_net("y1");
+        let y2 = n.add_net("y2");
+        n.add_cell("u1", CellKind::Inv, &[a], x1).unwrap();
+        n.add_cell("u2", CellKind::Inv, &[a], x2).unwrap();
+        n.add_cell("u3", CellKind::Buf, &[x1], y1).unwrap();
+        n.add_cell("u4", CellKind::Buf, &[x2], y2).unwrap();
+        n.mark_output(y1).unwrap();
+        n.mark_output(y2).unwrap();
+
+        let mut circuit = PassCircuit::new(&n);
+        StructuralHash.run(&mut circuit).unwrap();
+        // Both inverters and both buffers collapse.
+        assert_eq!(circuit.netlist().cell_count(), 2);
+        assert_eq!(circuit.fates[y1.index()], circuit.fates[y2.index()]);
+    }
+
+    #[test]
+    fn duplicate_flip_flops_merge_too() {
+        let mut n = Netlist::new("ffdup");
+        let d = n.add_input("d");
+        let q1 = n.add_net("q1");
+        let q2 = n.add_net("q2");
+        n.add_cell("ff1", CellKind::Dff, &[d], q1).unwrap();
+        n.add_cell("ff2", CellKind::Dff, &[d], q2).unwrap();
+        n.mark_output(q1).unwrap();
+        n.mark_output(q2).unwrap();
+        let mut circuit = PassCircuit::new(&n);
+        StructuralHash.run(&mut circuit).unwrap();
+        assert_eq!(circuit.netlist().cell_count(), 1);
+    }
+
+    #[test]
+    fn different_input_order_is_not_merged() {
+        // Mux2 data pins are ordered: [a, b, s] and [b, a, s] differ.
+        let mut n = Netlist::new("ordered");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let s = n.add_input("s");
+        let y1 = n.add_net("y1");
+        let y2 = n.add_net("y2");
+        n.add_cell("m1", CellKind::Mux2, &[a, b, s], y1).unwrap();
+        n.add_cell("m2", CellKind::Mux2, &[b, a, s], y2).unwrap();
+        n.mark_output(y1).unwrap();
+        n.mark_output(y2).unwrap();
+        let mut circuit = PassCircuit::new(&n);
+        StructuralHash.run(&mut circuit).unwrap();
+        assert_eq!(circuit.netlist().cell_count(), 2);
+    }
+}

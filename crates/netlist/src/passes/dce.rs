@@ -1,0 +1,109 @@
+//! Dead-net pruning: drop nets with no driver and no loads.
+//!
+//! Generators (and earlier passes) can leave behind nets nothing drives and
+//! nothing reads.  Such a net holds its all-zero reset value forever and
+//! carries no load energy, so removing it is trivially bit-exact — its fate
+//! is `Folded { settles_to: false }`, i.e. zero toggles.
+
+use crate::netlist::{Netlist, NetlistError};
+
+use super::{readd_net, NetFate, Pass, PassCircuit};
+
+/// The dead-net pruning pass.  See the module docs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DeadNetPrune;
+
+impl Pass for DeadNetPrune {
+    fn name(&self) -> &'static str {
+        "dead-net-prune"
+    }
+
+    fn run(&self, circuit: &mut PassCircuit) -> Result<(), NetlistError> {
+        let netlist = circuit.netlist();
+        let dead: Vec<bool> = netlist
+            .nets()
+            .map(|(_, net)| net.driver().is_none() && net.loads().is_empty())
+            .collect();
+        if !dead.iter().any(|&d| d) {
+            return Ok(());
+        }
+        let mut rewritten = Netlist::new(netlist.name());
+        let mut local = Vec::with_capacity(netlist.net_count());
+        for (net_id, net) in netlist.nets() {
+            if dead[net_id.index()] {
+                local.push(NetFate::Folded { settles_to: false });
+            } else {
+                local.push(NetFate::Kept(readd_net(&mut rewritten, net)));
+            }
+        }
+        let kept = |fate: &NetFate| match fate {
+            NetFate::Kept(net) => *net,
+            NetFate::Folded { .. } => unreachable!("live nets are never dead"),
+        };
+        for (_, cell) in netlist.cells() {
+            let inputs: Vec<_> = cell
+                .inputs()
+                .iter()
+                .map(|&input| kept(&local[input.index()]))
+                .collect();
+            rewritten.add_cell(
+                cell.name(),
+                cell.kind(),
+                &inputs,
+                kept(&local[cell.output().index()]),
+            )?;
+        }
+        for &po in netlist.primary_outputs() {
+            rewritten.mark_output(kept(&local[po.index()]))?;
+        }
+        circuit.apply(rewritten, local);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cells::CellKind;
+
+    #[test]
+    fn dead_nets_are_pruned_and_live_ones_survive() {
+        let mut n = Netlist::new("debris");
+        let a = n.add_input("a");
+        let dead1 = n.add_net("dead1");
+        let y = n.add_net("y");
+        let dead2 = n.add_net("dead2");
+        n.add_cell("u_inv", CellKind::Inv, &[a], y).unwrap();
+        n.mark_output(y).unwrap();
+
+        let mut circuit = PassCircuit::new(&n);
+        DeadNetPrune.run(&mut circuit).unwrap();
+        assert_eq!(circuit.netlist().net_count(), 2);
+        assert_eq!(circuit.netlist().cell_count(), 1);
+        assert_eq!(
+            circuit.fates[dead1.index()],
+            NetFate::Folded { settles_to: false }
+        );
+        assert_eq!(
+            circuit.fates[dead2.index()],
+            NetFate::Folded { settles_to: false }
+        );
+        assert!(matches!(circuit.fates[a.index()], NetFate::Kept(_)));
+        assert!(matches!(circuit.fates[y.index()], NetFate::Kept(_)));
+        circuit.netlist().validate_strict().unwrap();
+    }
+
+    #[test]
+    fn idle_constants_are_not_dead() {
+        let mut n = Netlist::new("tie");
+        let _tie = n.add_constant("tie1", true);
+        let a = n.add_input("a");
+        let y = n.add_net("y");
+        n.add_cell("u_buf", CellKind::Buf, &[a], y).unwrap();
+        n.mark_output(y).unwrap();
+        let mut circuit = PassCircuit::new(&n);
+        DeadNetPrune.run(&mut circuit).unwrap();
+        // A driven net is never dead, even with no loads.
+        assert_eq!(circuit.netlist().net_count(), 3);
+    }
+}

@@ -1,0 +1,280 @@
+//! Constant folding: prune cells whose outputs provably never toggle.
+//!
+//! A ternary {0, 1, X} value is propagated forward from constant nets in
+//! topological order.  A combinational cell whose output is determinate
+//! settles on the first simulated step and never toggles again — it
+//! contributes zero dynamic energy, so removing it (and rewiring its
+//! consumers to a shared constant net of the settled value) is bit-exact.
+//! Sequential cells are never folded: a flip-flop fed a constant `1` still
+//! toggles on the *second* step (Q follows D one cycle late), which the
+//! one-shot first-step accounting could not represent.
+
+use crate::cells::CellKind;
+use crate::netlist::{Driver, NetId, Netlist, NetlistError};
+
+use super::{readd_net, NetFate, Pass, PassCircuit};
+
+/// The constant-folding pass.  See the module docs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ConstantFold;
+
+/// Ternary forward value of a net: `Some(v)` means the net settles to `v`
+/// on the first simulated step and never toggles afterwards; `None` means
+/// it may toggle.
+type Tern = Option<bool>;
+
+/// Folds one cell's output from its input ternaries, mirroring
+/// [`CellKind::evaluate`] exactly.
+///
+/// Pure combinational kinds are brute-forced: every assignment of the
+/// unknown inputs is evaluated, and the output folds only if they all
+/// agree.  Hold kinds (tri-state buffer, pass gate) fold through their
+/// recurrence: never-enabled or only-ever-driven-low outputs stay at the
+/// all-zero reset value.  Sequential kinds never fold.
+fn fold_value(kind: CellKind, inputs: &[Tern]) -> Tern {
+    if kind.is_sequential() {
+        return None;
+    }
+    if kind.holds_output_when_disabled() {
+        // Inputs are [A, EN]; output is A when enabled, else the previous
+        // output (initially 0).
+        return match (inputs[0], inputs[1]) {
+            // Never enabled: the reset value is held forever.
+            (_, Some(false)) => Some(false),
+            // Only ever drives 0, and holding preserves 0.
+            (Some(false), _) => Some(false),
+            // Always enabled with a determinate input.
+            (Some(a), Some(true)) => Some(a),
+            _ => None,
+        };
+    }
+    let arity = inputs.len();
+    let unknown: Vec<usize> = (0..arity).filter(|&i| inputs[i].is_none()).collect();
+    let mut folded: Tern = None;
+    for combo in 0..(1_u32 << unknown.len()) {
+        let mut values = [false; 3];
+        for (i, value) in values.iter_mut().enumerate().take(arity) {
+            if let Some(known) = inputs[i] {
+                *value = known;
+            }
+        }
+        for (bit, &i) in unknown.iter().enumerate() {
+            values[i] = (combo >> bit) & 1 == 1;
+        }
+        let out = kind.evaluate(&values[..arity], false);
+        match folded {
+            None => folded = Some(out),
+            Some(previous) if previous == out => {}
+            Some(_) => return None,
+        }
+    }
+    folded
+}
+
+impl Pass for ConstantFold {
+    fn name(&self) -> &'static str {
+        "constant-fold"
+    }
+
+    fn run(&self, circuit: &mut PassCircuit) -> Result<(), NetlistError> {
+        // Folding can only start from constant nets; without any, no output
+        // is determinate (hold-cell outputs fold only from determinate
+        // inputs) and the whole propagation is a guaranteed no-op.  The
+        // generated switch circuits contain no constants, so this early
+        // exit is their common path.
+        let has_constants = circuit
+            .netlist()
+            .nets()
+            .any(|(_, net)| matches!(net.driver(), Some(Driver::Constant(_))));
+        if !has_constants {
+            return Ok(());
+        }
+        let (netlist, order) = circuit.ordered()?;
+
+        // 1. Propagate ternary values forward.  Primary inputs and
+        //    sequential outputs are unknown; constants are known; an
+        //    undriven (dead) net holds its reset 0 forever but is left for
+        //    the dead-net pass to collect.
+        let mut tern: Vec<Tern> = vec![None; netlist.net_count()];
+        for (net_id, net) in netlist.nets() {
+            if let Some(Driver::Constant(value)) = net.driver() {
+                tern[net_id.index()] = Some(value);
+            }
+        }
+        let mut input_terns = Vec::with_capacity(3);
+        for &cell_id in order {
+            let cell = netlist.cell(cell_id);
+            input_terns.clear();
+            input_terns.extend(cell.inputs().iter().map(|n| tern[n.index()]));
+            tern[cell.output().index()] = fold_value(cell.kind(), &input_terns);
+        }
+
+        // 2. A combinational cell with a determinate output is pruned and
+        //    its output net folded.
+        let folded_net: Vec<Tern> = netlist
+            .nets()
+            .map(|(net_id, net)| match net.driver() {
+                Some(Driver::Cell(cell_id)) if !netlist.cell(cell_id).kind().is_sequential() => {
+                    tern[net_id.index()]
+                }
+                _ => None,
+            })
+            .collect();
+        if folded_net.iter().all(Option::is_none) {
+            return Ok(());
+        }
+
+        // 3. Rebuild without the folded cells, rewiring surviving consumers
+        //    of folded nets to shared constant nets.
+        let mut rewritten = Netlist::new(netlist.name());
+        let mut map: Vec<Option<NetId>> = Vec::with_capacity(netlist.net_count());
+        let mut shared_const: [Option<NetId>; 2] = [None, None];
+        for (net_id, net) in netlist.nets() {
+            if folded_net[net_id.index()].is_some() {
+                map.push(None);
+                continue;
+            }
+            let kept = readd_net(&mut rewritten, net);
+            if let Some(Driver::Constant(value)) = net.driver() {
+                // Reuse existing constant nets as rewiring targets.
+                shared_const[usize::from(value)].get_or_insert(kept);
+            }
+            map.push(Some(kept));
+        }
+        let mut const_net = |rewritten: &mut Netlist, value: bool| {
+            *shared_const[usize::from(value)].get_or_insert_with(|| {
+                rewritten.add_constant(if value { "__fold_tie1" } else { "__fold_tie0" }, value)
+            })
+        };
+        for (_, cell) in netlist.cells() {
+            let Some(output) = map[cell.output().index()] else {
+                continue; // pruned
+            };
+            let inputs: Vec<NetId> = cell
+                .inputs()
+                .iter()
+                .map(|&input| match map[input.index()] {
+                    Some(kept) => kept,
+                    None => {
+                        let value = folded_net[input.index()].expect("unmapped nets are folded");
+                        const_net(&mut rewritten, value)
+                    }
+                })
+                .collect();
+            rewritten.add_cell(cell.name(), cell.kind(), &inputs, output)?;
+        }
+        for &po in netlist.primary_outputs() {
+            if let Some(kept) = map[po.index()] {
+                rewritten.mark_output(kept)?;
+            }
+        }
+        let local: Vec<NetFate> = map
+            .iter()
+            .enumerate()
+            .map(|(i, kept)| match kept {
+                Some(net) => NetFate::Kept(*net),
+                None => NetFate::Folded {
+                    settles_to: folded_net[i].expect("unmapped nets are folded"),
+                },
+            })
+            .collect();
+        circuit.apply(rewritten, local);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Netlist;
+
+    fn run_fold(netlist: &Netlist) -> PassCircuit<'_> {
+        let mut circuit = PassCircuit::new(netlist);
+        ConstantFold.run(&mut circuit).unwrap();
+        circuit
+    }
+
+    #[test]
+    fn fold_value_mirrors_gate_semantics() {
+        let t = Some(true);
+        let f = Some(false);
+        let x: Tern = None;
+        assert_eq!(fold_value(CellKind::And2, &[f, x]), f);
+        assert_eq!(fold_value(CellKind::And2, &[t, x]), x);
+        assert_eq!(fold_value(CellKind::Or2, &[t, x]), t);
+        assert_eq!(fold_value(CellKind::Nand2, &[f, x]), t);
+        assert_eq!(fold_value(CellKind::Nor2, &[x, t]), f);
+        assert_eq!(fold_value(CellKind::Inv, &[t]), f);
+        assert_eq!(fold_value(CellKind::Xor2, &[t, t]), f);
+        assert_eq!(fold_value(CellKind::Xor2, &[t, x]), x);
+        // MUX with unknown select folds when both data inputs agree.
+        assert_eq!(fold_value(CellKind::Mux2, &[t, t, x]), t);
+        assert_eq!(fold_value(CellKind::Mux2, &[t, f, x]), x);
+        assert_eq!(fold_value(CellKind::Mux2, &[t, f, Some(false)]), t);
+        // Hold cells: never enabled or never driven high stay low.
+        assert_eq!(fold_value(CellKind::TriBuf, &[x, f]), f);
+        assert_eq!(fold_value(CellKind::TriBuf, &[f, x]), f);
+        assert_eq!(fold_value(CellKind::TriBuf, &[t, t]), t);
+        assert_eq!(fold_value(CellKind::TriBuf, &[t, x]), x);
+        // Sequential kinds never fold, even from constants.
+        assert_eq!(fold_value(CellKind::Dff, &[t]), x);
+        assert_eq!(fold_value(CellKind::Latch, &[t]), x);
+    }
+
+    #[test]
+    fn constant_cone_is_pruned_and_consumers_rewired() {
+        let mut n = Netlist::new("cone");
+        let tie1 = n.add_constant("tie1", true);
+        let a = n.add_input("a");
+        let inv = n.add_net("inv"); // !1 = 0, folds
+        let y = n.add_net("y"); // a | 0 = a, does not fold
+        n.add_cell("u_inv", CellKind::Inv, &[tie1], inv).unwrap();
+        n.add_cell("u_or", CellKind::Or2, &[a, inv], y).unwrap();
+        n.mark_output(y).unwrap();
+
+        let circuit = run_fold(&n);
+        assert_eq!(circuit.netlist().cell_count(), 1);
+        assert_eq!(
+            circuit.fates[inv.index()],
+            NetFate::Folded { settles_to: false }
+        );
+        // The OR's folded input was rewired to a constant-false net.
+        let or_cell = circuit.netlist().cells().next().unwrap().1;
+        let rewired = or_cell.inputs()[1];
+        assert_eq!(
+            circuit.netlist().net(rewired).driver(),
+            Some(Driver::Constant(false))
+        );
+        circuit.netlist().validate().unwrap();
+    }
+
+    #[test]
+    fn folded_output_that_settles_high_is_recorded() {
+        let mut n = Netlist::new("high");
+        let tie0 = n.add_constant("tie0", false);
+        let y = n.add_net("y");
+        n.add_cell("u_inv", CellKind::Inv, &[tie0], y).unwrap();
+        n.mark_output(y).unwrap();
+        let circuit = run_fold(&n);
+        assert_eq!(circuit.netlist().cell_count(), 0);
+        assert_eq!(
+            circuit.fates[y.index()],
+            NetFate::Folded { settles_to: true }
+        );
+        // The folded net was a primary output; the rewritten netlist simply
+        // no longer lists it (simulators answer through the fates).
+        assert!(circuit.netlist().primary_outputs().is_empty());
+    }
+
+    #[test]
+    fn flip_flop_fed_a_constant_is_not_folded() {
+        let mut n = Netlist::new("ffconst");
+        let tie1 = n.add_constant("tie1", true);
+        let q = n.add_net("q");
+        n.add_cell("u_ff", CellKind::Dff, &[tie1], q).unwrap();
+        n.mark_output(q).unwrap();
+        let circuit = run_fold(&n);
+        assert_eq!(circuit.netlist().cell_count(), 1);
+        assert_eq!(circuit.fates[q.index()], NetFate::Kept(q));
+    }
+}

@@ -1,0 +1,247 @@
+//! Levelization: compile a netlist into a flat, level-ordered evaluation
+//! schedule.
+//!
+//! The schedule replaces the simulators' per-cycle walk over the netlist
+//! graph with precomputed drive lists and a dense array of
+//! [`ScheduledCell`]s grouped by combinational level.  Beyond cache
+//! friendliness, the level grouping enables *quiescence skipping*: when a
+//! net flips, the per-net load-cell lists tell the simulator exactly which
+//! cells ever need re-evaluating, and its steady-state sweep visits only
+//! that ever-active set, in level order.  A cell no input of which has ever
+//! changed costs nothing at all (static routing-control, presence cones and
+//! the buses of idle ports in the generated switch circuits go quiet right
+//! after warm-up).
+
+use crate::cells::CellKind;
+use crate::netlist::{Driver, Netlist, NetlistError};
+
+/// One cell of the flat evaluation array: everything the simulator needs,
+/// with pre-resolved net indices.
+#[derive(Debug, Clone, Copy)]
+pub struct ScheduledCell {
+    /// The cell kind to evaluate.
+    pub(crate) kind: CellKind,
+    /// Number of live entries in `inputs`.
+    pub(crate) arity: u8,
+    /// Input net indices, `inputs[..arity]` live.
+    pub(crate) inputs: [u32; 3],
+    /// Output net index.
+    pub(crate) output: u32,
+}
+
+/// A compiled evaluation schedule for one netlist: drive lists, levelled
+/// combinational cells and per-net dirty-level fanout.
+#[derive(Debug, Clone)]
+pub struct EvalSchedule {
+    /// `(net, primary-input position)` for every primary-input net.
+    pub(crate) input_drives: Vec<(u32, u32)>,
+    /// `(net, value)` for every constant net.
+    pub(crate) constant_drives: Vec<(u32, bool)>,
+    /// `(net, state slot)` for every sequential-cell output net.
+    pub(crate) seq_drives: Vec<(u32, u32)>,
+    /// `(state slot, D-input net)` captured at the end of every cycle.
+    pub(crate) seq_captures: Vec<(u32, u32)>,
+    /// Per level: range into `cells`.
+    pub(crate) levels: Vec<(u32, u32)>,
+    /// All combinational cells, grouped by level, id-ordered within one.
+    pub(crate) cells: Vec<ScheduledCell>,
+    /// Per net: range into `load_cells` — the scheduled cells this net
+    /// feeds.
+    pub(crate) net_load_index: Vec<(u32, u32)>,
+    /// Flattened, per-net sorted and deduplicated load-cell indices (indices
+    /// into `cells`).
+    pub(crate) load_cells: Vec<u32>,
+    /// Number of sequential state slots.
+    state_slots: usize,
+}
+
+impl EvalSchedule {
+    /// Compiles the schedule for `netlist` from its `cell_levels` — the
+    /// result of [`Netlist::combinational_levels`], passed in so pipeline
+    /// callers can share one levelization across validation, the rewrite
+    /// passes and this compilation.
+    pub(crate) fn compile(
+        netlist: &Netlist,
+        cell_levels: &[Option<u32>],
+    ) -> Result<Self, NetlistError> {
+        let level_count = cell_levels
+            .iter()
+            .flatten()
+            .max()
+            .map_or(0, |&deepest| deepest as usize + 1);
+
+        let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); level_count];
+        for (idx, level) in cell_levels.iter().enumerate() {
+            if let Some(level) = level {
+                buckets[*level as usize].push(idx);
+            }
+        }
+        let mut cells = Vec::with_capacity(netlist.cell_count());
+        let mut levels = Vec::with_capacity(level_count);
+        // Original cell index -> scheduled cell index (combinational only).
+        let mut sched_index = vec![u32::MAX; netlist.cell_count()];
+        for bucket in &buckets {
+            let start = cells.len() as u32;
+            for &idx in bucket {
+                let cell = netlist.cell(crate::netlist::CellId(idx));
+                let mut inputs = [u32::MAX; 3];
+                for (slot, net) in inputs.iter_mut().zip(cell.inputs()) {
+                    *slot = net.index() as u32;
+                }
+                sched_index[idx] = cells.len() as u32;
+                cells.push(ScheduledCell {
+                    kind: cell.kind(),
+                    arity: cell.inputs().len() as u8,
+                    inputs,
+                    output: cell.output().index() as u32,
+                });
+            }
+            levels.push((start, cells.len() as u32));
+        }
+
+        let mut seq_drives = Vec::new();
+        let mut seq_captures = Vec::new();
+        for (_, cell) in netlist.cells() {
+            if cell.kind().is_sequential() {
+                let slot = seq_drives.len() as u32;
+                seq_drives.push((cell.output().index() as u32, slot));
+                seq_captures.push((slot, cell.inputs()[0].index() as u32));
+            }
+        }
+        let state_slots = seq_drives.len();
+
+        let mut input_drives = Vec::new();
+        let mut constant_drives = Vec::new();
+        for (net_id, net) in netlist.nets() {
+            match net.driver() {
+                Some(Driver::PrimaryInput(position)) => {
+                    input_drives.push((net_id.index() as u32, position as u32));
+                }
+                Some(Driver::Constant(value)) => {
+                    constant_drives.push((net_id.index() as u32, value));
+                }
+                _ => {}
+            }
+        }
+
+        // Per net, the combinational consumers — the cells to queue for
+        // re-evaluation when the net toggles.  One flat array with per-net
+        // ranges (counting pass + prefix sums); a cell reading the same net
+        // on two pins appears twice, which the activation path tolerates
+        // (the second visit finds the cell already active).
+        let mut load_counts = vec![0_u32; netlist.net_count()];
+        for (idx, level) in cell_levels.iter().enumerate() {
+            if level.is_some() {
+                for net in netlist.cell(crate::netlist::CellId(idx)).inputs() {
+                    load_counts[net.index()] += 1;
+                }
+            }
+        }
+        let mut net_load_index = Vec::with_capacity(netlist.net_count());
+        let mut total = 0_u32;
+        for &count in &load_counts {
+            net_load_index.push((total, total + count));
+            total += count;
+        }
+        let mut load_cells = vec![0_u32; total as usize];
+        let mut cursor: Vec<u32> = net_load_index.iter().map(|&(start, _)| start).collect();
+        for (idx, level) in cell_levels.iter().enumerate() {
+            if level.is_some() {
+                for net in netlist.cell(crate::netlist::CellId(idx)).inputs() {
+                    let slot = &mut cursor[net.index()];
+                    load_cells[*slot as usize] = sched_index[idx];
+                    *slot += 1;
+                }
+            }
+        }
+
+        Ok(Self {
+            input_drives,
+            constant_drives,
+            seq_drives,
+            seq_captures,
+            levels,
+            cells,
+            net_load_index,
+            load_cells,
+            state_slots,
+        })
+    }
+
+    /// Number of combinational levels.
+    #[must_use]
+    pub fn level_count(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Number of scheduled combinational cells.
+    #[must_use]
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Number of sequential state slots.
+    #[must_use]
+    pub fn state_slots(&self) -> usize {
+        self.state_slots
+    }
+
+    /// The scheduled cells to queue for re-evaluation when `net` (an
+    /// optimized-netlist index) toggles.
+    #[inline]
+    pub(crate) fn load_cells(&self, net: usize) -> &[u32] {
+        let (start, end) = self.net_load_index[net];
+        &self.load_cells[start as usize..end as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cells::CellKind;
+
+    #[test]
+    fn schedule_levels_and_drives_are_complete() {
+        let mut n = Netlist::new("sched");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let tie = n.add_constant("tie1", true);
+        let ab = n.add_net("ab");
+        let gated = n.add_net("gated");
+        let q = n.add_net("q");
+        n.add_cell("u_and", CellKind::And2, &[a, b], ab).unwrap();
+        n.add_cell("u_or", CellKind::Or2, &[ab, tie], gated)
+            .unwrap();
+        n.add_cell("u_ff", CellKind::Dff, &[gated], q).unwrap();
+        n.mark_output(q).unwrap();
+
+        let schedule = EvalSchedule::compile(&n, &n.combinational_levels().unwrap()).unwrap();
+        assert_eq!(schedule.level_count(), 2);
+        assert_eq!(schedule.cell_count(), 2);
+        assert_eq!(schedule.state_slots(), 1);
+        assert_eq!(schedule.input_drives.len(), 2);
+        assert_eq!(schedule.constant_drives, vec![(tie.index() as u32, true)]);
+        assert_eq!(schedule.seq_drives, vec![(q.index() as u32, 0)]);
+        assert_eq!(schedule.seq_captures, vec![(0, gated.index() as u32)]);
+        // `ab` feeds only the level-1 OR (scheduled cell 1); `a` feeds only
+        // the level-0 AND (scheduled cell 0).
+        assert_eq!(schedule.load_cells(ab.index()), &[1]);
+        assert_eq!(schedule.load_cells(a.index()), &[0]);
+        // `q` feeds nothing combinational.
+        assert!(schedule.load_cells(q.index()).is_empty());
+    }
+
+    #[test]
+    fn cycle_is_rejected() {
+        let mut n = Netlist::new("loop");
+        let x = n.add_net("x");
+        let y = n.add_net("y");
+        n.add_cell("u1", CellKind::Inv, &[y], x).unwrap();
+        n.add_cell("u2", CellKind::Inv, &[x], y).unwrap();
+        // The levelization a compile consumes is where the cycle surfaces.
+        assert!(matches!(
+            n.combinational_levels(),
+            Err(NetlistError::CombinationalLoop { .. })
+        ));
+    }
+}

@@ -517,10 +517,29 @@ impl Span {
     pub fn finish(self) {}
 }
 
+/// Resolves the `phase.<name>.micros` histogram for a span name, keeping a
+/// thread-local handle cache so closing a span costs two atomic adds instead
+/// of a name allocation plus a registry lock per drop (spans wrap phases as
+/// short as a per-circuit pass run, so drops are hot).
+fn span_histogram(name: &'static str) -> &'static metrics::Histogram {
+    use std::cell::RefCell;
+    use std::collections::HashMap;
+    thread_local! {
+        static HANDLES: RefCell<HashMap<&'static str, &'static metrics::Histogram>> =
+            RefCell::new(HashMap::new());
+    }
+    HANDLES.with(|handles| {
+        *handles
+            .borrow_mut()
+            .entry(name)
+            .or_insert_with(|| metrics::histogram(&format!("phase.{name}.micros")))
+    })
+}
+
 impl Drop for Span {
     fn drop(&mut self) {
         let micros = u64::try_from(self.start.elapsed().as_micros()).unwrap_or(u64::MAX);
-        metrics::histogram(&format!("phase.{}.micros", self.name)).observe(micros);
+        span_histogram(self.name).observe(micros);
         if enabled(self.level, self.target) {
             let mut fields = std::mem::take(&mut self.fields);
             fields.push(("elapsed_us", FieldValue::U64(micros)));

@@ -63,6 +63,13 @@ pub mod names {
     /// Histogram: characterization throughput per occupancy measurement, in
     /// lane-cycles per second.
     pub const CHARACTERIZE_LANE_CYCLES_PER_SEC: &str = "characterize.lane_cycles_per_sec";
+    /// Counter: cells removed by netlist optimization passes.
+    pub const PASSES_CELLS_REMOVED: &str = "netlist.passes.cells_removed";
+    /// Counter: nets removed by netlist optimization passes.
+    pub const PASSES_NETS_REMOVED: &str = "netlist.passes.nets_removed";
+    /// Gauge: combinational levels of the most recently compiled evaluation
+    /// schedule.
+    pub const PASSES_SCHEDULE_LEVELS: &str = "netlist.passes.schedule_levels";
 }
 
 /// A monotonically increasing named count.

@@ -93,6 +93,13 @@ COMMANDS:
         [--tolerance <REL>]        Accepted relative deviation (default 0 =
                                    byte-exact); exits nonzero on mismatch
     report --in <FILE.json>        Summarize a previously emitted document
+    netlist-stats <CLASS>          Generate a Table 1 switch circuit and show
+                                   what the netlist pass pipeline bought:
+                                   cell/net/level counts plus per-pass
+                                   reductions. CLASS is `crosspoint`,
+                                   `banyan`, `batcher`, `mux<N>` (e.g.
+                                   `mux16`) or `all`
+        [--json]                   Emit the statistics as JSON
     help                           Show this message
 
 GLOBAL OPTIONS (any command):
@@ -208,6 +215,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         Some("cache") => done(cache(&args[1..])),
         Some("diff") => diff(&args[1..]),
         Some("report") => done(report_command(&args[1..])),
+        Some("netlist-stats") => done(netlist_stats(&args[1..])),
         Some(other) => Err(format!("unknown command `{other}`")),
     }
 }
@@ -897,5 +905,114 @@ fn report_command(args: &[String]) -> Result<(), String> {
         flag_value(args, "--in")?.ok_or_else(|| "report needs `--in <FILE.json>`".to_string())?;
     let document = read_document(&path)?;
     print!("{}", report::format_document(&document));
+    Ok(())
+}
+
+/// One `netlist-stats` row: a generated circuit class and what the standard
+/// pass pipeline did to it.
+#[derive(serde::Serialize)]
+struct NetlistStatsRow {
+    class: String,
+    bus_width: usize,
+    report: fabric_power_netlist::PipelineReport,
+}
+
+/// `fabric-power netlist-stats <CLASS> [--json]`: generate a Table 1 switch
+/// circuit and print cell/net/level counts with per-pass reductions — the
+/// quick way to see what the pass pipeline bought before characterizing.
+fn netlist_stats(args: &[String]) -> Result<(), String> {
+    use fabric_power_netlist::circuits::{
+        banyan_binary_switch, batcher_sorting_switch, crossbar_crosspoint, n_input_mux,
+    };
+    use fabric_power_netlist::{PassPipeline, SwitchClass};
+
+    // The Table 1 switch set: 32-bit payload buses, 5-bit sort addresses
+    // (log2 of the paper's 32-port fabrics), matching the `table1` and
+    // `passes_bench` binaries.
+    const BUS_WIDTH: usize = 32;
+    const ADDRESS_BITS: usize = 5;
+
+    let mut json = false;
+    let mut rest = Vec::new();
+    for arg in args {
+        match arg.as_str() {
+            "--json" => json = true,
+            _ => rest.push(arg.clone()),
+        }
+    }
+    known_flags_with_positionals(&rest, 1, &[])?;
+    let class_arg = rest.first().ok_or_else(|| {
+        "netlist-stats needs a class: crosspoint, banyan, batcher, mux<N> or all".to_string()
+    })?;
+    let classes: Vec<SwitchClass> = match class_arg.as_str() {
+        "crosspoint" => vec![SwitchClass::CrossbarCrosspoint],
+        "banyan" => vec![SwitchClass::BanyanBinary],
+        "batcher" => vec![SwitchClass::BatcherSorting],
+        "all" => vec![
+            SwitchClass::CrossbarCrosspoint,
+            SwitchClass::BanyanBinary,
+            SwitchClass::BatcherSorting,
+            SwitchClass::Mux { inputs: 4 },
+            SwitchClass::Mux { inputs: 8 },
+            SwitchClass::Mux { inputs: 16 },
+            SwitchClass::Mux { inputs: 32 },
+        ],
+        other => match other.strip_prefix("mux").and_then(|n| n.parse().ok()) {
+            Some(inputs) if inputs >= 2 => vec![SwitchClass::Mux { inputs }],
+            _ => {
+                return Err(format!(
+                    "unknown class `{other}` (expected crosspoint, banyan, batcher, mux<N> or all)"
+                ))
+            }
+        },
+    };
+
+    let pipeline = PassPipeline::standard();
+    let mut rows = Vec::new();
+    for class in classes {
+        let circuit = match class {
+            SwitchClass::CrossbarCrosspoint => crossbar_crosspoint(BUS_WIDTH),
+            SwitchClass::BanyanBinary => banyan_binary_switch(BUS_WIDTH),
+            SwitchClass::BatcherSorting => batcher_sorting_switch(BUS_WIDTH, ADDRESS_BITS),
+            SwitchClass::Mux { inputs } => n_input_mux(inputs, BUS_WIDTH),
+        }
+        .map_err(|e| format!("generating {class}: {e}"))?;
+        let optimized = pipeline
+            .run(&circuit.netlist)
+            .map_err(|e| format!("optimizing {class}: {e}"))?;
+        rows.push(NetlistStatsRow {
+            class: class.to_string(),
+            bus_width: BUS_WIDTH,
+            report: optimized.report().clone(),
+        });
+    }
+
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&rows).map_err(|e| e.to_string())?
+        );
+        return Ok(());
+    }
+    for row in &rows {
+        let report = &row.report;
+        let reduction =
+            100.0 * (1.0 - report.final_cells as f64 / report.original_cells.max(1) as f64);
+        println!("{} ({}-bit bus)", row.class, row.bus_width);
+        println!(
+            "  cells {} -> {} ({reduction:.1}% removed), nets {} -> {}, {} levels",
+            report.original_cells,
+            report.final_cells,
+            report.original_nets,
+            report.final_nets,
+            report.levels
+        );
+        for pass in &report.passes {
+            println!(
+                "    {:<16} -{:<5} cells  -{:<5} nets  ({} cells, {} nets after)",
+                pass.pass, pass.cells_removed, pass.nets_removed, pass.cells_after, pass.nets_after
+            );
+        }
+    }
     Ok(())
 }
