@@ -1,0 +1,224 @@
+//! Times the NoC global tick loop across mesh sizes and writes the perf
+//! trajectory file `BENCH_noc.json`.
+//!
+//! Each row runs one mesh × offered-load point of radix-8 crossbar routers
+//! end to end (warmup + measurement), several repetitions, reporting the
+//! best wall time, the tick rate, and the run's network aggregates (hop
+//! percentiles, per-hop and link energy, saturation throughput, credit
+//! stalls).  Every repetition must reproduce the first report exactly — the
+//! tick loop is deterministic — and the binary additionally asserts the 1×1
+//! degradation contract: a 1×1 "network" must reproduce the single-router
+//! simulator's report bit for bit.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p fabric-power-bench --bin noc_bench -- \
+//!     [--quick] [--out PATH]
+//! ```
+//!
+//! * `--quick` — CI-sized grid ({2×2, 4×4} meshes, short windows);
+//! * `--out PATH` — where to write the JSON (default `BENCH_noc.json` in
+//!   the current directory, i.e. the repo root when run via `cargo run`).
+
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+
+use serde::Serialize;
+
+use fabric_power_fabric::energy_model::FabricEnergyModel;
+use fabric_power_fabric::Architecture;
+use fabric_power_noc::{NetworkConfig, NetworkSimulator};
+use fabric_power_router::config::SimulationConfig;
+use fabric_power_router::sim::RouterSimulator;
+use fabric_power_sweep::write_atomic;
+
+/// Per-node fabric radix: port 0 is local injection/ejection, ports 1–4 the
+/// grid directions (8 is the smallest power of two that fits a 2-D grid).
+const RADIX: usize = 8;
+
+/// Timing repetitions per row; each row reports the best (the minimum is
+/// the standard noise-free estimator for a deterministic workload).
+const REPS: usize = 3;
+
+#[derive(Debug, Serialize)]
+struct MeshRow {
+    width: usize,
+    height: usize,
+    nodes: usize,
+    offered_load: f64,
+    total_cycles: u64,
+    best_ms: f64,
+    ticks_per_sec: f64,
+    node_ticks_per_sec: f64,
+    average_hops: f64,
+    hops_p99: f64,
+    per_hop_energy_pj: f64,
+    link_energy_pj: f64,
+    saturation_throughput: f64,
+    link_words: u64,
+    credit_stalls: u64,
+    deterministic: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct BenchReport {
+    radix: usize,
+    packet_words: usize,
+    warmup_cycles: u64,
+    measure_cycles: u64,
+    seed: u64,
+    quick: bool,
+    reps: usize,
+    host_cpus: usize,
+    one_by_one_exact: bool,
+    rows: Vec<MeshRow>,
+    note: String,
+}
+
+fn node_config(offered_load: f64, warmup: u64, measure: u64) -> SimulationConfig {
+    SimulationConfig {
+        warmup_cycles: warmup,
+        measure_cycles: measure,
+        ..SimulationConfig::new(Architecture::Crossbar, RADIX, offered_load)
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut quick = false;
+    let mut out = String::from("BENCH_noc.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => out = args.next().ok_or("--out needs a path")?,
+            other => return Err(format!("unknown argument: {other}").into()),
+        }
+    }
+
+    let (meshes, warmup, measure): (&[(usize, usize)], u64, u64) = if quick {
+        (&[(2, 2), (4, 4)], 100, 600)
+    } else {
+        (&[(2, 2), (4, 4), (8, 8)], 500, 4000)
+    };
+    let loads = [0.2, 0.5];
+    let model = Arc::new(FabricEnergyModel::paper(RADIX)?);
+
+    // The degradation contract first: a 1×1 "network" is a single router.
+    let reference =
+        RouterSimulator::with_shared_model(node_config(0.3, warmup, measure), Arc::clone(&model))?
+            .run();
+    let degraded = NetworkSimulator::with_shared_model(
+        node_config(0.3, warmup, measure),
+        NetworkConfig::mesh(1, 1),
+        Arc::clone(&model),
+    )?
+    .run();
+    let one_by_one_exact = degraded.network.is_none() && degraded.simulation == reference;
+    if !one_by_one_exact {
+        return Err("1x1 network diverged from the single-router simulator".into());
+    }
+
+    println!("NoC tick loop, radix-{RADIX} crossbar nodes, best of {REPS} (quick={quick})");
+    println!(
+        "{:<8} {:>6} {:>6} {:>10} {:>12} {:>10} {:>10} {:>12} {:>8}",
+        "mesh",
+        "nodes",
+        "load",
+        "best (ms)",
+        "nticks/s",
+        "avg hops",
+        "hop pJ",
+        "sat thpt",
+        "stalls"
+    );
+    let mut rows = Vec::new();
+    for &(width, height) in meshes {
+        let network = NetworkConfig::mesh(width, height);
+        for load in loads {
+            let config = node_config(load, warmup, measure);
+            let total_cycles = warmup + measure;
+            let mut best_ms = f64::INFINITY;
+            let mut first_report = None;
+            let mut deterministic = true;
+            for _ in 0..REPS {
+                let sim = NetworkSimulator::with_shared_model(
+                    config.clone(),
+                    network,
+                    Arc::clone(&model),
+                )?;
+                let start = Instant::now();
+                let report = sim.run();
+                best_ms = best_ms.min(start.elapsed().as_secs_f64() * 1e3);
+                if *first_report.get_or_insert_with(|| report.clone()) != report {
+                    deterministic = false;
+                }
+            }
+            if !deterministic {
+                return Err(format!("{width}x{height} @{load}: run is not deterministic").into());
+            }
+            let report = first_report.expect("at least one repetition ran");
+            let stats = report
+                .network
+                .ok_or("multi-node run must report network aggregates")?;
+            let seconds = best_ms / 1e3;
+            let ticks_per_sec = total_cycles as f64 / seconds;
+            let node_ticks_per_sec = ticks_per_sec * (width * height) as f64;
+            println!(
+                "{:<8} {:>6} {:>5.0}% {:>10.2} {:>12.3e} {:>10.2} {:>10.3} {:>12.3} {:>8}",
+                format!("{width}x{height}"),
+                width * height,
+                load * 100.0,
+                best_ms,
+                node_ticks_per_sec,
+                stats.average_hops,
+                stats.per_hop_energy.as_picojoules(),
+                stats.saturation_throughput,
+                stats.credit_stalls,
+            );
+            rows.push(MeshRow {
+                width,
+                height,
+                nodes: width * height,
+                offered_load: load,
+                total_cycles,
+                best_ms,
+                ticks_per_sec,
+                node_ticks_per_sec,
+                average_hops: stats.average_hops,
+                hops_p99: stats.hops_p99,
+                per_hop_energy_pj: stats.per_hop_energy.as_picojoules(),
+                link_energy_pj: stats.link_energy.as_picojoules(),
+                saturation_throughput: stats.saturation_throughput,
+                link_words: stats.link_words,
+                credit_stalls: stats.credit_stalls,
+                deterministic,
+            });
+        }
+    }
+
+    let config = node_config(loads[0], warmup, measure);
+    let report = BenchReport {
+        radix: RADIX,
+        packet_words: config.packet_words,
+        warmup_cycles: warmup,
+        measure_cycles: measure,
+        seed: config.seed,
+        quick,
+        reps: REPS,
+        host_cpus: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        one_by_one_exact,
+        rows,
+        note: "dimension-order routing, credit depth 4, single-cycle 16-grid links; \
+               every repetition reproduces the first report exactly, and the 1x1 \
+               network is asserted bit-identical to the single-router simulator"
+            .to_string(),
+    };
+    write_atomic(
+        Path::new(&out),
+        &(serde_json::to_string_pretty(&report)? + "\n"),
+    )?;
+    println!("wrote {out}");
+    Ok(())
+}

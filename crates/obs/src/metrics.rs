@@ -70,6 +70,12 @@ pub mod names {
     /// Gauge: combinational levels of the most recently compiled evaluation
     /// schedule.
     pub const PASSES_SCHEDULE_LEVELS: &str = "netlist.passes.schedule_levels";
+    /// Counter: payload words forwarded over inter-router NoC links.
+    pub const NOC_FLITS_ROUTED: &str = "noc.flits_routed";
+    /// Counter: NoC link launches that stalled waiting for credits.
+    pub const NOC_CREDIT_STALLS: &str = "noc.credits_stalled";
+    /// Histogram: wall-clock nanoseconds per NoC global tick.
+    pub const NOC_TICK_NANOS: &str = "noc.tick_nanos";
 }
 
 /// A monotonically increasing named count.

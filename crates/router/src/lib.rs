@@ -14,7 +14,9 @@
 //! * [`metrics`] — streaming latency-distribution metrics: a deterministic
 //!   fixed-bin histogram behind the report's p50/p95/p99 fields;
 //! * [`config`] — simulation configuration and the per-run report;
-//! * [`sim`] — the simulator itself.
+//! * [`node`] — the reusable per-tick switching core of one router
+//!   (injected traffic, shared with the `fabric-power-noc` network layer);
+//! * [`sim`] — the single-router driver built on it.
 //!
 //! # Examples
 //!
@@ -45,6 +47,7 @@
 pub mod config;
 pub mod energy;
 pub mod metrics;
+pub mod node;
 pub mod packet;
 pub mod sim;
 pub mod traffic;
@@ -52,6 +55,7 @@ pub mod traffic;
 pub use config::{SimulationConfig, SimulationReport};
 pub use energy::EnergyAccount;
 pub use metrics::{HistogramMergeError, LatencyHistogram, SparseLatencyHistogram};
+pub use node::RouterNode;
 pub use packet::Packet;
 pub use sim::{simulate, RouterSimulator, SimulationError};
 pub use traffic::{TrafficGenerator, TrafficPattern};

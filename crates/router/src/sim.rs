@@ -16,48 +16,16 @@
 //!
 //! Throughput is measured at the egress ports, exactly as in the paper.
 
-use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 use fabric_power_fabric::energy_model::{EnergyModelError, FabricEnergyModel};
 use fabric_power_fabric::provider::{ModelProvider, ModelSpec};
-use fabric_power_fabric::topology::{ElementId, FabricTopology, RoutePath, TopologyError};
-use fabric_power_tech::wire::polarity_flips;
+use fabric_power_fabric::topology::TopologyError;
 
 use crate::config::{SimulationConfig, SimulationReport};
-use crate::energy::EnergyAccount;
 use crate::metrics::LatencyHistogram;
-use crate::packet::Packet;
+use crate::node::RouterNode;
 use crate::traffic::TrafficGenerator;
-
-/// A link inside the fabric, used to track per-wire polarity state and to
-/// detect interconnect contention.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-enum LinkKey {
-    /// The dedicated ingress segment of one input port.
-    Ingress(usize),
-    /// The output link of a node switch.
-    Hop(ElementId, usize),
-}
-
-/// One packet currently crossing the fabric.
-#[derive(Debug, Clone)]
-struct ActiveFlow {
-    packet: Packet,
-    path: RoutePath,
-    words_delivered: usize,
-    /// Words currently parked in a node buffer because of contention.
-    backlog: u64,
-    /// The node the backlog is parked at (first contended hop).
-    backlog_element: Option<ElementId>,
-    blocked: bool,
-}
-
-impl ActiveFlow {
-    fn is_complete(&self) -> bool {
-        self.words_delivered >= self.packet.words()
-    }
-}
 
 /// Errors raised when constructing a [`RouterSimulator`].
 #[derive(Debug)]
@@ -135,31 +103,16 @@ impl From<EnergyModelError> for SimulationError {
 #[derive(Debug)]
 pub struct RouterSimulator {
     config: SimulationConfig,
-    /// Shared immutable energy model: parameter sweeps evaluate many
-    /// operating points per fabric size, so the model is behind an [`Arc`]
-    /// and shared across simulators (and worker threads) instead of being
-    /// cloned per run.
-    model: Arc<FabricEnergyModel>,
-    topology: FabricTopology,
+    /// The per-tick switching core (queues, arbiter, flows, energy): shared
+    /// with the NoC layer, which drives a whole mesh of them.
+    node: RouterNode,
     traffic: TrafficGenerator,
-
-    input_queues: Vec<VecDeque<Packet>>,
-    input_busy: Vec<bool>,
-    output_busy: Vec<bool>,
-    grant_pointer: Vec<usize>,
-    flows: Vec<ActiveFlow>,
-    link_last_word: HashMap<LinkKey, u64>,
-    node_buffer_words: HashMap<ElementId, u64>,
 
     cycle: u64,
     measuring: bool,
     measured_cycles: u64,
-    words_delivered: u64,
     packets_delivered: u64,
-    buffered_words: u64,
-    buffer_overflow_cycles: u64,
     latency: LatencyHistogram,
-    energy: EnergyAccount,
 }
 
 impl RouterSimulator {
@@ -212,13 +165,12 @@ impl RouterSimulator {
         config: SimulationConfig,
         model: Arc<FabricEnergyModel>,
     ) -> Result<Self, SimulationError> {
-        if model.ports() != config.ports {
-            return Err(SimulationError::PortMismatch {
-                config_ports: config.ports,
-                model_ports: model.ports(),
-            });
-        }
-        let topology = FabricTopology::new(config.architecture, config.ports)?;
+        let node = RouterNode::new(
+            config.architecture,
+            config.ports,
+            config.node_buffer_bits,
+            model,
+        )?;
         let traffic = TrafficGenerator::new(
             config.ports,
             config.offered_load,
@@ -227,26 +179,14 @@ impl RouterSimulator {
             config.seed,
         );
         Ok(Self {
-            input_queues: vec![VecDeque::new(); config.ports],
-            input_busy: vec![false; config.ports],
-            output_busy: vec![false; config.ports],
-            grant_pointer: vec![0; config.ports],
-            flows: Vec::new(),
-            link_last_word: HashMap::new(),
-            node_buffer_words: HashMap::new(),
+            node,
+            traffic,
             cycle: 0,
             measuring: false,
             measured_cycles: 0,
-            words_delivered: 0,
             packets_delivered: 0,
-            buffered_words: 0,
-            buffer_overflow_cycles: 0,
             latency: LatencyHistogram::new(),
-            energy: EnergyAccount::new(),
-            topology,
-            traffic,
             config,
-            model,
         })
     }
 
@@ -272,11 +212,17 @@ impl RouterSimulator {
             self.measured_cycles += 1;
         }
 
-        self.accept_arrivals();
-        self.arbitrate();
-        self.resolve_contention();
-        self.transmit();
-        self.complete_flows();
+        for port in 0..self.config.ports {
+            if let Some(packet) = self.traffic.arrivals(port, self.cycle) {
+                self.node.inject(port, packet);
+            }
+        }
+        for packet in self.node.step(self.cycle) {
+            if self.measuring {
+                self.packets_delivered += 1;
+                self.latency.record(self.cycle + 1 - packet.arrival_cycle);
+            }
+        }
 
         self.cycle += 1;
     }
@@ -290,16 +236,16 @@ impl RouterSimulator {
             ports: self.config.ports,
             offered_load: self.config.offered_load,
             measured_cycles: self.measured_cycles,
-            words_delivered: self.words_delivered,
+            words_delivered: self.node.words_delivered(),
             packets_delivered: self.packets_delivered,
-            buffered_words: self.buffered_words,
-            buffer_overflow_cycles: self.buffer_overflow_cycles,
+            buffered_words: self.node.buffered_words(),
+            buffer_overflow_cycles: self.node.buffer_overflow_cycles(),
             average_latency_cycles: self.latency.mean(),
             latency_p50,
             latency_p95,
             latency_p99,
             latency_histogram: self.latency.to_sparse(),
-            energy: self.energy,
+            energy: self.node.energy(),
             cycle_time: self.config.cycle_time(),
         }
     }
@@ -314,242 +260,9 @@ impl RouterSimulator {
     fn begin_measurement(&mut self) {
         self.measuring = true;
         self.measured_cycles = 0;
-        self.words_delivered = 0;
         self.packets_delivered = 0;
-        self.buffered_words = 0;
-        self.buffer_overflow_cycles = 0;
         self.latency = LatencyHistogram::new();
-        self.energy = EnergyAccount::new();
-    }
-
-    fn accept_arrivals(&mut self) {
-        for port in 0..self.config.ports {
-            if let Some(packet) = self.traffic.arrivals(port, self.cycle) {
-                self.input_queues[port].push_back(packet);
-            }
-        }
-    }
-
-    /// First-come-first-serve arbitration with a round-robin tie-break per
-    /// egress port: destination contention is resolved here, before packets
-    /// enter the fabric (paper §3.2).
-    fn arbitrate(&mut self) {
-        let ports = self.config.ports;
-        for output in 0..ports {
-            if self.output_busy[output] {
-                continue;
-            }
-            let start = self.grant_pointer[output];
-            for offset in 0..ports {
-                let input = (start + offset) % ports;
-                if self.input_busy[input] {
-                    continue;
-                }
-                let Some(head) = self.input_queues[input].front() else {
-                    continue;
-                };
-                if head.destination != output {
-                    continue;
-                }
-                let packet = self.input_queues[input].pop_front().expect("head exists");
-                let path = self.topology.route(input, output);
-                self.flows.push(ActiveFlow {
-                    packet,
-                    path,
-                    words_delivered: 0,
-                    backlog: 0,
-                    backlog_element: None,
-                    blocked: false,
-                });
-                self.input_busy[input] = true;
-                self.output_busy[output] = true;
-                self.grant_pointer[output] = (input + 1) % ports;
-                break;
-            }
-        }
-    }
-
-    /// Detects interconnect contention (internal blocking) for fabrics whose
-    /// paths can share links — only the Banyan in the paper's set.  Flows are
-    /// examined in a rotating priority order; a flow that cannot claim every
-    /// link of its path is blocked for this cycle and its incoming word is
-    /// absorbed by the node buffer at the first contended hop.
-    fn resolve_contention(&mut self) {
-        for flow in &mut self.flows {
-            flow.blocked = false;
-        }
-        if self.flows.is_empty() {
-            return;
-        }
-        let mut claimed: HashMap<LinkKey, usize> = HashMap::new();
-        let count = self.flows.len();
-        let start = (self.cycle as usize) % count;
-        for offset in 0..count {
-            let index = (start + offset) % count;
-            let flow = &self.flows[index];
-            if flow.is_complete() {
-                continue;
-            }
-            let contendable = flow.path.hops.iter().any(|h| h.buffered_on_contention);
-            if !contendable {
-                continue;
-            }
-            let mut blocking_element = None;
-            for hop in flow.path.hops.iter().filter(|h| h.buffered_on_contention) {
-                let key = LinkKey::Hop(hop.element, hop.output_port);
-                if claimed.contains_key(&key) {
-                    blocking_element = Some(hop.element);
-                    break;
-                }
-            }
-            if let Some(element) = blocking_element {
-                let flow = &mut self.flows[index];
-                flow.blocked = true;
-                flow.backlog_element = Some(element);
-            } else {
-                for hop in self.flows[index]
-                    .path
-                    .hops
-                    .iter()
-                    .filter(|h| h.buffered_on_contention)
-                {
-                    claimed.insert(LinkKey::Hop(hop.element, hop.output_port), index);
-                }
-            }
-        }
-    }
-
-    /// Advances every flow by one word, charging energy as it goes.
-    fn transmit(&mut self) {
-        let bus_width = f64::from(self.model.bus_width_bits());
-        let word_mask = if self.model.bus_width_bits() >= 64 {
-            u64::MAX
-        } else {
-            (1_u64 << self.model.bus_width_bits()) - 1
-        };
-
-        // Per-element occupancy of flows that transmit this cycle (the input
-        // vector the node-switch LUT is indexed with).
-        let mut occupancy: HashMap<ElementId, usize> = HashMap::new();
-        for flow in &self.flows {
-            if flow.blocked || flow.is_complete() {
-                continue;
-            }
-            for hop in &flow.path.hops {
-                *occupancy.entry(hop.element).or_insert(0) += 1;
-            }
-        }
-
-        let mut switch_energy = fabric_power_tech::units::Energy::ZERO;
-        let mut wire_energy = fabric_power_tech::units::Energy::ZERO;
-        let mut buffer_energy = fabric_power_tech::units::Energy::ZERO;
-
-        for flow in &mut self.flows {
-            if flow.is_complete() {
-                continue;
-            }
-            if flow.blocked {
-                // The word arriving at the contended node this cycle is written
-                // into (and will later be read back from) the node buffer.
-                buffer_energy += self.model.buffer_bit_energy() * bus_width;
-                flow.backlog += 1;
-                if self.measuring {
-                    self.buffered_words += 1;
-                }
-                if let Some(element) = flow.backlog_element {
-                    let entry = self.node_buffer_words.entry(element).or_insert(0);
-                    *entry += 1;
-                    if *entry * u64::from(self.model.bus_width_bits())
-                        > self.config.node_buffer_bits
-                        && self.measuring
-                    {
-                        self.buffer_overflow_cycles += 1;
-                    }
-                }
-                continue;
-            }
-
-            let word = flow.packet.payload[flow.words_delivered] & word_mask;
-
-            // Wire energy: only bits that flip polarity on each interconnect
-            // segment dissipate energy (paper Eq. 2).
-            let ingress_key = LinkKey::Ingress(flow.packet.source);
-            let previous = self.link_last_word.insert(ingress_key, word).unwrap_or(0);
-            let flips = f64::from(polarity_flips(previous, word));
-            wire_energy +=
-                self.model.grid_bit_energy() * (flips * flow.path.wire_grids_before as f64);
-            for hop in &flow.path.hops {
-                let key = LinkKey::Hop(hop.element, hop.output_port);
-                let previous = self.link_last_word.insert(key, word).unwrap_or(0);
-                let flips = f64::from(polarity_flips(previous, word));
-                wire_energy += self.model.grid_bit_energy() * (flips * hop.wire_grids_after as f64);
-            }
-
-            // Node-switch energy from the input-vector LUT.
-            for hop in &flow.path.hops {
-                if hop.charged_inputs > 1 {
-                    // Crossbar row: the bit toggles the inputs of all N
-                    // crosspoints (Eq. 3's N·E_S term).
-                    switch_energy += self.model.switch_bit_energy(hop.class, 1)
-                        * (bus_width * hop.charged_inputs as f64);
-                } else {
-                    let occupants = occupancy.get(&hop.element).copied().unwrap_or(1).max(1);
-                    // The LUT value is the whole switch's per-bit-slot energy
-                    // under that occupancy; split it evenly between the
-                    // packets sharing the switch so it is charged exactly once.
-                    switch_energy += self.model.switch_bit_energy(hop.class, occupants)
-                        * (bus_width / occupants as f64);
-                }
-            }
-
-            // A word previously parked in the node buffer drains along with
-            // this one (its read access was already charged on the write).
-            if flow.backlog > 0 {
-                flow.backlog -= 1;
-                if let Some(element) = flow.backlog_element {
-                    if let Some(entry) = self.node_buffer_words.get_mut(&element) {
-                        *entry = entry.saturating_sub(1);
-                    }
-                }
-            }
-
-            flow.words_delivered += 1;
-            if self.measuring {
-                self.words_delivered += 1;
-            }
-        }
-
-        if self.measuring {
-            self.energy.switches += switch_energy;
-            self.energy.wires += wire_energy;
-            self.energy.buffers += buffer_energy;
-        }
-    }
-
-    fn complete_flows(&mut self) {
-        let cycle = self.cycle;
-        let measuring = self.measuring;
-        let mut completed_latency = Vec::new();
-        self.flows.retain(|flow| {
-            if flow.is_complete() {
-                completed_latency.push((
-                    flow.packet.source,
-                    flow.packet.destination,
-                    cycle + 1 - flow.packet.arrival_cycle,
-                ));
-                false
-            } else {
-                true
-            }
-        });
-        for (source, destination, latency) in completed_latency {
-            self.input_busy[source] = false;
-            self.output_busy[destination] = false;
-            if measuring {
-                self.packets_delivered += 1;
-                self.latency.record(latency);
-            }
-        }
+        self.node.begin_measurement();
     }
 }
 

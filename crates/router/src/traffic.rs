@@ -44,6 +44,12 @@ pub enum TrafficPattern {
     /// i.e. every bit of the port index inverted (for power-of-two `N`).
     /// Also destination-contention-free.
     BitComplement,
+    /// The matrix-transpose permutation: for a perfect-square port count
+    /// `N = k²`, input `i = r·k + c` sends to `c·k + r` (row/column swapped).
+    /// Diagonal sources (`r == c`) would self-address, so they fall back to a
+    /// uniform destination, as does any non-square port count.  The classic
+    /// adversarial pattern for dimension-order-routed meshes.
+    Transpose,
     /// Two-state on/off (bursty) traffic with uniform random destinations.
     ///
     /// Each ingress port alternates independently between an ON state
@@ -60,6 +66,43 @@ pub enum TrafficPattern {
         /// Mean dwell time of each state, in cycles (must be ≥ 1).
         mean_burst: f64,
     },
+}
+
+impl TrafficPattern {
+    /// The deterministic destination this pattern assigns to `source`, for
+    /// the fixed-permutation patterns ([`TrafficPattern::Permutation`],
+    /// [`TrafficPattern::Tornado`], [`TrafficPattern::BitComplement`],
+    /// [`TrafficPattern::Transpose`]).
+    ///
+    /// Returns `None` for the stochastic patterns, and for fixed mappings
+    /// that would self-address (the bit-complement middle port of an odd
+    /// `N`, transpose diagonal sources, transpose on a non-square `N`) —
+    /// the generator falls back to a uniform destination in those cases.
+    /// `Permutation`/`Tornado` keep their raw modular arithmetic even when
+    /// a degenerate `shift` self-addresses, matching the simulator.
+    #[must_use]
+    pub fn fixed_destination(self, source: usize, ports: usize) -> Option<usize> {
+        match self {
+            Self::Permutation { shift } => Some((source + shift) % ports),
+            Self::Tornado => Some((source + ports / 2) % ports),
+            Self::BitComplement => {
+                let destination = (ports - 1) - source;
+                (destination != source).then_some(destination)
+            }
+            Self::Transpose => {
+                let side = exact_square_side(ports)?;
+                let destination = (source % side) * side + source / side;
+                (destination != source).then_some(destination)
+            }
+            Self::UniformRandom | Self::Hotspot { .. } | Self::Bursty { .. } => None,
+        }
+    }
+}
+
+/// The integer `k` with `k² == n`, if `n` is a perfect square.
+fn exact_square_side(n: usize) -> Option<usize> {
+    let side = (n as f64).sqrt().round() as usize;
+    (side * side == n).then_some(side)
 }
 
 /// Generates packet arrivals for every ingress port.
@@ -196,10 +239,10 @@ impl TrafficGenerator {
     }
 
     fn pick_destination(&mut self, source: usize) -> usize {
+        if let Some(destination) = self.pattern.fixed_destination(source, self.ports) {
+            return destination;
+        }
         match self.pattern {
-            TrafficPattern::UniformRandom | TrafficPattern::Bursty { .. } => {
-                self.uniform_excluding_source(source)
-            }
             TrafficPattern::Hotspot { port, fraction } => {
                 if self.rng.gen::<f64>() < fraction && port != source {
                     port
@@ -207,19 +250,7 @@ impl TrafficGenerator {
                     self.uniform_excluding_source(source)
                 }
             }
-            TrafficPattern::Permutation { shift } => (source + shift) % self.ports,
-            TrafficPattern::Tornado => (source + self.ports / 2) % self.ports,
-            TrafficPattern::BitComplement => {
-                let destination = (self.ports - 1) - source;
-                if destination == source {
-                    // Only possible for odd port counts (the middle port);
-                    // self-traffic never crosses the fabric, so fall back to
-                    // a uniform destination.
-                    self.uniform_excluding_source(source)
-                } else {
-                    destination
-                }
-            }
+            _ => self.uniform_excluding_source(source),
         }
     }
 }

@@ -34,7 +34,8 @@ USAGE:
     fabric-power <COMMAND> [OPTIONS]
 
 COMMANDS:
-    list-scenarios                 List every registered scenario
+    list-scenarios                 List every registered scenario (the noc-*
+                                   family sweeps multi-router mesh networks)
     export-scenario <NAME>         Print a scenario as JSON (editable, then
                                    runnable via `sweep --scenario-file`)
     sweep                          Run a scenario's grid

@@ -4,6 +4,7 @@
 use serde::{Deserialize, Serialize};
 
 use fabric_power_fabric::Architecture;
+use fabric_power_noc::{NetworkConfig, NetworkStats};
 use fabric_power_router::metrics::SparseLatencyHistogram;
 use fabric_power_router::traffic::TrafficPattern;
 use fabric_power_tech::units::{Energy, Power};
@@ -45,6 +46,10 @@ impl SeedStrategy {
     }
 
     /// Derives the cell seed for one operating point.
+    ///
+    /// `network` is the cell's network coordinate, when the sweep has a mesh
+    /// axis.  Single-router cells (`None`) derive exactly the seed they did
+    /// before the network layer existed, under either strategy.
     #[must_use]
     pub fn cell_seed(
         self,
@@ -53,6 +58,7 @@ impl SeedStrategy {
         ports: usize,
         offered_load: f64,
         pattern: TrafficPattern,
+        network: Option<&NetworkConfig>,
     ) -> u64 {
         match self {
             Self::Shared => base_seed,
@@ -62,6 +68,9 @@ impl SeedStrategy {
                 state = mix(state, ports as u64);
                 state = mix(state, offered_load.to_bits());
                 state = mix(state, pattern_fingerprint(pattern));
+                if let Some(network) = network {
+                    state = mix(state, network_fingerprint(network));
+                }
                 state
             }
         }
@@ -97,6 +106,7 @@ pub fn pattern_fingerprint(pattern: TrafficPattern) -> u64 {
         TrafficPattern::Permutation { shift } => mix(fnv1a(b"permutation"), shift as u64),
         TrafficPattern::Tornado => fnv1a(b"tornado"),
         TrafficPattern::BitComplement => fnv1a(b"bit-complement"),
+        TrafficPattern::Transpose => fnv1a(b"transpose"),
         TrafficPattern::Bursty {
             on_load,
             off_load,
@@ -106,6 +116,22 @@ pub fn pattern_fingerprint(pattern: TrafficPattern) -> u64 {
             mean_burst.to_bits(),
         ),
     }
+}
+
+/// A stable 64-bit fingerprint of a cell's network coordinate (shape,
+/// routing policy and every link knob), used for per-cell seed derivation on
+/// sweeps with a mesh axis.
+#[must_use]
+pub fn network_fingerprint(network: &NetworkConfig) -> u64 {
+    let mut state = fnv1a(b"network");
+    state = mix(state, network.width as u64);
+    state = mix(state, network.height as u64);
+    state = mix(state, u64::from(network.torus));
+    state = mix(state, fnv1a(network.routing.slug().as_bytes()));
+    state = mix(state, network.link_depth as u64);
+    state = mix(state, network.link_latency);
+    state = mix(state, u64::from(network.link_grids));
+    state
 }
 
 fn fnv1a(bytes: &[u8]) -> u64 {
@@ -134,6 +160,13 @@ pub struct SweepCell {
     /// The simulation seed this cell runs with (already derived; see
     /// [`SeedStrategy`]).
     pub seed: u64,
+    /// The network this cell simulates, when the sweep has a mesh axis:
+    /// `ports` is then the per-node fabric radix and `offered_load` the
+    /// injection rate at each node's local port.  `None` (and omitted from
+    /// JSON) for single-router cells, so pre-network plans keep their exact
+    /// bytes and still parse.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub network: Option<NetworkConfig>,
 }
 
 /// The distinct fabric sizes a cell list touches, in first-seen order — the
@@ -192,11 +225,18 @@ pub struct SweepPoint {
     /// emitted before this field existed parseable.
     #[serde(default)]
     pub latency_histogram: SparseLatencyHistogram,
+    /// Network-level aggregates (hop percentiles, link and per-hop energy,
+    /// saturation throughput), for cells that ran a multi-node network.
+    /// `None` — and omitted from the JSON — for single-router cells and 1×1
+    /// networks, so single-router documents keep their exact bytes.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub network: Option<NetworkStats>,
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fabric_power_noc::RoutingPolicy;
 
     #[test]
     fn shared_strategy_passes_the_base_seed_through() {
@@ -206,14 +246,26 @@ mod tests {
             8,
             0.3,
             TrafficPattern::UniformRandom,
+            None,
         );
         assert_eq!(seed, 42);
+        // Shared stays the base seed on network cells too — the fleet's
+        // seed-compatible default, whatever the axis.
+        let networked = SeedStrategy::Shared.cell_seed(
+            42,
+            Architecture::Banyan,
+            8,
+            0.3,
+            TrafficPattern::UniformRandom,
+            Some(&NetworkConfig::mesh(4, 4)),
+        );
+        assert_eq!(networked, 42);
     }
 
     #[test]
     fn per_cell_seeds_differ_across_every_coordinate() {
         let base = |architecture, ports, load, pattern| {
-            SeedStrategy::PerCell.cell_seed(0xDAC_2002, architecture, ports, load, pattern)
+            SeedStrategy::PerCell.cell_seed(0xDAC_2002, architecture, ports, load, pattern, None)
         };
         let reference = base(Architecture::Banyan, 8, 0.3, TrafficPattern::UniformRandom);
         assert_ne!(
@@ -263,6 +315,46 @@ mod tests {
         assert_ne!(
             pattern_fingerprint(TrafficPattern::Tornado),
             pattern_fingerprint(TrafficPattern::BitComplement)
+        );
+    }
+
+    #[test]
+    fn network_fingerprints_separate_every_knob() {
+        let reference = NetworkConfig::mesh(4, 4);
+        let fingerprint = network_fingerprint(&reference);
+        assert_eq!(fingerprint, network_fingerprint(&NetworkConfig::mesh(4, 4)));
+        for variant in [
+            NetworkConfig::mesh(8, 4),
+            NetworkConfig::mesh(4, 8),
+            NetworkConfig::torus(4, 4),
+            NetworkConfig::mesh(4, 4).with_routing(RoutingPolicy::MinimalAdaptive),
+            NetworkConfig::mesh(4, 4).with_link_depth(2),
+            NetworkConfig {
+                link_latency: 2,
+                ..NetworkConfig::mesh(4, 4)
+            },
+            NetworkConfig {
+                link_grids: 32,
+                ..NetworkConfig::mesh(4, 4)
+            },
+        ] {
+            assert_ne!(fingerprint, network_fingerprint(&variant), "{variant:?}");
+        }
+        // And the per-cell strategy folds it into the seed.
+        let seeded = |network| {
+            SeedStrategy::PerCell.cell_seed(
+                7,
+                Architecture::Banyan,
+                8,
+                0.3,
+                TrafficPattern::UniformRandom,
+                network,
+            )
+        };
+        assert_ne!(seeded(None), seeded(Some(&reference)));
+        assert_ne!(
+            seeded(Some(&reference)),
+            seeded(Some(&NetworkConfig::mesh(8, 8)))
         );
     }
 

@@ -181,6 +181,56 @@ pub fn diff_documents(a: &SweepDocument, b: &SweepDocument, tolerance: f64) -> D
             ("latency_p50", pa.latency_p50, pb.latency_p50),
             ("latency_p95", pa.latency_p95, pb.latency_p95),
             ("latency_p99", pa.latency_p99, pb.latency_p99),
+            // Network aggregates: absent stats map to NaN, so two
+            // single-router points agree bit-for-bit (same NaN) while a
+            // present-vs-absent pair reports as a NaN difference below.
+            (
+                "average_hops",
+                pa.network.map_or(f64::NAN, |n| n.average_hops),
+                pb.network.map_or(f64::NAN, |n| n.average_hops),
+            ),
+            (
+                "hops_p50",
+                pa.network.map_or(f64::NAN, |n| n.hops_p50),
+                pb.network.map_or(f64::NAN, |n| n.hops_p50),
+            ),
+            (
+                "hops_p95",
+                pa.network.map_or(f64::NAN, |n| n.hops_p95),
+                pb.network.map_or(f64::NAN, |n| n.hops_p95),
+            ),
+            (
+                "hops_p99",
+                pa.network.map_or(f64::NAN, |n| n.hops_p99),
+                pb.network.map_or(f64::NAN, |n| n.hops_p99),
+            ),
+            (
+                "link_energy_j",
+                pa.network.map_or(f64::NAN, |n| n.link_energy.as_joules()),
+                pb.network.map_or(f64::NAN, |n| n.link_energy.as_joules()),
+            ),
+            (
+                "per_hop_energy_j",
+                pa.network
+                    .map_or(f64::NAN, |n| n.per_hop_energy.as_joules()),
+                pb.network
+                    .map_or(f64::NAN, |n| n.per_hop_energy.as_joules()),
+            ),
+            (
+                "saturation_throughput",
+                pa.network.map_or(f64::NAN, |n| n.saturation_throughput),
+                pb.network.map_or(f64::NAN, |n| n.saturation_throughput),
+            ),
+            (
+                "link_words",
+                pa.network.map_or(f64::NAN, |n| n.link_words as f64),
+                pb.network.map_or(f64::NAN, |n| n.link_words as f64),
+            ),
+            (
+                "credit_stalls",
+                pa.network.map_or(f64::NAN, |n| n.credit_stalls as f64),
+                pb.network.map_or(f64::NAN, |n| n.credit_stalls as f64),
+            ),
         ];
         let fields: Vec<FieldDelta> = candidates
             .into_iter()
@@ -276,6 +326,52 @@ mod tests {
         assert!(!diff.is_match());
         let fields: Vec<&str> = diff.cells[0].fields.iter().map(|d| d.field).collect();
         assert_eq!(fields, vec!["latency_p50", "latency_p95", "latency_p99"]);
+    }
+
+    #[test]
+    fn network_aggregates_diff_like_any_other_field() {
+        let stats = fabric_power_noc::NetworkStats {
+            width: 2,
+            height: 2,
+            torus: false,
+            routing: fabric_power_noc::RoutingPolicy::DimensionOrder,
+            average_hops: 1.5,
+            hops_p50: 1.0,
+            hops_p95: 2.0,
+            hops_p99: 2.0,
+            link_energy: fabric_power_tech::units::Energy::from_picojoules(3.0),
+            per_hop_energy: fabric_power_tech::units::Energy::from_picojoules(0.5),
+            saturation_throughput: 0.2,
+            link_words: 100,
+            credit_stalls: 4,
+        };
+        // Both sides carrying stats: only the drifted field reports.
+        let mut a = document();
+        a.points[0].network = Some(stats);
+        let mut b = a.clone();
+        b.points[0].network = Some(fabric_power_noc::NetworkStats {
+            average_hops: 1.75,
+            ..stats
+        });
+        let diff = diff_documents(&a, &b, 0.0);
+        assert_eq!(diff.cells.len(), 1);
+        let fields: Vec<&str> = diff.cells[0].fields.iter().map(|d| d.field).collect();
+        assert_eq!(fields, vec!["average_hops"]);
+        // Present vs absent is a difference (NaN never hides), at any
+        // tolerance.
+        let mut stripped = a.clone();
+        stripped.points[0].network = None;
+        for tolerance in [0.0, 1e-3] {
+            let diff = diff_documents(&a, &stripped, tolerance);
+            assert!(!diff.is_match(), "tol {tolerance}");
+            assert!(diff.cells[0]
+                .fields
+                .iter()
+                .any(|d| d.field == "average_hops"));
+        }
+        // Two single-router documents (no stats anywhere) still match: the
+        // NaN placeholders agree bit for bit.
+        assert!(diff_documents(&document(), &document(), 0.0).is_match());
     }
 
     #[test]

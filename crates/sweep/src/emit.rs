@@ -63,6 +63,13 @@ pub const CSV_HEADER: &str = "architecture,ports,offered_load,measured_throughpu
 switch_energy_j,buffer_energy_j,wire_energy_j,buffered_words,average_latency_cycles,\
 latency_p50,latency_p95,latency_p99";
 
+/// Extra columns appended to [`CSV_HEADER`] when at least one point carries
+/// network aggregates (a sweep with a mesh axis).  Single-router documents
+/// keep the original 13-column shape byte for byte.
+pub const CSV_NETWORK_COLUMNS: &str = ",width,height,torus,routing,average_hops,\
+hops_p50,hops_p95,hops_p99,link_energy_j,per_hop_energy_j,saturation_throughput,\
+link_words,credit_stalls";
+
 impl SweepDocument {
     /// Serializes to pretty JSON (deterministic bytes).
     ///
@@ -84,13 +91,23 @@ impl SweepDocument {
     }
 
     /// Renders the points as CSV (header plus one row per point).
+    ///
+    /// When any point carries network aggregates the
+    /// [`CSV_NETWORK_COLUMNS`] are appended to the header and every row —
+    /// empty fields on rows without them (a 1×1 network cell in a mixed
+    /// document).  Documents without any stay in the original 13-column
+    /// shape.
     #[must_use]
     pub fn to_csv_string(&self) -> String {
+        let networked = self.points.iter().any(|point| point.network.is_some());
         let mut out = String::from(CSV_HEADER);
+        if networked {
+            out.push_str(CSV_NETWORK_COLUMNS);
+        }
         out.push('\n');
         for point in &self.points {
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{}",
                 point.architecture.slug(),
                 point.ports,
                 point.offered_load,
@@ -105,6 +122,28 @@ impl SweepDocument {
                 point.latency_p95,
                 point.latency_p99,
             ));
+            if networked {
+                match &point.network {
+                    Some(stats) => out.push_str(&format!(
+                        ",{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                        stats.width,
+                        stats.height,
+                        stats.torus,
+                        stats.routing.slug(),
+                        stats.average_hops,
+                        stats.hops_p50,
+                        stats.hops_p95,
+                        stats.hops_p99,
+                        stats.link_energy.as_joules(),
+                        stats.per_hop_energy.as_joules(),
+                        stats.saturation_throughput,
+                        stats.link_words,
+                        stats.credit_stalls,
+                    )),
+                    None => out.push_str(&",".repeat(13)),
+                }
+            }
+            out.push('\n');
         }
         out
     }
@@ -180,6 +219,46 @@ mod tests {
         assert_eq!(fields[1], "4");
         // The three percentile columns sit after the mean latency.
         assert!(CSV_HEADER.ends_with("latency_p50,latency_p95,latency_p99"));
+    }
+
+    #[test]
+    fn network_sweeps_append_the_network_csv_columns() {
+        let config = ExperimentConfig {
+            port_counts: vec![8],
+            offered_loads: vec![0.2],
+            architectures: vec![fabric_power_fabric::Architecture::Crossbar],
+            warmup_cycles: 20,
+            measure_cycles: 100,
+            network: Some(crate::config::NetworkSweepConfig::meshes(&[(1, 1), (2, 2)])),
+            ..ExperimentConfig::quick()
+        };
+        let points = SweepEngine::new().with_threads(1).run(&config).unwrap();
+        let document = SweepDocument {
+            scenario: "noc-csv".into(),
+            config,
+            seed_strategy: SeedStrategy::Shared,
+            points,
+        };
+        let csv = document.to_csv_string();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], format!("{CSV_HEADER}{CSV_NETWORK_COLUMNS}"));
+        assert!(lines[0].ends_with("credit_stalls"));
+        let columns = lines[0].split(',').count();
+        // The 1×1 cell has no network aggregates: its row pads with empty
+        // fields but keeps the column count.
+        for row in &lines[1..] {
+            assert_eq!(row.split(',').count(), columns, "{row}");
+        }
+        assert!(lines[1].ends_with(&",".repeat(13)), "1x1 row pads empty");
+        let multi: Vec<&str> = lines[2].split(',').collect();
+        assert_eq!(multi[13], "2", "width column");
+        assert_eq!(multi[14], "2", "height column");
+        assert_eq!(multi[16], "dimension-order");
+        // The JSON form round-trips the aggregates losslessly.
+        let back = SweepDocument::from_json_str(&document.to_json_string().unwrap()).unwrap();
+        assert_eq!(back, document);
+        assert!(back.points[0].network.is_none());
+        assert!(back.points[1].network.is_some());
     }
 
     #[test]

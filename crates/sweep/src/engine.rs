@@ -7,6 +7,7 @@ use std::sync::Arc;
 
 use fabric_power_fabric::energy_model::FabricEnergyModel;
 use fabric_power_fabric::provider::ModelProvider;
+use fabric_power_noc::{NetworkReport, NetworkSimulator};
 use fabric_power_obs as obs;
 use fabric_power_router::sim::RouterSimulator;
 
@@ -326,9 +327,10 @@ impl SweepEngine {
     /// Simulates a single cell against a shared energy model.
     ///
     /// Every operating parameter comes from the cell itself (a cell is the
-    /// self-describing unit future sharding will ship around); the config
-    /// only contributes the grid-wide knobs (cycle windows, packet length,
-    /// model source).
+    /// self-describing unit sharding ships around, including its network
+    /// coordinate when the sweep has a mesh axis); the config only
+    /// contributes the grid-wide knobs (cycle windows, packet length, model
+    /// source).
     fn run_cell(
         &self,
         config: &ExperimentConfig,
@@ -342,23 +344,37 @@ impl SweepEngine {
         let mut sim_config =
             config.simulation_config(cell.architecture, cell.ports, cell.offered_load, cell.seed);
         sim_config.pattern = cell.pattern;
-        let report = RouterSimulator::with_shared_model(sim_config, Arc::clone(model))?.run();
+        let report = match cell.network {
+            // A network cell runs the tick-based fabric-of-fabrics; a 1×1
+            // network degrades inside the simulator to exactly the
+            // single-router path (and reports no network aggregates).
+            Some(network) => {
+                NetworkSimulator::with_shared_model(sim_config, network, Arc::clone(model))?.run()
+            }
+            None => NetworkReport {
+                simulation: RouterSimulator::with_shared_model(sim_config, Arc::clone(model))?
+                    .run(),
+                network: None,
+            },
+        };
         span.finish();
+        let simulation = report.simulation;
         Ok(SweepPoint {
             architecture: cell.architecture,
             ports: cell.ports,
             offered_load: cell.offered_load,
-            measured_throughput: report.measured_throughput(),
-            power: report.average_power(),
-            switch_energy: report.energy.switches,
-            buffer_energy: report.energy.buffers,
-            wire_energy: report.energy.wires,
-            buffered_words: report.buffered_words,
-            average_latency_cycles: report.average_latency_cycles,
-            latency_p50: report.latency_p50,
-            latency_p95: report.latency_p95,
-            latency_p99: report.latency_p99,
-            latency_histogram: report.latency_histogram,
+            measured_throughput: simulation.measured_throughput(),
+            power: simulation.average_power(),
+            switch_energy: simulation.energy.switches,
+            buffer_energy: simulation.energy.buffers,
+            wire_energy: simulation.energy.wires,
+            buffered_words: simulation.buffered_words,
+            average_latency_cycles: simulation.average_latency_cycles,
+            latency_p50: simulation.latency_p50,
+            latency_p95: simulation.latency_p95,
+            latency_p99: simulation.latency_p99,
+            latency_histogram: simulation.latency_histogram,
+            network: report.network,
         })
     }
 }

@@ -27,32 +27,47 @@ use crate::config::ExperimentConfig;
 const PLAN_HASH_DOMAIN: &str = "fabric-power sweep-plan v1";
 
 /// Expands a configuration into its flat cell list, in canonical order
-/// (ports → architecture → offered load — the order the original sequential
-/// loops visited the grid in), with every cell's seed fixed up front.
+/// (mesh → ports → architecture → offered load — the inner three axes in the
+/// order the original sequential loops visited the grid in, with the network
+/// axis, when present, outermost), with every cell's seed fixed up front.
 ///
 /// This is *the* grid expansion: the engine, plans and shards all call it, so
 /// cell indices and seeds can never disagree between a planned run and a
 /// direct one.
 #[must_use]
 pub fn expand_cells(config: &ExperimentConfig, seed_strategy: SeedStrategy) -> Vec<SweepCell> {
+    // A single-router sweep is a network sweep over the one-element axis
+    // `[None]`; a network sweep iterates its mesh sizes outermost.
+    let networks = match &config.network {
+        None => vec![None],
+        Some(network) => network
+            .meshes
+            .iter()
+            .map(|&mesh| Some(network.network_config(mesh)))
+            .collect(),
+    };
     let mut cells = Vec::with_capacity(config.grid_size());
-    for &ports in &config.port_counts {
-        for &architecture in &config.architectures {
-            for &offered_load in &config.offered_loads {
-                cells.push(SweepCell {
-                    index: cells.len(),
-                    architecture,
-                    ports,
-                    offered_load,
-                    pattern: config.pattern,
-                    seed: seed_strategy.cell_seed(
-                        config.seed,
+    for network in networks {
+        for &ports in &config.port_counts {
+            for &architecture in &config.architectures {
+                for &offered_load in &config.offered_loads {
+                    cells.push(SweepCell {
+                        index: cells.len(),
                         architecture,
                         ports,
                         offered_load,
-                        config.pattern,
-                    ),
-                });
+                        pattern: config.pattern,
+                        seed: seed_strategy.cell_seed(
+                            config.seed,
+                            architecture,
+                            ports,
+                            offered_load,
+                            config.pattern,
+                            network.as_ref(),
+                        ),
+                        network,
+                    });
+                }
             }
         }
     }

@@ -8,9 +8,10 @@
 
 use serde::{Deserialize, Serialize};
 
+use fabric_power_fabric::Architecture;
 use fabric_power_router::traffic::TrafficPattern;
 
-use crate::config::{ExperimentConfig, ModelSource};
+use crate::config::{ExperimentConfig, ModelSource, NetworkSweepConfig};
 
 /// One named workload: a full experiment configuration plus a summary line.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -117,6 +118,57 @@ impl ScenarioRegistry {
             },
         });
 
+        // The network-of-routers family: every operating point is a mesh (or
+        // torus) of radix-8 crossbar routers; `port_counts` is the per-node
+        // fabric radix and `offered_loads` the injection rate at each node's
+        // local port.  Patterns address *nodes*, not ports.
+        let noc_base = ExperimentConfig {
+            port_counts: vec![8],
+            architectures: vec![Architecture::Crossbar],
+            ..ExperimentConfig::paper()
+        };
+        registry.register(Scenario {
+            name: "noc-quick".into(),
+            summary: "NoC smoke grid: 2x2 and 4x4 meshes of radix-8 crossbars, short windows"
+                .into(),
+            config: ExperimentConfig {
+                offered_loads: vec![0.10, 0.30],
+                warmup_cycles: 100,
+                measure_cycles: 600,
+                network: Some(NetworkSweepConfig::meshes(&[(2, 2), (4, 4)])),
+                ..noc_base.clone()
+            },
+        });
+        registry.register(Scenario {
+            name: "noc-uniform".into(),
+            summary: "Uniform-random node traffic over {2x2, 4x4, 8x8} meshes".into(),
+            config: ExperimentConfig {
+                network: Some(NetworkSweepConfig::meshes(&[(2, 2), (4, 4), (8, 8)])),
+                ..noc_base.clone()
+            },
+        });
+        registry.register(Scenario {
+            name: "noc-hotspot".into(),
+            summary: "30% of all node traffic aimed at node 0 of a {4x4, 8x8} mesh".into(),
+            config: ExperimentConfig {
+                pattern: TrafficPattern::Hotspot {
+                    port: 0,
+                    fraction: 0.3,
+                },
+                network: Some(NetworkSweepConfig::meshes(&[(4, 4), (8, 8)])),
+                ..noc_base.clone()
+            },
+        });
+        registry.register(Scenario {
+            name: "noc-transpose".into(),
+            summary: "Transpose permutation (node r*k+c -> c*k+r) over {4x4, 8x8} meshes".into(),
+            config: ExperimentConfig {
+                pattern: TrafficPattern::Transpose,
+                network: Some(NetworkSweepConfig::meshes(&[(4, 4), (8, 8)])),
+                ..noc_base
+            },
+        });
+
         registry
     }
 
@@ -183,9 +235,19 @@ mod tests {
             "tornado",
             "bit-complement",
             "bursty",
+            "noc-quick",
+            "noc-uniform",
+            "noc-hotspot",
+            "noc-transpose",
         ] {
             assert!(registry.get(name).is_some(), "missing scenario `{name}`");
         }
+        // The noc family sweeps meshes of radix-8 crossbars.
+        let noc = registry.get("noc-uniform").unwrap();
+        let network = noc.config.network.as_ref().expect("network axis");
+        assert_eq!(network.meshes.len(), 3);
+        assert_eq!(noc.config.port_counts, vec![8]);
+        assert_eq!(noc.config.grid_size(), 3 * 5, "3 meshes x 1 arch x 5 loads");
         assert_eq!(
             registry.get("derived-quick").unwrap().config.model_source,
             ModelSource::Derived

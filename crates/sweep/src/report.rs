@@ -81,6 +81,52 @@ pub fn format_document(document: &SweepDocument) -> String {
             }
         }
     }
+
+    // Network aggregates, for sweeps with a mesh axis: one row per
+    // networked point (1×1 cells report as plain single routers and carry
+    // no row here).
+    let networked: Vec<_> = document
+        .points
+        .iter()
+        .filter_map(|point| point.network.as_ref().map(|stats| (point, stats)))
+        .collect();
+    if !networked.is_empty() {
+        out.push_str("\nnetwork aggregates (per-hop energy over router + link traversals)\n");
+        out.push_str(&format!(
+            "{:<12}{:<18}{:>6}{:>10}{:>15}{:>14}{:>13}{:>10}{:>9}\n",
+            "mesh",
+            "routing",
+            "load",
+            "avg hops",
+            "p50/p95/p99",
+            "per-hop [pJ]",
+            "link [pJ]",
+            "sat thpt",
+            "stalls"
+        ));
+        for (point, stats) in networked {
+            out.push_str(&format!(
+                "{:<12}{:<18}{:>5.0}%{:>10.2}{:>15}{:>14.3}{:>13.3}{:>10.3}{:>9}\n",
+                format!(
+                    "{}x{}{}",
+                    stats.width,
+                    stats.height,
+                    if stats.torus { " torus" } else { "" }
+                ),
+                stats.routing.slug(),
+                point.offered_load * 100.0,
+                stats.average_hops,
+                format!(
+                    "{:.0}/{:.0}/{:.0}",
+                    stats.hops_p50, stats.hops_p95, stats.hops_p99
+                ),
+                stats.per_hop_energy.as_picojoules(),
+                stats.link_energy.as_picojoules(),
+                stats.saturation_throughput,
+                stats.credit_stalls,
+            ));
+        }
+    }
     out
 }
 
@@ -112,6 +158,46 @@ mod tests {
             assert!(text.contains(architecture.slug()), "{architecture}");
         }
         assert!(text.contains("cheapest at 10% load"));
+    }
+
+    #[test]
+    fn report_appends_the_network_section_for_mesh_sweeps() {
+        let config = ExperimentConfig {
+            port_counts: vec![8],
+            offered_loads: vec![0.2],
+            architectures: vec![fabric_power_fabric::Architecture::Crossbar],
+            warmup_cycles: 20,
+            measure_cycles: 100,
+            network: Some(crate::config::NetworkSweepConfig::meshes(&[(2, 2)])),
+            ..ExperimentConfig::quick()
+        };
+        let points = SweepEngine::new().with_threads(1).run(&config).unwrap();
+        let document = SweepDocument {
+            scenario: "noc-report-test".into(),
+            config,
+            seed_strategy: crate::cell::SeedStrategy::Shared,
+            points,
+        };
+        let text = format_document(&document);
+        assert!(text.contains("network aggregates"));
+        assert!(text.contains("2x2"));
+        assert!(text.contains("dimension-order"));
+        // Single-router documents never grow the section.
+        let plain = ExperimentConfig {
+            port_counts: vec![4],
+            offered_loads: vec![0.2],
+            warmup_cycles: 20,
+            measure_cycles: 100,
+            ..ExperimentConfig::quick()
+        };
+        let plain_points = SweepEngine::new().with_threads(1).run(&plain).unwrap();
+        let plain_text = format_document(&SweepDocument {
+            scenario: "plain".into(),
+            config: plain,
+            seed_strategy: crate::cell::SeedStrategy::Shared,
+            points: plain_points,
+        });
+        assert!(!plain_text.contains("network aggregates"));
     }
 
     #[test]

@@ -79,6 +79,7 @@ fn engine_backed_sweep_matches_sequential_reference() {
                     latency_p95: report.latency_p95,
                     latency_p99: report.latency_p99,
                     latency_histogram: report.latency_histogram,
+                    network: None,
                 });
             }
         }
@@ -95,13 +96,27 @@ fn every_builtin_scenario_expands_and_a_reduced_version_runs() {
     for scenario in registry.scenarios() {
         assert!(scenario.config.grid_size() > 0, "{}", scenario.name);
         // Shrink every scenario to one cheap cell and push it through the
-        // whole engine + emitter pipeline.
+        // whole engine + emitter pipeline.  Network scenarios keep their
+        // radix (a 2-D mesh needs 5 ports, so radix 4 would be rejected) and
+        // shrink the mesh axis to its first size instead.
         let reduced = ExperimentConfig {
-            port_counts: vec![4],
+            port_counts: if scenario.config.network.is_some() {
+                scenario.config.port_counts.clone()
+            } else {
+                vec![4]
+            },
             offered_loads: vec![scenario.config.offered_loads[0]],
-            architectures: vec![Architecture::Banyan],
+            architectures: vec![if scenario.config.network.is_some() {
+                scenario.config.architectures[0]
+            } else {
+                Architecture::Banyan
+            }],
             warmup_cycles: 20,
             measure_cycles: 100,
+            network: scenario.config.network.clone().map(|mut network| {
+                network.meshes.truncate(1);
+                network
+            }),
             ..scenario.config.clone()
         };
         let points = SweepEngine::new().run(&reduced).expect("run");
@@ -115,6 +130,44 @@ fn every_builtin_scenario_expands_and_a_reduced_version_runs() {
         let json = document.to_json_string().expect("emit");
         let back = SweepDocument::from_json_str(&json).expect("parse");
         assert_eq!(document, back, "{}", scenario.name);
+    }
+}
+
+#[test]
+fn golden_single_router_sweep_bytes_are_pinned() {
+    // `tests/golden/single_router_sweep.json` was emitted by the
+    // pre-RouterNode-refactor simulator (`fabric-power sweep --scenario-file
+    // tests/golden/single_router_scenario.json`).  The refactored core —
+    // and the whole network layer above it — must keep reproducing those
+    // bytes exactly, at any thread count.
+    let scenario_json = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/single_router_scenario.json"
+    ))
+    .expect("read golden scenario");
+    let scenario: fabric_power_sweep::Scenario =
+        serde_json::from_str(&scenario_json).expect("parse golden scenario");
+    let golden = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/single_router_sweep.json"
+    ))
+    .expect("read golden sweep document");
+    for threads in [1, 4] {
+        let points = SweepEngine::new()
+            .with_threads(threads)
+            .run(&scenario.config)
+            .expect("golden sweep runs");
+        let document = SweepDocument {
+            scenario: scenario.name.clone(),
+            config: scenario.config.clone(),
+            seed_strategy: SeedStrategy::Shared,
+            points,
+        };
+        let emitted = document.to_json_string().expect("serialize") + "\n";
+        assert_eq!(
+            emitted, golden,
+            "threads {threads}: the single-router sweep bytes drifted from the golden pin"
+        );
     }
 }
 

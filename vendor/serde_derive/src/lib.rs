@@ -25,6 +25,11 @@ struct Field {
     name: String,
     /// `#[serde(default)]`: deserialize a missing key as `Default::default()`.
     default: bool,
+    /// `#[serde(skip_serializing_if = "...")]`: omit the key when the field
+    /// serializes to `Value::Null` (the vendored stand-in for serde's
+    /// predicate form — the workspace only ever uses `Option::is_none`, and
+    /// `None` is exactly what serializes to `Null`).
+    skip_null: bool,
 }
 
 /// The parsed shape of the item the derive is attached to.
@@ -157,20 +162,24 @@ fn skip_attributes(tokens: &[TokenTree], index: &mut usize) {
 }
 
 /// Skips field attributes like [`skip_attributes`], additionally reporting
-/// whether any of them was `#[serde(default)]`.
-fn take_field_attributes(tokens: &[TokenTree], index: &mut usize) -> bool {
+/// whether any of them was `#[serde(default)]` or
+/// `#[serde(skip_serializing_if = "...")]`.
+fn take_field_attributes(tokens: &[TokenTree], index: &mut usize) -> (bool, bool) {
     let mut default = false;
+    let mut skip_null = false;
     while matches!(&tokens.get(*index), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
         if let Some(TokenTree::Group(attribute)) = tokens.get(*index + 1) {
-            default |= is_serde_default(attribute);
+            default |= serde_attribute_contains(attribute, "default");
+            skip_null |= serde_attribute_contains(attribute, "skip_serializing_if");
         }
         *index += 2;
     }
-    default
+    (default, skip_null)
 }
 
-/// Whether a bracketed attribute group is `serde(...)` containing `default`.
-fn is_serde_default(attribute: &proc_macro::Group) -> bool {
+/// Whether a bracketed attribute group is `serde(...)` containing the given
+/// bare identifier (e.g. `default` or `skip_serializing_if`).
+fn serde_attribute_contains(attribute: &proc_macro::Group, ident: &str) -> bool {
     let inner: Vec<TokenTree> = attribute.stream().into_iter().collect();
     match (inner.first(), inner.get(1)) {
         (Some(TokenTree::Ident(name)), Some(TokenTree::Group(arguments)))
@@ -179,7 +188,7 @@ fn is_serde_default(attribute: &proc_macro::Group) -> bool {
             arguments
                 .stream()
                 .into_iter()
-                .any(|token| matches!(&token, TokenTree::Ident(i) if i.to_string() == "default"))
+                .any(|token| matches!(&token, TokenTree::Ident(i) if i.to_string() == ident))
         }
         _ => false,
     }
@@ -210,7 +219,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let mut index = 0;
     let mut fields = Vec::new();
     while index < tokens.len() {
-        let default = take_field_attributes(&tokens, &mut index);
+        let (default, skip_null) = take_field_attributes(&tokens, &mut index);
         if index >= tokens.len() {
             break;
         }
@@ -218,6 +227,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
         fields.push(Field {
             name: expect_ident(&tokens, &mut index),
             default,
+            skip_null,
         });
         // `:` then the type, up to the next top-level comma.
         skip_past_comma(&tokens, &mut index);
@@ -277,11 +287,21 @@ fn generate_serialize(item: &Item) -> String {
         Item::NamedStruct { name, fields } => {
             let mut pushes = String::new();
             for field in fields {
+                let skip_null = field.skip_null;
                 let field = &field.name;
-                pushes.push_str(&format!(
-                    "__entries.push((::std::string::String::from(\"{field}\"), \
-                     ::serde::Serialize::serialize(&self.{field})));\n"
-                ));
+                if skip_null {
+                    pushes.push_str(&format!(
+                        "match ::serde::Serialize::serialize(&self.{field}) {{\n\
+                             ::serde::Value::Null => {{}}\n\
+                             __v => __entries.push((::std::string::String::from(\"{field}\"), __v)),\n\
+                         }}\n"
+                    ));
+                } else {
+                    pushes.push_str(&format!(
+                        "__entries.push((::std::string::String::from(\"{field}\"), \
+                         ::serde::Serialize::serialize(&self.{field})));\n"
+                    ));
+                }
             }
             format!(
                 "impl ::serde::Serialize for {name} {{\n\
