@@ -726,14 +726,40 @@ impl ModelProvider {
         let result = serde_json::to_string(&entry)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
             .and_then(|json| {
+                let json: &[u8] = match obs::faults::next_disk_fault() {
+                    // Fail the persist outright (an injected ENOSPC); the
+                    // graceful-degradation path below absorbs it.
+                    Some(obs::faults::DiskFault::Fail) => {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::StorageFull,
+                            "fault injection: cache write failed",
+                        ));
+                    }
+                    // Publish a torn entry: rename goes through, but the
+                    // payload is half a JSON document.  read_disk's
+                    // validation rejects and heals it — this fault proves
+                    // that path, so the *write* still reports success.
+                    Some(obs::faults::DiskFault::Torn) => &json.as_bytes()[..json.len() / 2],
+                    None => json.as_bytes(),
+                };
                 let tmp = path.with_extension(format!("tmp.{}.{nonce}", std::process::id()));
-                std::fs::write(&tmp, json.as_bytes())?;
+                std::fs::write(&tmp, json)?;
                 std::fs::rename(&tmp, &path)
             });
-        if result.is_err() {
+        if let Err(error) = result {
+            // Graceful degradation, not an abort: the in-memory memo still
+            // holds the model, so the sweep proceeds — the next process
+            // just rebuilds instead of reading the cache.
             self.counters
                 .disk_write_errors
                 .fetch_add(1, Ordering::Relaxed);
+            obs::metrics::counter(obs::metrics::names::MODEL_CACHE_WRITE_ERROR).increment();
+            obs::warn!(
+                TARGET,
+                "model cache write failed, continuing with in-memory model",
+                key = key,
+                error = error.to_string(),
+            );
         }
     }
 }

@@ -1,0 +1,404 @@
+//! Deterministic fault injection for chaos testing the fleet stack.
+//!
+//! A [`FaultPlan`] schedules wire faults (dropped connections, truncated or
+//! garbage frames, delayed writes) and disk faults (torn or failed writes)
+//! at deterministic operation indices, so a chaos run is reproducible: the
+//! same plan against the same sequence of operations injects the same
+//! faults.  Instrumented call sites — the sweep protocol's `write_message`,
+//! the drain journal's append path, the model provider's disk store — ask
+//! [`next_wire_fault`] / [`next_disk_fault`] before each operation.
+//!
+//! # Off by default, provably inert
+//!
+//! Nothing is injected unless a plan is installed, either by a test
+//! ([`install`]) or by the `fabric-power` binary parsing the
+//! `FABRIC_POWER_FAULTS` environment variable at startup
+//! ([`init_from_env`]).  When no plan is installed the entire layer is one
+//! relaxed atomic load per hook ([`active`]) — no locks, no RNG, no
+//! allocation — and the chaos test suite pins that documents are
+//! byte-identical with the hooks compiled in and no plan installed.
+//!
+//! # Spec format
+//!
+//! A plan serializes to (and parses from) a comma-separated `key=value`
+//! spec, which is also the `FABRIC_POWER_FAULTS` wire format:
+//!
+//! ```text
+//! FABRIC_POWER_FAULTS="seed=7,wire_garbage_every=23,wire_delay_every=11,wire_delay_ms=2,disk_torn_every=5"
+//! ```
+//!
+//! Every `*_every=N` knob injects that fault on (deterministically
+//! seed-phased) every Nth operation of its kind; `0` (the default)
+//! disables the knob.  Faults injected are counted in the metrics registry
+//! (`faults.wire_injected`, `faults.disk_injected`).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+use crate::metrics;
+
+/// The environment variable [`init_from_env`] reads.
+pub const FAULTS_ENV: &str = "FABRIC_POWER_FAULTS";
+
+/// A deterministic, serializable schedule of injected faults.
+///
+/// All `*_every` knobs count operations of their kind process-wide; `0`
+/// disables a knob.  The `seed` phases each knob's schedule (and makes two
+/// plans with the same knobs but different seeds inject at different
+/// operation indices), so "every 5th disk write" does not always mean the
+/// 5th, 10th, … — it means one in every window of 5, at a seed-chosen
+/// offset.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    /// Phases every schedule; two equal plans inject identically.
+    pub seed: u64,
+    /// Drop the connection instead of writing (sender sees a reset).
+    pub wire_drop_every: u64,
+    /// Write only the first half of a frame, then fail the send.
+    pub wire_truncate_every: u64,
+    /// Replace the frame with an unparseable garbage line (the send
+    /// "succeeds"; the receiver chokes).
+    pub wire_garbage_every: u64,
+    /// Sleep [`FaultPlan::wire_delay_ms`] before the write.
+    pub wire_delay_every: u64,
+    /// How long a `wire_delay_every` fault sleeps, in milliseconds.
+    pub wire_delay_ms: u64,
+    /// Persist only the first half of a disk payload (a torn write).
+    pub disk_torn_every: u64,
+    /// Fail the disk write outright (as ENOSPC would).
+    pub disk_fail_every: u64,
+}
+
+impl FaultPlan {
+    /// Parses the `key=value,key=value` spec format (see module docs).
+    ///
+    /// # Errors
+    ///
+    /// Unknown keys, missing `=` and unparseable values are all refused
+    /// with a message naming the offending token — a typo in a chaos run
+    /// must not silently disable the fault it meant to enable.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut plan = Self::default();
+        for token in spec.split(',') {
+            let token = token.trim();
+            if token.is_empty() {
+                continue;
+            }
+            let (key, value) = token
+                .split_once('=')
+                .ok_or_else(|| format!("fault spec token `{token}` is not `key=value`"))?;
+            let value: u64 = value
+                .trim()
+                .parse()
+                .map_err(|_| format!("fault spec `{key}` value `{value}` is not an integer"))?;
+            match key.trim() {
+                "seed" => plan.seed = value,
+                "wire_drop_every" => plan.wire_drop_every = value,
+                "wire_truncate_every" => plan.wire_truncate_every = value,
+                "wire_garbage_every" => plan.wire_garbage_every = value,
+                "wire_delay_every" => plan.wire_delay_every = value,
+                "wire_delay_ms" => plan.wire_delay_ms = value,
+                "disk_torn_every" => plan.disk_torn_every = value,
+                "disk_fail_every" => plan.disk_fail_every = value,
+                other => return Err(format!("unknown fault spec key `{other}`")),
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Serializes back to the spec format `parse` accepts (only non-default
+    /// knobs are emitted, plus the seed).
+    #[must_use]
+    pub fn to_spec(&self) -> String {
+        let mut parts = vec![format!("seed={}", self.seed)];
+        for (key, value) in [
+            ("wire_drop_every", self.wire_drop_every),
+            ("wire_truncate_every", self.wire_truncate_every),
+            ("wire_garbage_every", self.wire_garbage_every),
+            ("wire_delay_every", self.wire_delay_every),
+            ("wire_delay_ms", self.wire_delay_ms),
+            ("disk_torn_every", self.disk_torn_every),
+            ("disk_fail_every", self.disk_fail_every),
+        ] {
+            if value != 0 {
+                parts.push(format!("{key}={value}"));
+            }
+        }
+        parts.join(",")
+    }
+
+    /// Whether any knob can ever fire.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.wire_drop_every != 0
+            || self.wire_truncate_every != 0
+            || self.wire_garbage_every != 0
+            || self.wire_delay_every != 0
+            || self.disk_torn_every != 0
+            || self.disk_fail_every != 0
+    }
+}
+
+impl std::fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.to_spec())
+    }
+}
+
+/// A wire fault [`next_wire_fault`] scheduled for the current operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireFault {
+    /// Fail the send as if the connection reset (nothing is written).
+    Drop,
+    /// Write only the first half of the frame, then fail the send.
+    Truncate,
+    /// Write an unparseable garbage line instead of the frame and report
+    /// success to the sender.
+    Garbage,
+    /// Sleep this long, then write normally.
+    Delay(Duration),
+}
+
+/// A disk fault [`next_disk_fault`] scheduled for the current operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiskFault {
+    /// Persist only the first half of the payload (a torn write).
+    Torn,
+    /// Fail the write outright.
+    Fail,
+}
+
+struct FaultState {
+    plan: FaultPlan,
+    wire_ops: AtomicU64,
+    disk_ops: AtomicU64,
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+fn state_slot() -> &'static Mutex<Option<Arc<FaultState>>> {
+    static SLOT: OnceLock<Mutex<Option<Arc<FaultState>>>> = OnceLock::new();
+    SLOT.get_or_init(|| Mutex::new(None))
+}
+
+fn current_state() -> Option<Arc<FaultState>> {
+    state_slot()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .clone()
+}
+
+/// Whether a fault plan is installed.  This is the fast path every hook
+/// checks first: one relaxed atomic load, so the layer costs nothing when
+/// faults are off.
+#[inline]
+#[must_use]
+pub fn active() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Installs `plan` process-wide (the test constructor).  Operation
+/// counters restart from zero, so installing the same plan twice yields
+/// the same schedule.
+pub fn install(plan: FaultPlan) {
+    let enable = plan.is_active();
+    *state_slot()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(Arc::new(FaultState {
+        plan,
+        wire_ops: AtomicU64::new(0),
+        disk_ops: AtomicU64::new(0),
+    }));
+    ENABLED.store(enable, Ordering::Relaxed);
+}
+
+/// Removes any installed plan; every hook reverts to its no-op fast path.
+pub fn clear() {
+    ENABLED.store(false, Ordering::Relaxed);
+    *state_slot()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner) = None;
+}
+
+/// The currently installed plan, if any.
+#[must_use]
+pub fn current() -> Option<FaultPlan> {
+    current_state().map(|state| state.plan.clone())
+}
+
+/// Reads [`FAULTS_ENV`] and installs the plan it describes; returns whether
+/// a plan was installed.  Called once by the `fabric-power` binary at
+/// startup — library users install via [`install`] or not at all.
+///
+/// # Errors
+///
+/// A set-but-malformed spec is an error (see [`FaultPlan::parse`]): a chaos
+/// run with a typoed spec must fail loudly, not run fault-free.
+pub fn init_from_env() -> Result<bool, String> {
+    match std::env::var(FAULTS_ENV) {
+        Ok(spec) if !spec.trim().is_empty() => {
+            let plan =
+                FaultPlan::parse(&spec).map_err(|e| format!("parsing ${FAULTS_ENV}: {e}"))?;
+            let active = plan.is_active();
+            install(plan);
+            Ok(active)
+        }
+        _ => Ok(false),
+    }
+}
+
+/// SplitMix64: the workspace's stock small deterministic mixer.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Whether operation `op` (0-based) fires a knob scheduled `every` ops,
+/// phased by `seed ^ tag`.
+fn fires(op: u64, every: u64, seed: u64, tag: u64) -> bool {
+    if every == 0 {
+        return false;
+    }
+    let phase = splitmix64(seed ^ tag) % every;
+    op % every == phase
+}
+
+/// The fault (if any) scheduled for the next wire write.  `None` always
+/// when no plan is installed.  Injections are counted in
+/// `faults.wire_injected`.
+#[must_use]
+pub fn next_wire_fault() -> Option<WireFault> {
+    if !active() {
+        return None;
+    }
+    let state = current_state()?;
+    let op = state.wire_ops.fetch_add(1, Ordering::Relaxed);
+    let plan = &state.plan;
+    let fault = if fires(op, plan.wire_drop_every, plan.seed, 0x1) {
+        WireFault::Drop
+    } else if fires(op, plan.wire_truncate_every, plan.seed, 0x2) {
+        WireFault::Truncate
+    } else if fires(op, plan.wire_garbage_every, plan.seed, 0x3) {
+        WireFault::Garbage
+    } else if fires(op, plan.wire_delay_every, plan.seed, 0x4) {
+        WireFault::Delay(Duration::from_millis(plan.wire_delay_ms))
+    } else {
+        return None;
+    };
+    metrics::counter(metrics::names::FAULTS_WIRE_INJECTED).increment();
+    Some(fault)
+}
+
+/// The fault (if any) scheduled for the next disk write.  `None` always
+/// when no plan is installed.  Injections are counted in
+/// `faults.disk_injected`.
+#[must_use]
+pub fn next_disk_fault() -> Option<DiskFault> {
+    if !active() {
+        return None;
+    }
+    let state = current_state()?;
+    let op = state.disk_ops.fetch_add(1, Ordering::Relaxed);
+    let plan = &state.plan;
+    let fault = if fires(op, plan.disk_fail_every, plan.seed, 0x5) {
+        DiskFault::Fail
+    } else if fires(op, plan.disk_torn_every, plan.seed, 0x6) {
+        DiskFault::Torn
+    } else {
+        return None;
+    };
+    metrics::counter(metrics::names::FAULTS_DISK_INJECTED).increment();
+    Some(fault)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Installing/clearing mutates process-wide state; serialize the tests
+    /// that touch it.
+    static FAULTS_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn spec_round_trips_and_refuses_garbage() {
+        let plan = FaultPlan {
+            seed: 7,
+            wire_garbage_every: 23,
+            wire_delay_every: 11,
+            wire_delay_ms: 2,
+            disk_torn_every: 5,
+            ..FaultPlan::default()
+        };
+        let spec = plan.to_spec();
+        assert_eq!(FaultPlan::parse(&spec).expect("round trip"), plan);
+        assert_eq!(
+            FaultPlan::parse("seed=7, disk_torn_every=5").expect("spaces ok"),
+            FaultPlan {
+                seed: 7,
+                disk_torn_every: 5,
+                ..FaultPlan::default()
+            }
+        );
+        assert!(FaultPlan::parse("wat").is_err());
+        assert!(FaultPlan::parse("unknown_knob=3").is_err());
+        assert!(FaultPlan::parse("seed=banana").is_err());
+    }
+
+    #[test]
+    fn inactive_layer_injects_nothing() {
+        let _guard = FAULTS_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        clear();
+        assert!(!active());
+        for _ in 0..100 {
+            assert_eq!(next_wire_fault(), None);
+            assert_eq!(next_disk_fault(), None);
+        }
+        // A plan with no live knobs is also inert, whatever its seed.
+        install(FaultPlan {
+            seed: 42,
+            ..FaultPlan::default()
+        });
+        assert!(!active());
+        clear();
+    }
+
+    #[test]
+    fn schedules_are_deterministic_and_seed_phased() {
+        let _guard = FAULTS_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let plan = FaultPlan {
+            seed: 3,
+            wire_drop_every: 4,
+            disk_torn_every: 3,
+            ..FaultPlan::default()
+        };
+        let run = |plan: &FaultPlan| {
+            install(plan.clone());
+            let wire: Vec<_> = (0..12).map(|_| next_wire_fault()).collect();
+            let disk: Vec<_> = (0..12).map(|_| next_disk_fault()).collect();
+            (wire, disk)
+        };
+        let (wire_a, disk_a) = run(&plan);
+        let (wire_b, disk_b) = run(&plan);
+        assert_eq!(wire_a, wire_b, "same plan, same schedule");
+        assert_eq!(disk_a, disk_b);
+        assert_eq!(
+            wire_a.iter().filter(|f| f.is_some()).count(),
+            3,
+            "every 4th of 12 wire ops"
+        );
+        assert_eq!(disk_a.iter().filter(|f| f.is_some()).count(), 4);
+        // A different seed phases the schedule differently (with every=4
+        // there are 4 possible phases; seeds 3 and 6 happen to differ).
+        let reseeded = FaultPlan { seed: 6, ..plan };
+        let (wire_c, _) = run(&reseeded);
+        assert_ne!(wire_a, wire_c, "different seed, different phase");
+        clear();
+    }
+}

@@ -17,6 +17,11 @@
 //!   (`characterize`, `build_model`, `run_cell`, `merge`, …): on drop it
 //!   emits an event with the elapsed time *and* feeds a per-phase wall-time
 //!   histogram in the metrics registry;
+//! * [`faults`] — deterministic fault injection for chaos testing: a
+//!   seeded [`FaultPlan`] (installed by tests or parsed from
+//!   `FABRIC_POWER_FAULTS`) schedules wire and disk faults at
+//!   deterministic operation indices, and is one relaxed atomic load per
+//!   hook when off;
 //! * [`metrics`] — a process-wide registry of named counters, gauges and
 //!   fixed-bin histograms (the same shape as the router's
 //!   `LatencyHistogram`: exact fixed bins plus count/sum/max), with a
@@ -55,10 +60,12 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod faults;
 pub mod log;
 pub mod metrics;
 pub mod progress;
 
+pub use faults::FaultPlan;
 pub use log::{FieldValue, Filter, Level, Span};
 pub use metrics::MetricsSnapshot;
 pub use progress::Progress;

@@ -70,6 +70,28 @@ pub mod names {
     /// Gauge: combinational levels of the most recently compiled evaluation
     /// schedule.
     pub const PASSES_SCHEDULE_LEVELS: &str = "netlist.passes.schedule_levels";
+    /// Counter: worker sessions re-established after a mid-drain
+    /// disconnect (server died, injected fault, torn frame).
+    pub const WORKER_RECONNECTS: &str = "fleet.worker_reconnects";
+    /// Counter: redials of the work server beyond the first attempt of a
+    /// connect loop (backoff retries).
+    pub const CONNECT_RETRIES: &str = "fleet.connect_retries";
+    /// Counter: shard documents appended to the drain journal.
+    pub const JOURNAL_RECORDS_APPENDED: &str = "journal.records_appended";
+    /// Counter: shard documents restored from a drain journal on resume.
+    pub const JOURNAL_RECORDS_REPLAYED: &str = "journal.records_replayed";
+    /// Counter: drain-journal appends that failed (and were rolled back);
+    /// the affected shard is simply re-run on resume.
+    pub const JOURNAL_APPEND_ERRORS: &str = "journal.append_errors";
+    /// Counter: bytes of torn or corrupt journal tail dropped by replay.
+    pub const JOURNAL_TORN_BYTES_DROPPED: &str = "journal.torn_bytes_dropped";
+    /// Counter: model-cache disk writes that failed (ENOSPC and kin); the
+    /// provider falls back to its in-memory memo and the sweep continues.
+    pub const MODEL_CACHE_WRITE_ERROR: &str = "model_cache.write_error";
+    /// Counter: wire faults injected by the fault-injection layer.
+    pub const FAULTS_WIRE_INJECTED: &str = "faults.wire_injected";
+    /// Counter: disk faults injected by the fault-injection layer.
+    pub const FAULTS_DISK_INJECTED: &str = "faults.disk_injected";
     /// Counter: payload words forwarded over inter-router NoC links.
     pub const NOC_FLITS_ROUTED: &str = "noc.flits_routed";
     /// Counter: NoC link launches that stalled waiting for credits.

@@ -22,9 +22,9 @@ use std::sync::Arc;
 
 use fabric_power_obs as obs;
 use fabric_power_sweep::{
-    diff_documents, merge_documents, report, run_worker, status::render_status, ModelProvider,
-    Scenario, ScenarioRegistry, SeedStrategy, ServeOptions, ShardDocument, ShardStrategy,
-    StatusProbe, SweepDocument, SweepEngine, SweepPlan, WorkServer, WorkerOptions,
+    diff_documents, merge_documents, report, run_worker, status::render_status, JournalOptions,
+    ModelProvider, Scenario, ScenarioRegistry, SeedStrategy, ServeOptions, ShardDocument,
+    ShardStrategy, StatusProbe, SweepDocument, SweepEngine, SweepPlan, WorkServer, WorkerOptions,
 };
 
 const USAGE: &str = "\
@@ -69,6 +69,14 @@ COMMANDS:
                                    and emit like `merge` does
         [--lease-timeout-secs <S>] Re-lease a shard whose worker stays silent
                                    for S seconds (default: 60)
+        [--journal <DIR>]          Append every accepted shard to a durable,
+                                   checksummed drain journal keyed by the
+                                   plan's content hash
+        [--resume]                 Restore completed shards from the journal
+                                   (tolerating a torn final record) and
+                                   re-lease only the remainder; the resumed
+                                   merge is byte-identical to an
+                                   uninterrupted run
         [--out <FILE.json>] [--csv <FILE.csv>]
     worker                         Claim, execute and submit shards in a loop
         --connect <ADDR>           until the server drains the fleet
@@ -76,6 +84,12 @@ COMMANDS:
         [--plan-hash <HASH>]       Refuse to work unless the server is
                                    serving exactly this plan (see `serve`'s
                                    startup log for the hash)
+        [--reconnect-attempts <N>] Consecutive lost sessions to survive by
+                                   reconnecting with capped exponential
+                                   backoff before giving up (default: 8)
+        [--backoff-seed <SEED>]    Pin the backoff jitter stream (default:
+                                   the worker's pid, desynchronizing a
+                                   fleet's reconnect stampede)
     status                         Probe a running `serve` for live fleet
         --connect <ADDR>           status (plan hash, shard and cell
                                    progress, per-worker state, uptime)
@@ -113,8 +127,15 @@ GLOBAL OPTIONS (any command):
     --metrics <FILE>               Write the process metrics registry as JSON
                                    to FILE at exit
 
+ENVIRONMENT:
+    FABRIC_POWER_FAULTS            Deterministic fault injection for chaos
+                                   testing, e.g. `seed=7,wire_garbage_every=23,
+                                   disk_torn_every=5` (see the README's fault
+                                   tolerance section); unset = zero overhead
+
 All instrumentation is out of band (stderr / side files): emitted sweep
-documents are byte-identical with observability on or off.
+documents are byte-identical with observability (and disabled fault
+injection) on or off.
 ";
 
 fn main() -> ExitCode {
@@ -127,6 +148,20 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Chaos harness: $FABRIC_POWER_FAULTS installs a deterministic fault
+    // plan process-wide.  A malformed spec fails loudly — a chaos run with
+    // a typoed spec must not silently run fault-free.
+    match obs::faults::init_from_env() {
+        Ok(false) => {}
+        Ok(true) => {
+            let plan = obs::faults::current().expect("just installed");
+            obs::warn!("faults", "fault injection ACTIVE", plan = plan.to_spec(),);
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::FAILURE;
+        }
+    }
     let code = match run(&args) {
         Ok(code) => code,
         Err(message) => {
@@ -810,7 +845,23 @@ fn read_plan(path: &str) -> Result<SweepPlan, String> {
 /// `fabric-power serve <PLAN> --listen <ADDR>`: own a plan, lease shards to
 /// workers, merge and emit when the last shard lands.
 fn serve(args: &[String]) -> Result<(), String> {
-    const FLAGS: &[&str] = &["--listen", "--lease-timeout-secs", "--out", "--csv"];
+    const FLAGS: &[&str] = &[
+        "--listen",
+        "--lease-timeout-secs",
+        "--journal",
+        "--out",
+        "--csv",
+    ];
+    // `--resume` is a boolean flag; strip it before pair validation.
+    let mut resume = false;
+    let mut rest = Vec::new();
+    for arg in args {
+        match arg.as_str() {
+            "--resume" => resume = true,
+            _ => rest.push(arg.clone()),
+        }
+    }
+    let args = &rest[..];
     known_flags_with_positionals(args, 1, FLAGS)?;
     let [plan_path] = positional_args(args, FLAGS)[..] else {
         return Err("serve needs exactly one plan file".into());
@@ -826,6 +877,22 @@ fn serve(args: &[String]) -> Result<(), String> {
             .map(std::time::Duration::from_secs)
             .ok_or_else(|| format!("invalid `--lease-timeout-secs` value `{secs}`"))?;
     }
+    match flag_value(args, "--journal")? {
+        Some(dir) => {
+            options.journal = Some(JournalOptions {
+                dir: PathBuf::from(dir),
+                resume,
+            });
+        }
+        None if resume => {
+            return Err(
+                "`--resume` needs `--journal <DIR>`: there is nothing to resume from \
+                        without a drain journal"
+                    .into(),
+            );
+        }
+        None => {}
+    }
     let plan = read_plan(plan_path)?;
     let scenario = plan.scenario.clone();
     let shard_count = plan.shard_count();
@@ -839,9 +906,11 @@ fn serve(args: &[String]) -> Result<(), String> {
     );
     let outcome = server.run().map_err(|e| e.to_string())?;
     eprintln!(
-        "fleet complete: {} worker(s), {} requeue(s), {} point(s) merged",
+        "fleet complete: {} worker(s), {} requeue(s), {} restored from journal, \
+         {} point(s) merged",
         outcome.workers,
         outcome.requeues,
+        outcome.restored,
         outcome.document.points.len()
     );
     write_document_outputs(&outcome.document, args)
@@ -851,23 +920,44 @@ fn serve(args: &[String]) -> Result<(), String> {
 fn worker(args: &[String]) -> Result<(), String> {
     known_flags(
         args,
-        &["--connect", "--threads", "--model-cache", "--plan-hash"],
+        &[
+            "--connect",
+            "--threads",
+            "--model-cache",
+            "--plan-hash",
+            "--reconnect-attempts",
+            "--backoff-seed",
+        ],
     )?;
     let addr = flag_value(args, "--connect")?
         .ok_or_else(|| "worker needs `--connect <ADDR>`".to_string())?;
     let (provider, engine) = resolve_engine(args)?;
-    let options = WorkerOptions {
+    let mut options = WorkerOptions {
         expect_plan_hash: flag_value(args, "--plan-hash")?,
+        // Desynchronize a fleet's reconnect stampede by default: each
+        // worker process jitters its backoff from its own pid.
+        backoff: fabric_power_sweep::BackoffSchedule {
+            seed: u64::from(std::process::id()),
+            ..fabric_power_sweep::BackoffSchedule::default()
+        },
         ..WorkerOptions::default()
     };
+    if let Some(attempts) = flag_value(args, "--reconnect-attempts")? {
+        options.reconnect_attempts = attempts
+            .parse()
+            .map_err(|_| format!("invalid `--reconnect-attempts` value `{attempts}`"))?;
+    }
+    if let Some(seed) = flag_value(args, "--backoff-seed")? {
+        options.backoff.seed = parse_seed(&seed)?;
+    }
     eprintln!(
         "worker connecting to {addr} on {} thread(s)...",
         engine.threads()
     );
     let report = run_worker(&addr, &engine, options).map_err(|e| e.to_string())?;
     eprintln!(
-        "worker {} drained: completed {} shard(s) ({} cell(s))",
-        report.worker, report.shards, report.cells
+        "worker {} drained: completed {} shard(s) ({} cell(s)), {} reconnect(s)",
+        report.worker, report.shards, report.cells, report.reconnects
     );
     print_cache_stats(&provider);
     Ok(())

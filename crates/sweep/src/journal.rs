@@ -1,0 +1,496 @@
+//! The durable drain journal: crash-safe persistence for a work server's
+//! accepted shard submissions.
+//!
+//! `fabric-power serve --journal <dir>` appends every accepted
+//! [`ShardDocument`] to an append-only file keyed by the plan's
+//! [`crate::plan::SweepPlan::content_hash`] (`<dir>/<hash>.journal`), one
+//! checksummed JSON record per line, fsynced before the submission is
+//! acknowledged.  If the server is killed mid-drain, `serve --resume`
+//! replays the journal, restores every intact record as a completed shard,
+//! and re-leases only the remainder — and because shard execution is
+//! deterministic and the merge reassembles by cell index, the resumed
+//! merge is byte-identical to an uninterrupted run.
+//!
+//! # Record format and crash tolerance
+//!
+//! Each record is one JSON line carrying the format version, the plan
+//! hash, the shard index, a domain-separated checksum of the payload, and
+//! the payload itself (the shard document's compact JSON, as a string).  A
+//! crash can tear the final record — truncate it mid-line — so replay
+//! accepts the longest prefix of intact records and drops everything from
+//! the first bad byte on: a torn tail only costs re-running the shards it
+//! covered, never the records before it.  Duplicate records for the same
+//! shard (a submission journaled twice across a crash) are valid; replay
+//! keeps the first copy (deterministic execution makes them identical).
+//! Resuming also truncates the file back to its intact prefix, so new
+//! appends never land after torn bytes.
+//!
+//! Journal appends are deliberately *non-fatal* to the serve loop: a
+//! failed append (ENOSPC, injected fault) is rolled back, logged and
+//! counted (`journal.append_errors`), and the submission is still accepted
+//! in memory — durability degrades to "that shard re-runs on resume", the
+//! drain itself never aborts.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use fabric_power_obs as obs;
+use obs::metrics::names;
+use serde::{Deserialize, Serialize};
+
+use crate::merge::ShardDocument;
+
+/// The obs target journal events are tagged with.
+const TARGET: &str = "sweep.journal";
+
+/// Bump on any incompatible record-shape change; replay refuses mismatched
+/// records instead of mis-parsing them.
+pub const JOURNAL_FORMAT_VERSION: u32 = 1;
+
+/// Domain-separation prefix for record checksums, so a journal checksum
+/// can never collide with the plan-hash or model-cache-key domains.
+const JOURNAL_HASH_DOMAIN: &str = "fabric-power drain-journal v1";
+
+/// One journal line: a self-describing, checksummed envelope around a
+/// shard document's compact JSON.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct JournalRecord {
+    /// [`JOURNAL_FORMAT_VERSION`] at write time.
+    v: u32,
+    /// The plan this record belongs to — a renamed or cross-wired journal
+    /// file cannot smuggle another plan's shards into a resume.
+    plan_hash: String,
+    /// The shard the payload claims to be (cross-checked against the
+    /// payload itself at replay).
+    shard_index: usize,
+    /// Domain-separated checksum of `payload` (see [`record_checksum`]).
+    checksum: String,
+    /// The shard document, as its own compact JSON string.
+    payload: String,
+}
+
+fn record_checksum(payload: &str) -> String {
+    fabric_power_fabric::provider::stable_hash_hex(
+        format!("{JOURNAL_HASH_DOMAIN}:{payload}").as_bytes(),
+    )
+}
+
+/// The journal file for `plan_hash` under `dir`.
+#[must_use]
+pub fn journal_path(dir: &Path, plan_hash: &str) -> PathBuf {
+    dir.join(format!("{plan_hash}.journal"))
+}
+
+/// What replaying a journal recovered.
+#[derive(Debug, Default)]
+pub struct JournalReplay {
+    /// The recovered shard documents, first copy per shard, journal order.
+    pub documents: Vec<ShardDocument>,
+    /// Intact records read (including duplicates).
+    pub records: u64,
+    /// Intact records skipped because their shard was already recovered.
+    pub duplicates: u64,
+    /// Bytes of the intact record prefix (the resume point).
+    pub valid_bytes: u64,
+    /// Bytes dropped after the first torn or corrupt record.
+    pub dropped_bytes: u64,
+}
+
+/// An open, append-only drain journal.
+#[derive(Debug)]
+pub struct DrainJournal {
+    file: File,
+    path: PathBuf,
+    plan_hash: String,
+    /// Byte length of the intact prefix — where the next append lands, and
+    /// where a failed append rolls back to.
+    len: u64,
+    appended: u64,
+}
+
+impl DrainJournal {
+    /// Opens (creating `dir` as needed) the journal for `plan_hash`.
+    ///
+    /// With `resume` false the journal is truncated — a fresh drain owns
+    /// the whole file.  With `resume` true any existing records are
+    /// replayed first (tolerating a torn tail, which is truncated away)
+    /// and returned alongside the journal; a missing file resumes as
+    /// empty.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation and file I/O errors.
+    pub fn begin(
+        dir: &Path,
+        plan_hash: &str,
+        resume: bool,
+    ) -> std::io::Result<(Self, JournalReplay)> {
+        std::fs::create_dir_all(dir)?;
+        let path = journal_path(dir, plan_hash);
+        let replay = if resume {
+            let replay = replay(&path, plan_hash)?;
+            if replay.dropped_bytes > 0 {
+                obs::warn!(
+                    TARGET,
+                    "dropped torn journal tail",
+                    bytes = replay.dropped_bytes,
+                    records_kept = replay.records,
+                );
+            }
+            replay
+        } else {
+            JournalReplay::default()
+        };
+        // Append mode, not a cursor: O_APPEND writes always land at the
+        // current end of file, so the set_len rollback after a failed
+        // append can never leave a zero-filled hole under a later record.
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        // Drop the torn tail (or, on a fresh drain, everything): appends
+        // must continue the intact prefix, never follow garbage bytes.
+        file.set_len(replay.valid_bytes)?;
+        obs::info!(
+            TARGET,
+            "journal open",
+            path = path.display().to_string(),
+            restored = replay.documents.len(),
+        );
+        Ok((
+            Self {
+                file,
+                path,
+                plan_hash: plan_hash.to_owned(),
+                len: replay.valid_bytes,
+                appended: 0,
+            },
+            replay,
+        ))
+    }
+
+    /// Where this journal lives.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Records appended through this handle (not counting replayed ones).
+    #[must_use]
+    pub fn appended(&self) -> u64 {
+        self.appended
+    }
+
+    /// Appends one accepted shard document and fsyncs it durable.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialization and I/O errors — including injected disk
+    /// faults.  On any failure the file is rolled back (best-effort) to
+    /// its length before the append, so a half-written record never
+    /// precedes later good ones.
+    pub fn append(&mut self, document: &ShardDocument) -> std::io::Result<()> {
+        let payload = serde_json::to_string(document)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        let record = JournalRecord {
+            v: JOURNAL_FORMAT_VERSION,
+            plan_hash: self.plan_hash.clone(),
+            shard_index: document.shard_index,
+            checksum: record_checksum(&payload),
+            payload,
+        };
+        let mut line = serde_json::to_string(&record)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        line.push('\n');
+        let result = self.append_bytes(line.as_bytes());
+        if result.is_err() {
+            // Roll the torn bytes back so the journal stays an intact
+            // prefix; if even that fails, replay's torn-tail tolerance is
+            // the backstop.
+            let _ = self.file.set_len(self.len);
+        } else {
+            self.len += line.len() as u64;
+            self.appended += 1;
+            obs::metrics::counter(names::JOURNAL_RECORDS_APPENDED).increment();
+        }
+        result
+    }
+
+    fn append_bytes(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        match obs::faults::next_disk_fault() {
+            Some(obs::faults::DiskFault::Fail) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::StorageFull,
+                    "fault injection: journal write failed",
+                ));
+            }
+            Some(obs::faults::DiskFault::Torn) => {
+                // Write half the record, then fail — exactly the torn
+                // final record a crash mid-append leaves behind.
+                self.file.write_all(&bytes[..bytes.len() / 2])?;
+                let _ = self.file.sync_data();
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WriteZero,
+                    "fault injection: torn journal write",
+                ));
+            }
+            None => {}
+        }
+        self.file.write_all(bytes)?;
+        // A submission is acknowledged only after its record is durable —
+        // the whole point of the journal.
+        self.file.sync_data()
+    }
+}
+
+/// Replays the journal at `path`, returning the longest intact record
+/// prefix.  A missing file is an empty replay, not an error; a torn or
+/// corrupt record ends the replay at the last good byte (everything after
+/// it is counted in [`JournalReplay::dropped_bytes`]).
+///
+/// # Errors
+///
+/// Propagates read errors other than "not found".
+pub fn replay(path: &Path, plan_hash: &str) -> std::io::Result<JournalReplay> {
+    let bytes = match std::fs::read(path) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(JournalReplay::default()),
+        Err(e) => return Err(e),
+    };
+    let mut replay = JournalReplay::default();
+    let mut seen = std::collections::BTreeSet::new();
+    let mut offset = 0_usize;
+    while offset < bytes.len() {
+        let Some(newline) = bytes[offset..].iter().position(|&b| b == b'\n') else {
+            break; // torn final record: no terminator
+        };
+        let line = &bytes[offset..offset + newline];
+        let Some(document) = parse_record(line, plan_hash) else {
+            break; // corrupt record: keep the prefix, drop the rest
+        };
+        replay.records += 1;
+        if seen.insert(document.shard_index) {
+            replay.documents.push(document);
+        } else {
+            replay.duplicates += 1;
+        }
+        offset += newline + 1;
+        replay.valid_bytes = offset as u64;
+    }
+    replay.dropped_bytes = (bytes.len() as u64) - replay.valid_bytes;
+    obs::metrics::counter(names::JOURNAL_RECORDS_REPLAYED).add(replay.records);
+    if replay.dropped_bytes > 0 {
+        obs::metrics::counter(names::JOURNAL_TORN_BYTES_DROPPED).add(replay.dropped_bytes);
+    }
+    Ok(replay)
+}
+
+/// Parses and fully verifies one record line; `None` on any mismatch —
+/// version, plan hash, checksum, payload parse, or a payload whose own
+/// shard index contradicts the envelope.
+fn parse_record(line: &[u8], plan_hash: &str) -> Option<ShardDocument> {
+    let line = std::str::from_utf8(line).ok()?;
+    let record: JournalRecord = serde_json::from_str(line.trim()).ok()?;
+    if record.v != JOURNAL_FORMAT_VERSION
+        || record.plan_hash != plan_hash
+        || record.checksum != record_checksum(&record.payload)
+    {
+        return None;
+    }
+    let document: ShardDocument = serde_json::from_str(&record.payload).ok()?;
+    if document.shard_index != record.shard_index {
+        return None;
+    }
+    Some(document)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::SeedStrategy;
+    use crate::config::ExperimentConfig;
+    use crate::plan::{ShardStrategy, SweepPlan};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "fabric-power-journal-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_plan() -> SweepPlan {
+        SweepPlan::new(
+            "journal-test",
+            ExperimentConfig {
+                port_counts: vec![4],
+                offered_loads: vec![0.2],
+                warmup_cycles: 10,
+                measure_cycles: 20,
+                ..ExperimentConfig::quick()
+            },
+            SeedStrategy::Shared,
+            2,
+            ShardStrategy::Contiguous,
+        )
+        .expect("plan builds")
+    }
+
+    fn sample_document(plan: &SweepPlan, shard: usize) -> ShardDocument {
+        let header = plan.header();
+        ShardDocument {
+            scenario: header.scenario,
+            config: header.config,
+            seed_strategy: header.seed_strategy,
+            shard_index: shard,
+            shard_total: plan.shard_count(),
+            cell_range: plan.shards[shard].cell_index_range(),
+            results: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn append_then_replay_round_trips() {
+        let dir = temp_dir("round-trip");
+        let plan = sample_plan();
+        let hash = plan.content_hash();
+        let (mut journal, fresh) = DrainJournal::begin(&dir, &hash, false).expect("begin");
+        assert!(fresh.documents.is_empty());
+        for shard in 0..2 {
+            journal
+                .append(&sample_document(&plan, shard))
+                .expect("append");
+        }
+        assert_eq!(journal.appended(), 2);
+        let replay = replay(&journal_path(&dir, &hash), &hash).expect("replay");
+        assert_eq!(replay.records, 2);
+        assert_eq!(replay.duplicates, 0);
+        assert_eq!(replay.dropped_bytes, 0);
+        assert_eq!(replay.documents.len(), 2);
+        assert_eq!(replay.documents[0], sample_document(&plan, 0));
+        assert_eq!(replay.documents[1], sample_document(&plan, 1));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_final_record_keeps_the_intact_prefix() {
+        let dir = temp_dir("torn-tail");
+        let plan = sample_plan();
+        let hash = plan.content_hash();
+        let (mut journal, _) = DrainJournal::begin(&dir, &hash, false).expect("begin");
+        journal.append(&sample_document(&plan, 0)).expect("append");
+        let path = journal.path().to_owned();
+        drop(journal);
+        // Simulate a crash mid-append: half of a second record, no newline.
+        let intact = std::fs::read(&path).expect("read");
+        let mut torn = intact.clone();
+        torn.extend_from_slice(&intact[..intact.len() / 2]);
+        std::fs::write(&path, &torn).expect("tear");
+        let replay = replay(&path, &hash).expect("replay");
+        assert_eq!(replay.records, 1, "the intact record survives");
+        assert_eq!(replay.documents.len(), 1);
+        assert_eq!(replay.valid_bytes, intact.len() as u64);
+        assert_eq!(replay.dropped_bytes, (torn.len() - intact.len()) as u64);
+        // Resuming truncates the tear and appends cleanly after it.
+        let (mut journal, resumed) = DrainJournal::begin(&dir, &hash, true).expect("resume");
+        assert_eq!(resumed.documents.len(), 1);
+        journal.append(&sample_document(&plan, 1)).expect("append");
+        drop(journal);
+        let healed = replay_all(&path, &hash);
+        assert_eq!(healed.records, 2);
+        assert_eq!(healed.dropped_bytes, 0, "the tear is gone");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn replay_all(path: &Path, hash: &str) -> JournalReplay {
+        replay(path, hash).expect("replay")
+    }
+
+    #[test]
+    fn duplicate_records_replay_once() {
+        let dir = temp_dir("duplicates");
+        let plan = sample_plan();
+        let hash = plan.content_hash();
+        let (mut journal, _) = DrainJournal::begin(&dir, &hash, false).expect("begin");
+        journal.append(&sample_document(&plan, 0)).expect("append");
+        journal.append(&sample_document(&plan, 0)).expect("again");
+        journal.append(&sample_document(&plan, 1)).expect("append");
+        let replay = replay_all(journal.path(), &hash);
+        assert_eq!(replay.records, 3);
+        assert_eq!(replay.duplicates, 1);
+        assert_eq!(replay.documents.len(), 2, "first copy per shard");
+        assert_eq!(
+            replay
+                .documents
+                .iter()
+                .map(|d| d.shard_index)
+                .collect::<Vec<_>>(),
+            vec![0, 1]
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_middle_record_ends_the_replay_there() {
+        let dir = temp_dir("corrupt-middle");
+        let plan = sample_plan();
+        let hash = plan.content_hash();
+        let (mut journal, _) = DrainJournal::begin(&dir, &hash, false).expect("begin");
+        journal.append(&sample_document(&plan, 0)).expect("append");
+        let first_len = std::fs::metadata(journal.path()).expect("meta").len() as usize;
+        journal.append(&sample_document(&plan, 1)).expect("append");
+        let path = journal.path().to_owned();
+        drop(journal);
+        // Flip one byte inside the *first* record's payload: its checksum
+        // no longer matches, so replay must stop before record 0 — a
+        // corrupt record invalidates everything after it too (the journal
+        // is only trusted as an intact prefix).
+        let mut bytes = std::fs::read(&path).expect("read");
+        let target = first_len / 2;
+        bytes[target] = bytes[target].wrapping_add(1);
+        std::fs::write(&path, &bytes).expect("corrupt");
+        let replay = replay_all(&path, &hash);
+        assert_eq!(replay.records, 0);
+        assert_eq!(replay.valid_bytes, 0);
+        assert_eq!(replay.dropped_bytes, bytes.len() as u64);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn records_for_another_plan_are_refused() {
+        let dir = temp_dir("cross-plan");
+        let plan = sample_plan();
+        let hash = plan.content_hash();
+        let (mut journal, _) = DrainJournal::begin(&dir, &hash, false).expect("begin");
+        journal.append(&sample_document(&plan, 0)).expect("append");
+        let path = journal.path().to_owned();
+        drop(journal);
+        // Rename the file under another plan's hash: the per-record
+        // plan_hash still refuses the smuggle.
+        let other_hash = "0".repeat(32);
+        let other_path = journal_path(&dir, &other_hash);
+        std::fs::rename(&path, &other_path).expect("rename");
+        let replay = replay_all(&other_path, &other_hash);
+        assert_eq!(replay.records, 0, "wrong plan, nothing restored");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fresh_begin_truncates_an_existing_journal() {
+        let dir = temp_dir("fresh-truncates");
+        let plan = sample_plan();
+        let hash = plan.content_hash();
+        let (mut journal, _) = DrainJournal::begin(&dir, &hash, false).expect("begin");
+        journal.append(&sample_document(&plan, 0)).expect("append");
+        drop(journal);
+        let (_journal, replay) = DrainJournal::begin(&dir, &hash, false).expect("fresh");
+        assert!(replay.documents.is_empty());
+        assert_eq!(
+            std::fs::metadata(journal_path(&dir, &hash))
+                .expect("meta")
+                .len(),
+            0,
+            "a non-resume drain owns an empty file"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -35,6 +35,14 @@
 //!   cell index into a document byte-identical to a single-process run,
 //!   refusing overlapping or missing cells — and any part whose own
 //!   self-description (shard index, cell range) does not hold up;
+//! * [`journal`] — the durable drain journal: every accepted shard
+//!   submission is appended (checksummed, fsynced) to a file keyed by the
+//!   plan's content hash, so `fabric-power serve --journal <dir> --resume`
+//!   restores completed shards after a server crash and re-leases only the
+//!   remainder — with a resumed merge byte-identical to an uninterrupted
+//!   run;
+//! * [`retry`] — [`BackoffSchedule`]: capped exponential backoff with
+//!   deterministic seeded jitter, driving worker dial and reconnect loops;
 //! * [`protocol`] / [`server`] / [`worker`] — the work-server fleet:
 //!   `fabric-power serve` owns a plan and leases shard indices to
 //!   `fabric-power worker` processes over line-delimited JSON on plain TCP,
@@ -93,11 +101,13 @@ pub mod diff;
 pub mod emit;
 pub mod engine;
 pub mod executor;
+pub mod journal;
 pub mod merge;
 pub mod plan;
 pub mod protocol;
 pub mod registry;
 pub mod report;
+pub mod retry;
 pub mod server;
 pub mod status;
 pub mod sweeps;
@@ -109,11 +119,13 @@ pub use diff::{diff_documents, DocumentDiff};
 pub use emit::{write_atomic, SweepDocument};
 pub use engine::SweepEngine;
 pub use fabric_power_fabric::provider::{ModelKind, ModelProvider, ModelSpec, ProviderStats};
+pub use journal::{DrainJournal, JournalReplay};
 pub use merge::{merge_documents, MergeError, ShardCellResult, ShardDocument};
 pub use plan::{expand_cells, PlanError, PlanHeader, Shard, ShardStrategy, SweepPlan};
 pub use protocol::{FleetStatus, WorkerStatus};
 pub use registry::{Scenario, ScenarioRegistry};
-pub use server::{ServeError, ServeOptions, ServeOutcome, WorkServer};
+pub use retry::BackoffSchedule;
+pub use server::{JournalOptions, ServeError, ServeHandle, ServeOptions, ServeOutcome, WorkServer};
 pub use status::{fetch_status, StatusProbe};
 pub use sweeps::{PortSweep, ThroughputSweep};
 pub use worker::{run_worker, WorkerError, WorkerOptions, WorkerReport};

@@ -50,6 +50,13 @@ use crate::plan::{PlanHeader, Shard};
 /// The protocol revision this build speaks.
 pub const PROTOCOL_VERSION: u32 = 1;
 
+/// The largest frame either side will buffer.  The biggest legitimate
+/// message is a `Submit` carrying a whole shard document — megabytes at
+/// the extreme, nowhere near this — so anything longer is corruption or an
+/// attacker, and is rejected with a typed error instead of buffering an
+/// unbounded line.
+pub const MAX_FRAME_BYTES: usize = 64 * 1024 * 1024;
+
 /// Messages a worker sends to the server.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Request {
@@ -231,6 +238,11 @@ pub struct WorkerStatus {
 pub fn write_message<T: Serialize>(writer: &mut impl Write, message: &T) -> std::io::Result<()> {
     let json = serde_json::to_string(message)
         .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    if obs::faults::active() {
+        if let Some(fault) = obs::faults::next_wire_fault() {
+            return inject_wire_fault(writer, &json, fault);
+        }
+    }
     writer.write_all(json.as_bytes())?;
     writer.write_all(b"\n")?;
     writer.flush()?;
@@ -238,19 +250,125 @@ pub fn write_message<T: Serialize>(writer: &mut impl Write, message: &T) -> std:
     Ok(())
 }
 
+/// Acts out one [`obs::faults::WireFault`] on the frame `json` — the slow
+/// path [`write_message`] takes only when a fault plan is installed *and*
+/// the schedule fired for this operation.
+fn inject_wire_fault(
+    writer: &mut impl Write,
+    json: &str,
+    fault: obs::faults::WireFault,
+) -> std::io::Result<()> {
+    use obs::faults::WireFault;
+    match fault {
+        // The connection died before anything left the socket.
+        WireFault::Drop => Err(std::io::Error::new(
+            std::io::ErrorKind::ConnectionReset,
+            "fault injection: connection dropped",
+        )),
+        // Half a frame made it out, then the connection died.
+        WireFault::Truncate => {
+            let bytes = json.as_bytes();
+            writer.write_all(&bytes[..bytes.len() / 2])?;
+            let _ = writer.flush();
+            Err(std::io::Error::new(
+                std::io::ErrorKind::BrokenPipe,
+                "fault injection: truncated frame",
+            ))
+        }
+        // The frame was corrupted in flight: the *sender* sees success,
+        // only the receiver discovers the damage — exercising the
+        // connection-level recovery path, not the sender's error path.
+        WireFault::Garbage => {
+            writer.write_all("\u{fffd}garbage-frame\u{fffd}\n".as_bytes())?;
+            writer.flush()
+        }
+        WireFault::Delay(pause) => {
+            std::thread::sleep(pause);
+            writer.write_all(json.as_bytes())?;
+            writer.write_all(b"\n")?;
+            writer.flush()?;
+            obs::metrics::counter(obs::metrics::names::WIRE_BYTES_SENT).add(json.len() as u64 + 1);
+            Ok(())
+        }
+    }
+}
+
 /// Reads one JSON-line message; `Ok(None)` means the peer closed the
-/// connection cleanly.
+/// connection cleanly.  Frames longer than [`MAX_FRAME_BYTES`] are
+/// rejected, never buffered.
 ///
 /// # Errors
 ///
-/// Propagates I/O errors (including read timeouts); an unparseable or empty
-/// line surfaces as [`std::io::ErrorKind::InvalidData`].
+/// Propagates I/O errors (including read timeouts); an unparseable, empty
+/// or oversized line surfaces as [`std::io::ErrorKind::InvalidData`].
 pub fn read_message<T: Deserialize>(reader: &mut impl BufRead) -> std::io::Result<Option<T>> {
+    read_message_with_limit(reader, MAX_FRAME_BYTES)
+}
+
+/// [`read_message`] with an explicit frame cap — tests use tiny caps to
+/// exercise the oversized path without megabyte fixtures.
+///
+/// # Errors
+///
+/// As [`read_message`], with "oversized" meaning longer than `max_bytes`.
+pub fn read_message_with_limit<T: Deserialize>(
+    reader: &mut impl BufRead,
+    max_bytes: usize,
+) -> std::io::Result<Option<T>> {
     let mut line = String::new();
-    if reader.read_line(&mut line)? == 0 {
+    read_line_bounded(reader, &mut line, max_bytes)?;
+    if line.is_empty() {
         return Ok(None);
     }
     parse_line(&line).map(Some)
+}
+
+/// Appends one `\n`-terminated line to `line`, refusing to buffer more
+/// than `max_bytes` of it (the terminator is not counted).
+///
+/// Reads through at most `max_bytes + 1 - line.len()` further bytes: as
+/// soon as the line provably exceeds the cap the read stops, so a
+/// corruption-sized frame cannot balloon memory no matter how long it is.
+/// On `Err` (including [`std::io::ErrorKind::WouldBlock`] from a
+/// non-blocking reader) any bytes already read stay in `line`, so patient
+/// callers can retry the same buffer — the server's poll loop does.
+///
+/// # Errors
+///
+/// Oversized lines surface as [`std::io::ErrorKind::InvalidData`]; other
+/// errors come from the reader.  EOF before any terminator returns `Ok`
+/// with whatever was read (possibly nothing).
+pub fn read_line_bounded(
+    reader: &mut impl BufRead,
+    line: &mut String,
+    max_bytes: usize,
+) -> std::io::Result<usize> {
+    loop {
+        if line.len() > max_bytes {
+            return Err(oversized(max_bytes));
+        }
+        // One byte past the cap: enough to *prove* the line is oversized
+        // without buffering it.
+        let allowance = (max_bytes + 1 - line.len()) as u64;
+        let mut limited = std::io::Read::take(&mut *reader, allowance);
+        let read = limited.read_line(line)?;
+        if line.ends_with('\n') {
+            return Ok(line.len());
+        }
+        if line.len() > max_bytes {
+            return Err(oversized(max_bytes));
+        }
+        if read == 0 {
+            return Ok(line.len()); // EOF (possibly mid-line)
+        }
+    }
+}
+
+fn oversized(max_bytes: usize) -> std::io::Error {
+    std::io::Error::new(
+        std::io::ErrorKind::InvalidData,
+        format!("protocol frame exceeds {max_bytes} bytes"),
+    )
 }
 
 /// Parses one complete protocol line — the shared back half of

@@ -34,8 +34,10 @@
 //! defense in depth, see [`crate::merge`].)
 
 use std::collections::BTreeMap;
-use std::io::{BufRead as _, BufReader};
+use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
@@ -43,14 +45,28 @@ use fabric_power_obs as obs;
 use obs::metrics::names;
 
 use crate::emit::SweepDocument;
+use crate::journal::DrainJournal;
 use crate::merge::{merge_documents, MergeError, ShardDocument};
 use crate::plan::{PlanHeader, SweepPlan};
 use crate::protocol::{
-    write_message, FleetStatus, Request, Response, WorkerStatus, PROTOCOL_VERSION,
+    read_line_bounded, write_message, FleetStatus, Request, Response, WorkerStatus,
+    MAX_FRAME_BYTES, PROTOCOL_VERSION,
 };
 
 /// The obs target every server-side event is tagged with.
 const TARGET: &str = "sweep.server";
+
+/// Where (and whether) a serve run journals its accepted submissions.
+#[derive(Debug, Clone)]
+pub struct JournalOptions {
+    /// Directory holding the journal files (one per plan hash, see
+    /// [`crate::journal::journal_path`]); created if missing.
+    pub dir: PathBuf,
+    /// Restore completed shards from an existing journal before serving
+    /// (`serve --resume`).  When false, an existing journal for this plan
+    /// is truncated — the fresh drain owns it.
+    pub resume: bool,
+}
 
 /// Tunables for a [`WorkServer`].
 #[derive(Debug, Clone)]
@@ -62,6 +78,9 @@ pub struct ServeOptions {
     /// What `Wait` responses tell an idle worker to sleep before claiming
     /// again, in milliseconds.
     pub retry_ms: u64,
+    /// Durable drain journal, or `None` for the original in-memory-only
+    /// behavior.
+    pub journal: Option<JournalOptions>,
 }
 
 impl Default for ServeOptions {
@@ -69,6 +88,7 @@ impl Default for ServeOptions {
         Self {
             lease_timeout: Duration::from_secs(60),
             retry_ms: 100,
+            journal: None,
         }
     }
 }
@@ -84,6 +104,9 @@ pub struct ServeOutcome {
     /// How many leases were revoked (worker disconnected, or missed its
     /// deadline) and their shards requeued.
     pub requeues: u64,
+    /// How many completed shards were restored from the drain journal at
+    /// bind time (always 0 without `--journal --resume`).
+    pub restored: u64,
 }
 
 /// Why a serve run failed.
@@ -95,6 +118,10 @@ pub enum ServeError {
     /// validation makes this unreachable for documents that arrived over the
     /// protocol; it guards the merge layer's own invariants.
     Merge(MergeError),
+    /// The server was halted through its [`ServeHandle`] before the drain
+    /// completed.  In-memory state is discarded — exactly what a crash
+    /// would do — so recovery goes through the drain journal.
+    Halted,
 }
 
 impl std::fmt::Display for ServeError {
@@ -102,6 +129,7 @@ impl std::fmt::Display for ServeError {
         match self {
             Self::Io(e) => write!(f, "work server I/O: {e}"),
             Self::Merge(e) => write!(f, "merging collected shards: {e}"),
+            Self::Halted => write!(f, "serve run halted before the drain completed"),
         }
     }
 }
@@ -162,6 +190,15 @@ struct Shared {
     local_addr: SocketAddr,
     started: Instant,
     state: Mutex<State>,
+    /// The open drain journal, when one was configured.  Locked *after*
+    /// `state` (submit holds both); never the other way around.
+    journal: Option<Mutex<DrainJournal>>,
+    /// Shards restored from the journal at bind time.
+    restored: u64,
+    /// Crash switch (see [`ServeHandle::halt`]): every patient read and the
+    /// accept loop poll it, so the whole process winds down abruptly —
+    /// connections close without a `Drain`, nothing merges.
+    halt: AtomicBool,
 }
 
 /// Poison-tolerant lock: a panicked connection thread must not wedge the
@@ -198,32 +235,82 @@ impl WorkServer {
                 "the plan has no shards: nothing to serve",
             ));
         }
+        let header = plan.header();
+        let plan_hash = plan.content_hash();
+        let shard_count = plan.shard_count();
+        let mut shards: Vec<ShardSlot> = (0..shard_count).map(|_| ShardSlot::Pending).collect();
+        let mut restored = 0_u64;
+        let journal = match &options.journal {
+            Some(journal_options) => {
+                let (journal, replay) =
+                    DrainJournal::begin(&journal_options.dir, &plan_hash, journal_options.resume)?;
+                for document in replay.documents {
+                    // A journal record is a disk artifact, not a live
+                    // submission — but it crosses the same trust boundary
+                    // (the file could have been edited), so it passes the
+                    // same validation, and a failing record is dropped (its
+                    // shard simply re-runs) rather than poisoning the merge.
+                    let index = document.shard_index;
+                    match validate_document(&plan, &header, &document) {
+                        Ok(()) if matches!(shards[index], ShardSlot::Pending) => {
+                            shards[index] = ShardSlot::Done(Box::new(document));
+                            restored += 1;
+                        }
+                        Ok(()) => {}
+                        Err(reason) => {
+                            obs::warn!(
+                                TARGET,
+                                "journal record failed validation, shard will re-run",
+                                shard = document.shard_index,
+                                reason = reason.as_str(),
+                            );
+                        }
+                    }
+                }
+                Some(Mutex::new(journal))
+            }
+            None => None,
+        };
+        let done = shards.iter().all(|slot| matches!(slot, ShardSlot::Done(_)));
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
-        let shard_count = plan.shard_count();
         let shared = Arc::new(Shared {
-            header: plan.header(),
-            plan_hash: plan.content_hash(),
+            header,
+            plan_hash,
             plan,
             options,
             local_addr,
             started: Instant::now(),
             state: Mutex::new(State {
-                shards: (0..shard_count).map(|_| ShardSlot::Pending).collect(),
+                shards,
                 next_worker: 0,
                 next_lease: 0,
                 requeues: 0,
-                done: false,
+                done,
                 workers: BTreeMap::new(),
             }),
+            journal,
+            restored,
+            halt: AtomicBool::new(false),
         });
         obs::info!(
             TARGET,
             "serving plan",
             addr = local_addr.to_string(),
             shards = shard_count,
+            restored = restored,
         );
         Ok(Self { listener, shared })
+    }
+
+    /// A detached handle onto this server, usable from another thread while
+    /// [`WorkServer::run`] blocks — chaos tests use it to "crash" the
+    /// server at a chosen moment.
+    #[must_use]
+    pub fn handle(&self) -> ServeHandle {
+        ServeHandle {
+            shared: Arc::clone(&self.shared),
+        }
     }
 
     /// The address the server is actually listening on.
@@ -257,7 +344,7 @@ impl WorkServer {
         self.listener.set_nonblocking(true)?;
         let mut handles = Vec::new();
         let mut next_status_line = self.shared.started + STATUS_LINE_PERIOD;
-        while !lock(&self.shared.state).done {
+        while !lock(&self.shared.state).done && !self.shared.halt.load(Ordering::Relaxed) {
             if Instant::now() >= next_status_line {
                 next_status_line += STATUS_LINE_PERIOD;
                 let status = status_snapshot(&self.shared);
@@ -292,9 +379,18 @@ impl WorkServer {
         }
         drop(self.listener);
         // Connection threads exit once their worker drains or disconnects
-        // (bounded by the read timeout), so this join terminates.
+        // (bounded by the read timeout), so this join terminates.  On halt
+        // they notice the flag at their next patient-read poll and slam
+        // their connections shut without a `Drain`.
         for handle in handles {
             let _ = handle.join();
+        }
+        if self.shared.halt.load(Ordering::Relaxed) {
+            // Crash semantics: nothing merges, the in-memory lease table
+            // and collected documents are dropped on the floor.  Whatever
+            // the drain journal captured is the only survivor.
+            obs::warn!(TARGET, "serve run halted mid-drain");
+            return Err(ServeError::Halted);
         }
         let mut state = lock(&self.shared.state);
         // Every connection thread has been joined, so the state is ours
@@ -317,7 +413,43 @@ impl WorkServer {
             document,
             workers: state.next_worker,
             requeues: state.requeues,
+            restored: self.shared.restored,
         })
+    }
+}
+
+/// A cloneable, thread-safe handle onto a running (or about-to-run)
+/// [`WorkServer`].
+#[derive(Debug, Clone)]
+pub struct ServeHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServeHandle {
+    /// Simulates a server crash: the accept loop stops, every connection
+    /// closes abruptly (no `Drain`), [`WorkServer::run`] returns
+    /// [`ServeError::Halted`] and all in-memory drain state is discarded.
+    /// Only the drain journal survives — which is the point: chaos tests
+    /// halt mid-drain and assert that `--resume` recovers byte-identically.
+    pub fn halt(&self) {
+        self.shared.halt.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether [`ServeHandle::halt`] has been called.
+    #[must_use]
+    pub fn halted(&self) -> bool {
+        self.shared.halt.load(Ordering::Relaxed)
+    }
+
+    /// How many shards have a validated submission recorded (restored ones
+    /// included) — lets a test halt the server only after real progress.
+    #[must_use]
+    pub fn shards_completed(&self) -> usize {
+        lock(&self.shared.state)
+            .shards
+            .iter()
+            .filter(|slot| matches!(slot, ShardSlot::Done(_)))
+            .count()
     }
 }
 
@@ -364,8 +496,13 @@ const DRAIN_GRACE: Duration = Duration::from_secs(2);
 /// The per-`recv` timeout on worker connections.  Deliberately short and
 /// independent of the lease timeout: a timeout is not a verdict on the
 /// worker (that is the lease deadline's job, enforced at claim time) but a
-/// chance to notice `done` and wind the connection down.
+/// chance to notice `done` (or a halt) and wind the connection down.
 const READ_POLL: Duration = Duration::from_secs(1);
+
+/// The per-`send` deadline on worker connections: a worker that stops
+/// draining its socket fails its connection instead of wedging the server's
+/// thread forever.
+const WRITE_DEADLINE: Duration = Duration::from_secs(10);
 
 /// Reads the next request, tolerating read timeouts while the fleet is
 /// still running — a worker is legitimately silent for the whole execution
@@ -381,16 +518,24 @@ fn read_request_patiently(
     let mut line = String::new();
     let mut drain_deadline: Option<Instant> = None;
     loop {
-        match reader.read_line(&mut line) {
+        if shared.halt.load(Ordering::Relaxed) {
+            // Simulated crash: die where we stand — no parse of what's
+            // buffered, no goodbye.  The caller's error path closes the
+            // connection abruptly, exactly like a killed process.
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::Interrupted,
+                "server halted",
+            ));
+        }
+        match read_line_bounded(reader, &mut line, MAX_FRAME_BYTES) {
             Ok(0) => {
-                return if line.is_empty() {
-                    Ok(None)
-                } else {
-                    Err(std::io::Error::new(
-                        std::io::ErrorKind::InvalidData,
-                        "connection closed mid-message",
-                    ))
-                };
+                return Ok(None);
+            }
+            Ok(_) if !line.ends_with('\n') => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    "connection closed mid-message",
+                ));
             }
             Ok(_) => return crate::protocol::parse_line(&line).map(Some),
             Err(e)
@@ -419,6 +564,9 @@ fn handle_connection(
 ) -> std::io::Result<()> {
     stream.set_nodelay(true).ok();
     stream.set_read_timeout(Some(READ_POLL))?;
+    // Responses are small except `Welcome`'s header; a worker that stops
+    // draining its socket must not wedge this thread forever.
+    stream.set_write_timeout(Some(WRITE_DEADLINE))?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
 
@@ -725,7 +873,7 @@ fn submit(
             ),
         };
     }
-    if let Err(reason) = validate_document(shared, &document) {
+    if let Err(reason) = validate_document(&shared.plan, &shared.header, &document) {
         obs::metrics::counter(names::SUBMISSIONS_REJECTED).increment();
         obs::warn!(
             TARGET,
@@ -744,6 +892,28 @@ fn submit(
         return Response::Stale {
             reason: format!("shard {index} was already submitted"),
         };
+    }
+    if let Some(journal) = &shared.journal {
+        // Journal before acknowledging, so an `Accepted` answer is always
+        // backed by a durable record.  A failed append (disk full, injected
+        // fault) is rolled back and logged but does NOT fail the
+        // submission: durability degrades to "this shard re-runs on
+        // resume", the drain itself never aborts.  (Holding the state lock
+        // across the append keeps journal order consistent with slot order;
+        // journal is always locked after state, so no deadlock.)
+        let result = journal
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .append(&document);
+        if let Err(e) = result {
+            obs::metrics::counter(names::JOURNAL_APPEND_ERRORS).increment();
+            obs::warn!(
+                TARGET,
+                "journal append failed, shard kept in memory only",
+                shard = index,
+                error = e.to_string(),
+            );
+        }
     }
     state.shards[index] = ShardSlot::Done(document);
     if let Some(record) = state.workers.get_mut(&worker) {
@@ -774,10 +944,14 @@ fn submit(
 }
 
 /// The submission-time trust boundary: every self-description in a worker's
-/// document must agree with the server's own plan.
-fn validate_document(shared: &Shared, document: &ShardDocument) -> Result<(), String> {
-    let plan = &shared.plan;
-    let header = &shared.header;
+/// document must agree with the server's own plan.  Takes the plan and
+/// header directly (not [`Shared`]) because journal replay runs the same
+/// check before `Shared` exists — a journal file crosses the same boundary.
+fn validate_document(
+    plan: &SweepPlan,
+    header: &PlanHeader,
+    document: &ShardDocument,
+) -> Result<(), String> {
     if document.shard_index >= plan.shard_count() {
         return Err(format!(
             "shard index {} is out of range: the plan has {} shard(s)",

@@ -11,13 +11,19 @@
 //! grace period.
 
 use std::io::BufReader;
-use std::net::TcpStream;
+use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use crate::protocol::{self, FleetStatus, Request, Response};
 
 /// How long a probe waits for the server's answer before giving up.
 const PROBE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// How long a probe tries to *establish* its connection.  A dead or
+/// unroutable address must fail fast with a clear error — historically the
+/// probe used [`TcpStream::connect`], which can block for minutes on a
+/// black-holed route.
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(5);
 
 /// A held-open status connection to a serving fleet.
 #[derive(Debug)]
@@ -27,15 +33,42 @@ pub struct StatusProbe {
 }
 
 impl StatusProbe {
-    /// Connects to `addr` without handshaking.
+    /// Connects to `addr` without handshaking, bounded by a connect
+    /// timeout — probing a dead address fails within seconds, never hangs.
     ///
     /// # Errors
     ///
-    /// Propagates connection errors.
+    /// Propagates resolution and connection errors; a connection that
+    /// cannot be established within the timeout surfaces as
+    /// [`std::io::ErrorKind::TimedOut`].
     pub fn connect(addr: &str) -> std::io::Result<Self> {
-        let stream = TcpStream::connect(addr)?;
+        // connect_timeout takes a resolved SocketAddr, so resolve first;
+        // try every address the name maps to, like TcpStream::connect does.
+        let mut last_error = None;
+        let mut stream = None;
+        for candidate in addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&candidate, CONNECT_TIMEOUT) {
+                Ok(connected) => {
+                    stream = Some(connected);
+                    break;
+                }
+                Err(error) => last_error = Some(error),
+            }
+        }
+        let stream = match stream {
+            Some(stream) => stream,
+            None => {
+                return Err(last_error.unwrap_or_else(|| {
+                    std::io::Error::new(
+                        std::io::ErrorKind::InvalidInput,
+                        format!("`{addr}` resolved to no addresses"),
+                    )
+                }))
+            }
+        };
         let _ = stream.set_nodelay(true);
         stream.set_read_timeout(Some(PROBE_TIMEOUT))?;
+        stream.set_write_timeout(Some(PROBE_TIMEOUT))?;
         Ok(Self {
             reader: BufReader::new(stream.try_clone()?),
             writer: stream,

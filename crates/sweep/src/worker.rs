@@ -14,18 +14,32 @@
 //! as a [`Request::Heartbeat`].  That keeps the lease alive for as long as
 //! the worker is demonstrably making progress, and feeds the per-worker
 //! progress shown by `fabric-power status`.
+//!
+//! # Losing the server is not losing the drain
+//!
+//! A dropped connection mid-session (server crashed, server restarting with
+//! `--resume`, a corrupted frame) does not fail the worker: the session is
+//! *lost*, and [`run_worker`] dials back in with capped exponential backoff
+//! and deterministic seeded jitter ([`BackoffSchedule`]), re-handshakes,
+//! and picks up where it left off.  A shard that finished executing while
+//! the wire was down is carried across the reconnect and resubmitted first
+//! — deterministic execution makes a double submission harmless (`Stale`).
+//! Only *verdicts* end a worker early: a server that refuses the handshake
+//! or rejects a submission, or a shard whose execution itself fails.
 
 use std::io::BufReader;
 use std::net::TcpStream;
 use std::time::Duration;
 
 use fabric_power_obs as obs;
+use obs::metrics::names;
 
 use crate::config::ExperimentError;
 use crate::engine::SweepEngine;
 use crate::merge::ShardDocument;
 use crate::plan::{PlanHeader, Shard};
 use crate::protocol::{read_message, write_message, Request, Response, PROTOCOL_VERSION};
+use crate::retry::BackoffSchedule;
 
 /// The obs target worker-side events are tagged with.
 const TARGET: &str = "sweep.worker";
@@ -36,9 +50,23 @@ pub struct WorkerOptions {
     /// When set, the handshake fails unless the server is serving exactly
     /// the plan with this content hash (`fabric-power worker --plan-hash`).
     pub expect_plan_hash: Option<String>,
-    /// How many connection attempts to make, 100 ms apart, before giving up
-    /// — lets a worker start before (or seconds after) its server.
+    /// How many dial attempts (paced by `backoff`) before a worker that
+    /// cannot reach its server at all gives up — lets a worker start before
+    /// (or seconds after) its server.
     pub connect_attempts: u32,
+    /// How many *consecutive* lost sessions (connection dropped mid-drain)
+    /// to survive before giving up.  The counter resets whenever a session
+    /// gets a submission accepted, so a long drain tolerates many scattered
+    /// server restarts — only a server that stays unreachable exhausts it.
+    pub reconnect_attempts: u32,
+    /// Paces both the initial dial and every reconnect.  Seed it per worker
+    /// to desynchronize a fleet all reconnecting to one restarted server.
+    pub backoff: BackoffSchedule,
+    /// Read *and* write deadline on the connection.  Every server response
+    /// is immediate (no long-running work happens on the server side of a
+    /// request), so a long silence means the server is gone — fail the
+    /// session rather than hang forever on a half-open connection.
+    pub io_timeout: Duration,
     /// How often to heartbeat while a leased shard executes.  Keep it well
     /// under the server's lease timeout: every heartbeat renews the lease,
     /// so a progressing worker is never requeued mid-shard.
@@ -49,27 +77,34 @@ impl Default for WorkerOptions {
     fn default() -> Self {
         Self {
             expect_plan_hash: None,
-            connect_attempts: 50,
+            connect_attempts: 20,
+            reconnect_attempts: 8,
+            backoff: BackoffSchedule::default(),
+            io_timeout: Duration::from_secs(60),
             heartbeat_interval: Duration::from_secs(1),
         }
     }
 }
 
-/// What one worker session accomplished.
+/// What one worker run accomplished (across all its sessions).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WorkerReport {
-    /// The id the server assigned this worker.
+    /// The id the server assigned this worker (the latest one, if the
+    /// worker reconnected — ids are per-session).
     pub worker: u64,
     /// Shards whose submission the server accepted.
     pub shards: usize,
     /// Total cells across those shards.
     pub cells: usize,
+    /// Sessions lost to a dropped connection and reestablished.
+    pub reconnects: u32,
 }
 
-/// Why a worker session failed.
+/// Why a worker run failed.
 #[derive(Debug)]
 pub enum WorkerError {
-    /// Connecting, reading or writing failed.
+    /// Connecting, reading or writing failed beyond what the reconnect
+    /// budget could absorb.
     Io(std::io::Error),
     /// The server refused the handshake or a submission (version mismatch,
     /// stale plan hash, failed validation).
@@ -99,34 +134,105 @@ impl From<std::io::Error> for WorkerError {
     }
 }
 
-/// Runs one worker session against the server at `addr`, blocking until the
-/// server drains the fleet (or the session fails).
+/// A finished shard whose submission has not been *acknowledged* yet — the
+/// one piece of state a worker carries across a reconnect, so work done
+/// while the wire was down is never re-executed, just resubmitted.
+#[derive(Debug)]
+struct PendingSubmission {
+    plan_hash: String,
+    document: Box<ShardDocument>,
+}
+
+/// Runs one worker against the server at `addr`, blocking until the server
+/// drains the fleet (or the worker fails for good).
+///
+/// Dropped connections are survived: the worker reconnects with backoff
+/// (see [`WorkerOptions::reconnect_attempts`]) and resumes claiming, so a
+/// server restarting under `serve --resume` keeps its fleet.
 ///
 /// # Errors
 ///
 /// * [`WorkerError::Refused`] — the server rejected the handshake (protocol
 ///   version, stale `--plan-hash`) or a submission;
 /// * [`WorkerError::Execution`] — a leased shard failed to run;
-/// * [`WorkerError::Io`] / [`WorkerError::Protocol`] — transport trouble.
+/// * [`WorkerError::Io`] / [`WorkerError::Protocol`] — transport trouble
+///   beyond the dial and reconnect budgets.
 pub fn run_worker(
     addr: &str,
     engine: &SweepEngine,
     options: WorkerOptions,
 ) -> Result<WorkerReport, WorkerError> {
-    let stream = connect_with_retry(addr, options.connect_attempts)?;
+    let mut report = WorkerReport {
+        worker: 0,
+        shards: 0,
+        cells: 0,
+        reconnects: 0,
+    };
+    let mut pending: Option<PendingSubmission> = None;
+    let mut consecutive_losses: u32 = 0;
+    loop {
+        let stream = connect_with_retry(addr, &options)?;
+        let shards_before = report.shards;
+        match run_session(&stream, engine, &options, &mut report, &mut pending) {
+            Ok(()) => return Ok(report),
+            Err(WorkerError::Io(error)) => {
+                // The wire died, not the work: reconnect with backoff.  A
+                // session that got a submission accepted demonstrably
+                // reached a live server, so it refills the loss budget.
+                if report.shards > shards_before {
+                    consecutive_losses = 0;
+                }
+                consecutive_losses += 1;
+                if consecutive_losses > options.reconnect_attempts {
+                    return Err(WorkerError::Io(std::io::Error::new(
+                        error.kind(),
+                        format!(
+                            "gave up after {consecutive_losses} consecutive lost \
+                             sessions (last: {error})"
+                        ),
+                    )));
+                }
+                report.reconnects += 1;
+                obs::metrics::counter(names::WORKER_RECONNECTS).increment();
+                obs::warn!(
+                    TARGET,
+                    "session lost, reconnecting",
+                    error = error.to_string(),
+                    consecutive_losses = consecutive_losses,
+                    budget = options.reconnect_attempts,
+                );
+                std::thread::sleep(options.backoff.delay(consecutive_losses));
+            }
+            Err(fatal) => return Err(fatal),
+        }
+    }
+}
+
+/// One connection's worth of the worker loop: handshake, resubmit any
+/// pending document, then claim/execute/submit until `Drain`.
+///
+/// Returns `Ok(())` only on a clean drain.  Every [`WorkerError::Io`]
+/// (dropped connection, timeout, unparseable frame, mid-session close) is a
+/// *lost session* the caller may retry; other errors are verdicts and end
+/// the worker.
+fn run_session(
+    stream: &TcpStream,
+    engine: &SweepEngine,
+    options: &WorkerOptions,
+    report: &mut WorkerReport,
+    pending: &mut Option<PendingSubmission>,
+) -> Result<(), WorkerError> {
     stream.set_nodelay(true).ok();
-    // Every server response is immediate (no long-running work happens on
-    // the server side of a request), so a long silence means the server is
-    // gone — fail rather than hang forever on a half-open connection.
-    stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+    stream.set_read_timeout(Some(options.io_timeout))?;
+    stream.set_write_timeout(Some(options.io_timeout))?;
     let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = &stream;
+    let mut writer = stream;
 
     write_message(
         &mut writer,
         &Request::Hello {
             protocol: PROTOCOL_VERSION,
-            plan_hash: options.expect_plan_hash,
+            plan_hash: options.expect_plan_hash.clone(),
         },
     )?;
     let (worker, plan_hash, header) = match expect_response(&mut reader)? {
@@ -143,12 +249,44 @@ pub fn run_worker(
             )))
         }
     };
+    report.worker = worker;
 
-    let mut report = WorkerReport {
-        worker,
-        shards: 0,
-        cells: 0,
-    };
+    // A document finished while the previous session was down comes first —
+    // before it lands (or is ruled stale) there is no point claiming more.
+    if let Some(stash) = pending.take() {
+        if stash.plan_hash == plan_hash {
+            obs::info!(
+                TARGET,
+                "resubmitting shard finished before reconnect",
+                worker = worker,
+                shard = stash.document.shard_index,
+            );
+            let cells = stash.document.results.len();
+            // Lease ids are per-server-session; 0 is honest here and the
+            // server decides by shard state, not lease number.
+            if submit_and_check(
+                &mut reader,
+                &mut writer,
+                worker,
+                0,
+                &plan_hash,
+                stash.document,
+                pending,
+            )? {
+                report.shards += 1;
+                report.cells += cells;
+            }
+        } else {
+            // A different plan is being served now; the stashed document
+            // belongs to a drain that no longer exists.
+            obs::warn!(
+                TARGET,
+                "dropping pending shard: server now serves a different plan",
+                shard = stash.document.shard_index,
+            );
+        }
+    }
+
     loop {
         write_message(&mut writer, &Request::Claim { worker })?;
         match expect_response(&mut reader)? {
@@ -160,7 +298,7 @@ pub fn run_worker(
                     shard = shard.index,
                     cells = shard.cells.len(),
                 );
-                let document = run_shard_with_heartbeats(
+                let (document, wire_alive) = run_shard_with_heartbeats(
                     engine,
                     &header,
                     &shard,
@@ -171,31 +309,31 @@ pub fn run_worker(
                     &mut writer,
                 )?;
                 let cells = document.results.len();
-                write_message(
-                    &mut writer,
-                    &Request::Submit {
-                        worker,
-                        lease,
+                if !wire_alive {
+                    // The connection died while the shard executed; the
+                    // result is good, the session is not.  Stash the
+                    // document and surface the loss so the caller
+                    // reconnects and resubmits.
+                    *pending = Some(PendingSubmission {
                         plan_hash: plan_hash.clone(),
                         document: Box::new(document),
-                    },
-                )?;
-                match expect_response(&mut reader)? {
-                    Response::Accepted { .. } => {
-                        report.shards += 1;
-                        report.cells += cells;
-                    }
-                    // Someone else finished this shard while we held a
-                    // revoked lease — not our problem, keep claiming.
-                    Response::Stale { .. } => {}
-                    Response::Rejected { reason } | Response::Error { message: reason } => {
-                        return Err(WorkerError::Refused(reason))
-                    }
-                    other => {
-                        return Err(WorkerError::Protocol(format!(
-                            "expected a submission verdict, got {other:?}"
-                        )))
-                    }
+                    });
+                    return Err(WorkerError::Io(std::io::Error::new(
+                        std::io::ErrorKind::ConnectionAborted,
+                        "connection lost while the leased shard executed",
+                    )));
+                }
+                if submit_and_check(
+                    &mut reader,
+                    &mut writer,
+                    worker,
+                    lease,
+                    &plan_hash,
+                    Box::new(document),
+                    pending,
+                )? {
+                    report.shards += 1;
+                    report.cells += cells;
                 }
             }
             Response::Wait { retry_ms } => {
@@ -203,7 +341,7 @@ pub fn run_worker(
             }
             Response::Drain => {
                 let _ = write_message(&mut writer, &Request::Goodbye { worker });
-                return Ok(report);
+                return Ok(());
             }
             Response::Error { message } => return Err(WorkerError::Refused(message)),
             other => {
@@ -215,12 +353,65 @@ pub fn run_worker(
     }
 }
 
+/// Ships one document and awaits the verdict; `Ok(true)` means accepted,
+/// `Ok(false)` means stale (someone else's copy landed first).  If the wire
+/// dies before the verdict arrives, the document is stashed in `pending` —
+/// the server may or may not have recorded it, and resubmitting after the
+/// reconnect resolves the ambiguity either way (`Accepted` or `Stale`).
+fn submit_and_check(
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut &TcpStream,
+    worker: u64,
+    lease: u64,
+    plan_hash: &str,
+    document: Box<ShardDocument>,
+    pending: &mut Option<PendingSubmission>,
+) -> Result<bool, WorkerError> {
+    let verdict = (|| {
+        write_message(
+            writer,
+            &Request::Submit {
+                worker,
+                lease,
+                plan_hash: plan_hash.to_owned(),
+                document: document.clone(),
+            },
+        )?;
+        expect_response(reader)
+    })();
+    match verdict {
+        Ok(Response::Accepted { .. }) => Ok(true),
+        // Someone else finished this shard while we held a revoked lease —
+        // not our problem, keep claiming.
+        Ok(Response::Stale { .. }) => Ok(false),
+        Ok(Response::Rejected { reason } | Response::Error { message: reason }) => {
+            Err(WorkerError::Refused(reason))
+        }
+        Ok(other) => Err(WorkerError::Protocol(format!(
+            "expected a submission verdict, got {other:?}"
+        ))),
+        Err(WorkerError::Io(e)) => {
+            *pending = Some(PendingSubmission {
+                plan_hash: plan_hash.to_owned(),
+                document,
+            });
+            Err(WorkerError::Io(e))
+        }
+        Err(other) => Err(other),
+    }
+}
+
 /// Executes one leased shard on its own thread while the connection thread
 /// heartbeats the probe's progress to the server every `interval`.
 ///
 /// Heartbeats only happen *between* protocol exchanges of the claim/submit
 /// loop and each one synchronously awaits its `Ack`, so the strictly
 /// alternating request/response discipline of the protocol is preserved.
+///
+/// Returns the document plus whether the wire survived: a heartbeat that
+/// fails with an I/O error (server crashed mid-execution) stops the
+/// heartbeating but **not** the execution — the nearly-finished shard is
+/// still worth completing and resubmitting over a fresh connection.
 #[allow(clippy::too_many_arguments)] // connection plumbing, not configuration
 fn run_shard_with_heartbeats(
     engine: &SweepEngine,
@@ -231,7 +422,7 @@ fn run_shard_with_heartbeats(
     interval: Duration,
     reader: &mut BufReader<TcpStream>,
     writer: &mut &TcpStream,
-) -> Result<ShardDocument, WorkerError> {
+) -> Result<(ShardDocument, bool), WorkerError> {
     let probe = obs::Progress::new();
     let exec_engine = engine.clone().with_progress(probe.clone());
     let cells_total = shard.cells.len() as u64;
@@ -243,66 +434,115 @@ fn run_shard_with_heartbeats(
             .min(Duration::from_millis(25))
             .max(Duration::from_millis(1));
         let mut since_heartbeat = Duration::ZERO;
+        let mut wire_alive = true;
         while !handle.is_finished() {
             std::thread::sleep(step);
             since_heartbeat += step;
-            if since_heartbeat < interval {
+            if since_heartbeat < interval || !wire_alive {
                 continue;
             }
             since_heartbeat = Duration::ZERO;
             let cells_done = probe.done();
-            write_message(
+            match heartbeat_once(
+                reader,
                 writer,
-                &Request::Heartbeat {
-                    worker,
-                    lease,
-                    shard: shard.index,
-                    cells_done,
-                    cells_total,
-                },
-            )?;
-            match expect_response(reader)? {
-                Response::Ack => {
-                    obs::debug!(
+                worker,
+                lease,
+                shard.index,
+                cells_done,
+                cells_total,
+            ) {
+                Ok(()) => {}
+                Err(WorkerError::Io(e)) => {
+                    // The server is gone (or the frame was mangled); let
+                    // the shard finish — its lease will expire, but the
+                    // deterministic result stays correct and resubmission
+                    // after the reconnect settles it.
+                    obs::warn!(
                         TARGET,
-                        "heartbeat acknowledged",
+                        "heartbeat failed, finishing shard without a wire",
                         shard = shard.index,
-                        cells_done = cells_done,
-                        cells_total = cells_total,
+                        error = e.to_string(),
                     );
+                    wire_alive = false;
                 }
-                Response::Error { message } | Response::Rejected { reason: message } => {
-                    return Err(WorkerError::Refused(message));
-                }
-                other => {
-                    return Err(WorkerError::Protocol(format!(
-                        "expected Ack to a heartbeat, got {other:?}"
-                    )));
-                }
+                Err(fatal) => return Err(fatal),
             }
         }
-        match handle.join() {
-            Ok(result) => result.map_err(WorkerError::Execution),
+        let document = match handle.join() {
+            Ok(result) => result.map_err(WorkerError::Execution)?,
             // Propagate an execution-thread panic as if the shard had run
             // inline, as it did before heartbeats existed.
             Err(panic) => std::panic::resume_unwind(panic),
-        }
+        };
+        Ok((document, wire_alive))
     })
 }
 
-/// Reads the next server response; a clean close mid-session is a protocol
-/// error (the server always says `Drain` first).
-fn expect_response(reader: &mut BufReader<TcpStream>) -> Result<Response, WorkerError> {
-    read_message::<Response>(reader)?
-        .ok_or_else(|| WorkerError::Protocol("server closed the connection mid-session".into()))
+/// One heartbeat round trip.
+fn heartbeat_once(
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut &TcpStream,
+    worker: u64,
+    lease: u64,
+    shard: usize,
+    cells_done: u64,
+    cells_total: u64,
+) -> Result<(), WorkerError> {
+    write_message(
+        writer,
+        &Request::Heartbeat {
+            worker,
+            lease,
+            shard,
+            cells_done,
+            cells_total,
+        },
+    )?;
+    match expect_response(reader)? {
+        Response::Ack => {
+            obs::debug!(
+                TARGET,
+                "heartbeat acknowledged",
+                shard = shard,
+                cells_done = cells_done,
+                cells_total = cells_total,
+            );
+            Ok(())
+        }
+        Response::Error { message } | Response::Rejected { reason: message } => {
+            Err(WorkerError::Refused(message))
+        }
+        other => Err(WorkerError::Protocol(format!(
+            "expected Ack to a heartbeat, got {other:?}"
+        ))),
+    }
 }
 
-fn connect_with_retry(addr: &str, attempts: u32) -> Result<TcpStream, WorkerError> {
-    let attempts = attempts.max(1);
+/// Reads the next server response; a clean close mid-session surfaces as an
+/// I/O error (the server always says `Drain` before a *deliberate* close,
+/// so an unannounced one means the server died — a lost session, not a
+/// protocol verdict).
+fn expect_response(reader: &mut BufReader<TcpStream>) -> Result<Response, WorkerError> {
+    read_message::<Response>(reader)?.ok_or_else(|| {
+        WorkerError::Io(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "server closed the connection mid-session",
+        ))
+    })
+}
+
+/// Dials the server, pacing attempts with the worker's backoff schedule.
+fn connect_with_retry(addr: &str, options: &WorkerOptions) -> Result<TcpStream, WorkerError> {
+    let attempts = options.connect_attempts.max(1);
     let mut last_error = None;
     for attempt in 0..attempts {
+        let delay = options.backoff.delay(attempt);
+        if !delay.is_zero() {
+            std::thread::sleep(delay);
+        }
         if attempt > 0 {
-            std::thread::sleep(Duration::from_millis(100));
+            obs::metrics::counter(names::CONNECT_RETRIES).increment();
         }
         match TcpStream::connect(addr) {
             Ok(stream) => return Ok(stream),

@@ -1,0 +1,403 @@
+//! Chaos tests: crash-safe fleet drains under injected faults.
+//!
+//! These tests kill the server (through [`ServeHandle::halt`], which drops
+//! all in-memory drain state exactly like `kill -9` would) and workers
+//! mid-drain — with and without a deterministic [`FaultPlan`] corrupting
+//! frames and tearing journal writes — and pin the recovery contract: a
+//! `--resume` drain over the durable journal produces a merged document
+//! byte-identical to a single-process run, and the fault layer is provably
+//! inert when no plan is installed.
+//!
+//! Fault plans are process-global, so every test that installs (or depends
+//! on the absence of) one serializes through [`FAULTS_LOCK`].
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use fabric_power_obs as obs;
+use obs::FaultPlan;
+
+use fabric_power_sweep::journal;
+use fabric_power_sweep::protocol::{
+    read_message, write_message, Request, Response, PROTOCOL_VERSION,
+};
+use fabric_power_sweep::{
+    run_worker, BackoffSchedule, ExperimentConfig, JournalOptions, SeedStrategy, ServeError,
+    ServeOptions, ServeOutcome, ShardStrategy, StatusProbe, SweepDocument, SweepEngine, SweepPlan,
+    WorkServer, WorkerOptions, WorkerReport,
+};
+
+/// Serializes tests around the process-global fault plan.
+static FAULTS_LOCK: Mutex<()> = Mutex::new(());
+
+/// Clears the global fault plan even if the test panics, so one failing
+/// chaos test cannot poison the others with leftover faults.
+struct FaultsGuard;
+
+impl Drop for FaultsGuard {
+    fn drop(&mut self) {
+        obs::faults::clear();
+    }
+}
+
+/// 4 architectures × 2 port counts × 2 loads = 16 cells: enough shards that
+/// halting the server after the first completion always interrupts a live
+/// drain, yet a full fleet run still takes well under a second.
+fn chaos_config() -> ExperimentConfig {
+    ExperimentConfig {
+        port_counts: vec![4, 8],
+        offered_loads: vec![0.2, 0.4],
+        warmup_cycles: 50,
+        measure_cycles: 200,
+        ..ExperimentConfig::quick()
+    }
+}
+
+fn chaos_plan(scenario: &str, shards: usize) -> SweepPlan {
+    SweepPlan::new(
+        scenario,
+        chaos_config(),
+        SeedStrategy::Shared,
+        shards,
+        ShardStrategy::RoundRobin,
+    )
+    .expect("plan builds")
+}
+
+fn reference_document(plan: &SweepPlan) -> SweepDocument {
+    SweepEngine::new()
+        .with_threads(2)
+        .run_plan(plan)
+        .expect("single-process reference")
+}
+
+/// Picks a port by binding to 0 and releasing it, so the *resumed* server
+/// can bind the same address the workers keep redialing.
+fn free_addr() -> SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind a free port");
+    listener.local_addr().expect("local addr")
+}
+
+/// A fresh, empty journal directory for one test.
+fn journal_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fabric-power-chaos-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Binds on `addr`, retrying while the previous (halted) server's sockets
+/// linger in `TIME_WAIT` — exactly what `serve --resume` races against
+/// after a real crash.
+fn bind_with_retry(addr: SocketAddr, plan: &SweepPlan, options: &ServeOptions) -> WorkServer {
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        match WorkServer::bind(&addr.to_string(), plan.clone(), options.clone()) {
+            Ok(server) => return server,
+            Err(e) if Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(50));
+                let _ = e;
+            }
+            Err(e) => panic!("rebinding {addr} for the resumed drain: {e}"),
+        }
+    }
+}
+
+/// Worker tuning for a fleet that must survive a crashing server: a fat
+/// reconnect budget paced by a fast, per-worker-seeded backoff.
+fn resilient_worker(seed: u64) -> WorkerOptions {
+    WorkerOptions {
+        connect_attempts: 60,
+        reconnect_attempts: 100,
+        backoff: BackoffSchedule {
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(100),
+            seed,
+        },
+        io_timeout: Duration::from_secs(10),
+        heartbeat_interval: Duration::from_millis(100),
+        ..WorkerOptions::default()
+    }
+}
+
+fn spawn_workers(
+    addr: SocketAddr,
+    count: usize,
+) -> Vec<std::thread::JoinHandle<Result<WorkerReport, fabric_power_sweep::WorkerError>>> {
+    (0..count)
+        .map(|i| {
+            let addr = addr.to_string();
+            std::thread::spawn(move || {
+                run_worker(
+                    &addr,
+                    &SweepEngine::new().with_threads(1),
+                    resilient_worker(i as u64 + 1),
+                )
+            })
+        })
+        .collect()
+}
+
+/// Polls the handle until at least `shards` submissions landed, then halts.
+fn halt_after(handle: &fabric_power_sweep::ServeHandle, shards: usize) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while handle.shards_completed() < shards {
+        assert!(
+            Instant::now() < deadline,
+            "fleet never completed {shards} shard(s)"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    handle.halt();
+}
+
+/// A worker that dies mid-drain: best-effort handshake and claim, then the
+/// connection is dropped with the lease (if any) outstanding.  Under an
+/// installed fault plan any of these steps may be corrupted — every outcome
+/// short of a panic is a valid way for this worker to die.
+fn doomed_worker(addr: SocketAddr) {
+    let Ok(stream) = TcpStream::connect(addr) else {
+        return;
+    };
+    stream.set_read_timeout(Some(Duration::from_secs(2))).ok();
+    stream.set_write_timeout(Some(Duration::from_secs(2))).ok();
+    let Ok(clone) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(clone);
+    let mut writer = &stream;
+    if write_message(
+        &mut writer,
+        &Request::Hello {
+            protocol: PROTOCOL_VERSION,
+            plan_hash: None,
+        },
+    )
+    .is_err()
+    {
+        return;
+    }
+    let Ok(Some(Response::Welcome { worker, .. })) = read_message::<Response>(&mut reader) else {
+        return;
+    };
+    let _ = write_message(&mut writer, &Request::Claim { worker });
+    let _ = read_message::<Response>(&mut reader);
+    // Dropped here: an abrupt disconnect, possibly holding a lease.
+}
+
+/// Kills the server mid-drain (optionally alongside a dying worker and an
+/// installed fault plan — the caller arranges those), resumes it from the
+/// journal on the same address, and returns the resumed outcome plus each
+/// worker's own result — callers decide how strict to be about those (a
+/// fault that eats the final `Drain` strands a worker dialing a server
+/// that has already finished, which is an I/O error, not a wrong drain).
+fn crash_and_resume(
+    scenario: &str,
+    kill_a_worker: bool,
+) -> (
+    ServeOutcome,
+    Vec<Result<WorkerReport, fabric_power_sweep::WorkerError>>,
+) {
+    let plan = chaos_plan(scenario, 8);
+    let dir = journal_dir(scenario);
+    let addr = free_addr();
+    let serve_options = ServeOptions {
+        journal: Some(JournalOptions {
+            dir: dir.clone(),
+            resume: false,
+        }),
+        ..ServeOptions::default()
+    };
+
+    let server = bind_with_retry(addr, &plan, &serve_options);
+    let hash = server.plan_hash().to_owned();
+    let handle = server.handle();
+    let crashing = std::thread::spawn(move || server.run());
+    let workers = spawn_workers(addr, 2);
+    if kill_a_worker {
+        doomed_worker(addr);
+    }
+
+    // Let the drain make real progress, then "kill -9" the server: run()
+    // returns Halted and every in-memory shard document is discarded.
+    halt_after(&handle, 1);
+    match crashing.join().expect("server thread") {
+        Err(ServeError::Halted) => {}
+        other => panic!("halted server must report Halted, got {other:?}"),
+    }
+
+    // What survives the crash is exactly the journal.
+    let journal_file = journal::journal_path(&dir, &hash);
+    let replayed = journal::replay(&journal_file, &hash).expect("journal is replayable");
+    assert!(
+        !replayed.documents.is_empty(),
+        "at least one accepted shard was journaled before the crash"
+    );
+
+    // `serve --resume` on the same address: the journal seeds the completed
+    // shards and the still-running workers reconnect on their own.
+    let resumed = bind_with_retry(
+        addr,
+        &plan,
+        &ServeOptions {
+            journal: Some(JournalOptions {
+                dir: dir.clone(),
+                resume: true,
+            }),
+            ..ServeOptions::default()
+        },
+    );
+    let outcome = resumed.run().expect("resumed drain completes");
+
+    let reports = workers
+        .into_iter()
+        .map(|worker| worker.join().expect("worker thread"))
+        .collect();
+    let _ = std::fs::remove_dir_all(&dir);
+    (outcome, reports)
+}
+
+#[test]
+fn server_crash_mid_drain_resumes_byte_identical() {
+    let _lock = FAULTS_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    obs::faults::clear();
+
+    let reference = reference_document(&chaos_plan("chaos-crash", 8));
+    let (outcome, reports) = crash_and_resume("chaos-crash", false);
+
+    // Without faults both workers must ride out the crash and drain cleanly.
+    let mut reconnects = 0;
+    for report in reports {
+        reconnects += report.expect("worker survives the server crash").reconnects;
+    }
+    assert!(
+        outcome.restored >= 1,
+        "the resumed server restored journaled shards, got {}",
+        outcome.restored
+    );
+    assert!(
+        reconnects >= 1,
+        "workers were mid-session at the crash and must have reconnected"
+    );
+    assert_eq!(outcome.document, reference);
+    assert_eq!(
+        outcome.document.to_json_string().unwrap(),
+        reference.to_json_string().unwrap(),
+        "crash + resume must be byte-identical to one process"
+    );
+}
+
+#[test]
+fn faulted_fleet_with_dying_worker_and_server_still_drains_byte_identical() {
+    let _lock = FAULTS_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let _guard = FaultsGuard;
+    // Garbage frames kill sessions on both sides, delays shake up the
+    // interleaving, torn journal appends degrade durability — all seeded,
+    // so a failure here replays exactly.  (Drop/truncate faults are covered
+    // by the protocol robustness suite; here they would also corrupt the
+    // deliberately-fragile doomed worker's bookkeeping-free session.)
+    obs::faults::install(FaultPlan {
+        seed: 7,
+        wire_garbage_every: 19,
+        wire_delay_every: 11,
+        wire_delay_ms: 1,
+        disk_torn_every: 5,
+        ..FaultPlan::default()
+    });
+    assert!(obs::faults::active());
+
+    let reference = reference_document(&chaos_plan("chaos-faulted", 8));
+    let (outcome, reports) = crash_and_resume("chaos-faulted", true);
+
+    // A worker may be stranded by a fault that ate its final `Drain` (it
+    // redials a server that has already finished until its budget runs
+    // out) — that is an I/O failure by design.  Verdicts (refusals,
+    // protocol violations, execution errors) are still test failures.
+    for report in reports {
+        if let Err(error) = report {
+            assert!(
+                matches!(error, fabric_power_sweep::WorkerError::Io(_)),
+                "only I/O strandings are acceptable under faults, got {error}"
+            );
+        }
+    }
+    assert_eq!(outcome.document, reference);
+    assert_eq!(
+        outcome.document.to_json_string().unwrap(),
+        reference.to_json_string().unwrap(),
+        "faults may slow the drain, never skew it"
+    );
+}
+
+#[test]
+fn fault_layer_is_inert_when_no_plan_is_installed() {
+    let _lock = FAULTS_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    obs::faults::clear();
+    assert!(
+        !obs::faults::active(),
+        "no plan installed, layer must be off"
+    );
+    assert_eq!(obs::faults::current(), None);
+
+    // A plan with no knobs set is just as inert as no plan at all.
+    let reference = reference_document(&chaos_plan("chaos-inert", 4));
+    obs::faults::install(FaultPlan {
+        seed: 99,
+        ..FaultPlan::default()
+    });
+    let _guard = FaultsGuard;
+    assert!(
+        !obs::faults::active(),
+        "a plan with every knob at 0 never fires"
+    );
+
+    // Full fleet drain — through the instrumented write_message and journal
+    // append paths — with the hooks compiled in and disabled: byte-identical.
+    let plan = chaos_plan("chaos-inert", 4);
+    let dir = journal_dir("chaos-inert");
+    let server = WorkServer::bind(
+        "127.0.0.1:0",
+        plan,
+        ServeOptions {
+            journal: Some(JournalOptions {
+                dir: dir.clone(),
+                resume: false,
+            }),
+            ..ServeOptions::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+    let serving = std::thread::spawn(move || server.run());
+    for worker in spawn_workers(addr, 2) {
+        worker
+            .join()
+            .expect("worker thread")
+            .expect("clean fleet drain");
+    }
+    let outcome = serving.join().expect("server thread").expect("server run");
+    assert_eq!(outcome.requeues, 0, "no faults fired, nothing was requeued");
+    assert_eq!(
+        outcome.document.to_json_string().unwrap(),
+        reference.to_json_string().unwrap(),
+        "disabled fault hooks must not perturb a single byte"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn status_probe_against_a_dead_address_fails_fast() {
+    // Nothing listens on a freshly released port: the probe must come back
+    // with an error well inside its connect deadline, not hang.
+    let addr = free_addr();
+    let started = Instant::now();
+    let result = StatusProbe::connect(&addr.to_string());
+    let elapsed = started.elapsed();
+    assert!(result.is_err(), "connecting to a dead address must fail");
+    assert!(
+        elapsed < Duration::from_secs(8),
+        "dead-address probe took {elapsed:?}, expected a fast, bounded failure"
+    );
+}

@@ -211,6 +211,7 @@ fn silent_workers_lease_expires_and_is_requeued() {
     let options = ServeOptions {
         lease_timeout: Duration::from_millis(200),
         retry_ms: 50,
+        ..ServeOptions::default()
     };
     let (addr, _, server) = spawn_server(plan, options);
     // Claim a shard, then go silent *without* disconnecting: only the lease
@@ -333,6 +334,7 @@ fn heartbeats_keep_a_slow_workers_lease_alive() {
     let options = ServeOptions {
         lease_timeout: Duration::from_millis(200),
         retry_ms: 50,
+        ..ServeOptions::default()
     };
     let (addr, _, server) = spawn_server(plan, options);
     let mut slow = RawWorker::connect(addr);
